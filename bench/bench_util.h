@@ -1,0 +1,73 @@
+// Shared scaffolding for the figure benches: environment-tunable run sizes,
+// model/dataset construction, and table emission (terminal + CSV).
+//
+// Knobs (environment variables):
+//   WINOFAULT_IMAGES  evaluation images per point   (default 10, full 40)
+//   WINOFAULT_FULL=1  paper-scale sweeps (denser grids, more images)
+//   WINOFAULT_WIDTH   override model channel width multiplier
+//   WINOFAULT_SEED    master experiment seed        (default 2024)
+//
+// BER axis note (DESIGN.md substitution #2): the reduced models execute
+// ~10-40x fewer operations per inference than the paper's full-size
+// networks, so equal expected-flip counts occur at proportionally higher
+// BER. Benches therefore report expected flips per inference alongside BER.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "nn/dataset.h"
+#include "nn/models/zoo.h"
+
+namespace winofault::bench {
+
+struct BenchEnv {
+  int images = 10;
+  bool full = false;
+  std::uint64_t seed = 2024;
+  double width_override = 0.0;  // 0 => per-model default
+};
+
+inline BenchEnv bench_env() {
+  BenchEnv env;
+  env.full = full_run_requested();
+  env.images = env_int("WINOFAULT_IMAGES", env.full ? 40 : 10);
+  env.seed = static_cast<std::uint64_t>(env_int("WINOFAULT_SEED", 2024));
+  env.width_override = env_double("WINOFAULT_WIDTH", 0.0);
+  return env;
+}
+
+// Builds a zoo model plus its teacher-labeled dataset sized for this run.
+struct ModelUnderTest {
+  Network net;
+  Dataset data;
+  const ZooEntry* entry = nullptr;
+};
+
+inline ModelUnderTest make_model(const std::string& name, DType dtype,
+                                 const BenchEnv& env) {
+  const ZooEntry& entry = zoo_entry(name);
+  ZooConfig config;
+  config.dtype = dtype;
+  config.width =
+      env.width_override > 0 ? env.width_override : entry.default_width;
+  config.seed = env.seed;
+  Network net = entry.build(config);
+  Dataset data = make_teacher_dataset(net, env.images, entry.num_classes,
+                                      entry.clean_accuracy, env.seed ^ 0xd5);
+  return ModelUnderTest{std::move(net), std::move(data), &entry};
+}
+
+inline void emit(const Table& table, const std::string& title,
+                 const std::string& csv_name) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.to_aligned().c_str());
+  const std::string path = csv_name + ".csv";
+  if (table.write_csv(path)) {
+    std::printf("[csv] %s\n", path.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace winofault::bench

@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark): raw kernel throughput of the three
+// convolution engines on zoo-representative shapes, plus fault-replay cost.
+// Context for the paper's premise that Winograd computing is "almost free":
+// the mul-count reduction shows up directly in kernel time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "conv/dwm.h"
+#include "conv/engine.h"
+#include "fault/site_sampler.h"
+#include "tensor/quantize.h"
+
+namespace winofault {
+namespace {
+
+struct Problem {
+  ConvDesc desc;
+  TensorI32 input;
+  TensorI32 weights;
+  std::vector<std::int64_t> bias;
+  ConvData data() const {
+    ConvData d;
+    d.input = &input;
+    d.weights = &weights;
+    d.bias = &bias;
+    d.dtype = DType::kInt16;
+    d.acc_scale = 1.0 / 4096;
+    d.out_quant = QuantParams{0.25, DType::kInt16};
+    return d;
+  }
+};
+
+Problem make_problem(std::int64_t c, std::int64_t hw, std::int64_t k) {
+  Problem p;
+  p.desc.in_c = c;
+  p.desc.in_h = hw;
+  p.desc.in_w = hw;
+  p.desc.out_c = c;
+  p.desc.kh = p.desc.kw = k;
+  p.desc.pad = k / 2;
+  p.input = TensorI32(p.desc.in_shape());
+  p.weights = TensorI32(p.desc.weight_shape());
+  Rng rng(99);
+  for (auto& v : p.input.flat())
+    v = static_cast<std::int32_t>(rng.next_below(65536)) - 32768;
+  for (auto& v : p.weights.flat())
+    v = static_cast<std::int32_t>(rng.next_below(65536)) - 32768;
+  p.bias.assign(static_cast<std::size_t>(p.desc.out_c), 100);
+  return p;
+}
+
+void BM_DirectConv(benchmark::State& state) {
+  const Problem p = make_problem(state.range(0), state.range(1), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct_engine().forward(p.desc, p.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * p.desc.macs());
+}
+
+void BM_WinogradF2(benchmark::State& state) {
+  const Problem p = make_problem(state.range(0), state.range(1), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(winograd_engine(2).forward(p.desc, p.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * p.desc.macs());
+}
+
+void BM_WinogradF4(benchmark::State& state) {
+  const Problem p = make_problem(state.range(0), state.range(1), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(winograd_engine(4).forward(p.desc, p.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * p.desc.macs());
+}
+
+void BM_Dwm5x5(benchmark::State& state) {
+  const Problem p = make_problem(state.range(0), state.range(1), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm_forward(2, p.desc, p.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * p.desc.macs());
+}
+
+void BM_Direct5x5(benchmark::State& state) {
+  const Problem p = make_problem(state.range(0), state.range(1), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct_engine().forward(p.desc, p.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * p.desc.macs());
+}
+
+// Cost of fault replay on top of a golden forward (16 sites).
+void BM_WinogradFaultReplay(benchmark::State& state) {
+  const Problem p = make_problem(32, 16, 3);
+  const auto& engine = winograd_engine(2);
+  const OpSpace space = engine.op_space(p.desc, DType::kInt16);
+  SiteSampler sampler(FaultModel{16.0 / space.total_bits()});
+  Rng rng(7);
+  TensorI32 out = engine.forward(p.desc, p.data());
+  for (auto _ : state) {
+    const auto sites = sampler.sample(space, rng);
+    engine.apply_faults(p.desc, p.data(), sites, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_DirectConv)->Args({16, 32})->Args({64, 16});
+BENCHMARK(BM_WinogradF2)->Args({16, 32})->Args({64, 16});
+BENCHMARK(BM_WinogradF4)->Args({16, 32})->Args({64, 16});
+BENCHMARK(BM_Direct5x5)->Args({16, 16});
+BENCHMARK(BM_Dwm5x5)->Args({16, 16});
+BENCHMARK(BM_WinogradFaultReplay);
+
+}  // namespace
+}  // namespace winofault
+
+BENCHMARK_MAIN();

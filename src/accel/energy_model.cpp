@@ -1,0 +1,11 @@
+#include "accel/energy_model.h"
+
+namespace winofault {
+
+double EnergyModel::inference_energy_j(std::span<const ConvDesc> descs,
+                                       ConvPolicy policy, double v) const {
+  const double runtime = network_runtime_seconds(accel, descs, policy);
+  return voltage.power_w(v) * runtime;
+}
+
+}  // namespace winofault

@@ -1,0 +1,21 @@
+// Energy accounting: E = P(V) * T, with T from the systolic performance
+// model and P(V) from the voltage model. Used by the Fig 7 explorer.
+#pragma once
+
+#include <span>
+
+#include "accel/systolic.h"
+#include "accel/voltage_model.h"
+
+namespace winofault {
+
+struct EnergyModel {
+  SystolicConfig accel;
+  VoltageModel voltage;
+
+  // Energy (joules) of one inference over `descs` under `policy` at `v`.
+  double inference_energy_j(std::span<const ConvDesc> descs,
+                            ConvPolicy policy, double v) const;
+};
+
+}  // namespace winofault

@@ -1,0 +1,110 @@
+#include "accel/systolic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "conv/winograd_conv.h"
+#include "conv/winograd_transforms.h"
+
+namespace winofault {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Output-stationary GEMM on an R x C array: each (R x C) output tile
+// streams K partial sums plus array fill/drain latency.
+std::int64_t gemm_cycles(const SystolicConfig& config, std::int64_t m,
+                         std::int64_t k, std::int64_t n) {
+  const std::int64_t tiles =
+      ceil_div(m, config.rows) * ceil_div(n, config.cols);
+  return tiles * (k + config.rows + config.cols - 2);
+}
+
+std::int64_t dram_cycles(const SystolicConfig& config, std::int64_t elements) {
+  const double bytes = static_cast<double>(elements) *
+                       static_cast<double>(config.bytes_per_element);
+  const double bytes_per_cycle =
+      config.dram_gbps * 1e9 / (config.freq_mhz * 1e6);
+  return static_cast<std::int64_t>(std::ceil(bytes / bytes_per_cycle));
+}
+
+}  // namespace
+
+namespace {
+
+LayerTiming simulate_conv_mapping(const SystolicConfig& config,
+                                  const ConvDesc& desc, ConvPolicy policy,
+                                  bool winograd);
+
+}  // namespace
+
+LayerTiming simulate_conv(const SystolicConfig& config, const ConvDesc& desc,
+                          ConvPolicy policy) {
+  const bool wg_supported =
+      policy != ConvPolicy::kDirect &&
+      winograd_engine(policy == ConvPolicy::kWinograd2 ? 2 : 4).supports(desc);
+  const LayerTiming direct =
+      simulate_conv_mapping(config, desc, policy, false);
+  if (!wg_supported) return direct;
+  // Per-layer algorithm choice, as real schedulers do: channel-starved
+  // layers (e.g. the 3-channel input conv) run faster on the direct
+  // mapping even under a Winograd policy.
+  const LayerTiming wino = simulate_conv_mapping(config, desc, policy, true);
+  return wino.total_cycles <= direct.total_cycles ? wino : direct;
+}
+
+namespace {
+
+LayerTiming simulate_conv_mapping(const SystolicConfig& config,
+                                  const ConvDesc& desc, ConvPolicy policy,
+                                  bool winograd) {
+  LayerTiming timing;
+
+  // DRAM traffic: ifmap + weights + ofmap, single-buffered once each
+  // (weights for Winograd are the pre-transformed alpha^2 bank).
+  std::int64_t weight_elems = desc.out_c * desc.in_c * desc.kh * desc.kw;
+
+  if (!winograd) {
+    timing.compute_cycles =
+        gemm_cycles(config, desc.out_c, desc.in_c * desc.kh * desc.kw,
+                    desc.out_h() * desc.out_w());
+  } else {
+    const WinogradPlan& plan =
+        winograd_plan(policy == ConvPolicy::kWinograd2 ? 2 : 4);
+    const WgLayout layout = WgLayout::make(plan, desc);
+    const std::int64_t a2 = layout.a2;
+    timing.compute_cycles =
+        a2 * gemm_cycles(config, desc.out_c, desc.in_c, layout.tiles);
+    const std::int64_t transform_adds =
+        desc.in_c * layout.tiles * layout.k_it +
+        desc.out_c * layout.tiles * layout.k_inv;
+    timing.transform_cycles =
+        ceil_div(transform_adds, config.vector_lanes);
+    weight_elems = desc.out_c * desc.in_c * a2;
+  }
+
+  const std::int64_t ifmap = desc.in_c * desc.in_h * desc.in_w;
+  const std::int64_t ofmap = desc.out_c * desc.out_h() * desc.out_w();
+  timing.memory_cycles = dram_cycles(config, ifmap + weight_elems + ofmap);
+  timing.total_cycles =
+      std::max({timing.compute_cycles, timing.transform_cycles,
+                timing.memory_cycles});
+  return timing;
+}
+
+}  // namespace
+
+double network_runtime_seconds(const SystolicConfig& config,
+                               std::span<const ConvDesc> descs,
+                               ConvPolicy policy) {
+  std::int64_t cycles = 0;
+  for (const ConvDesc& desc : descs) {
+    cycles += simulate_conv(config, desc, policy).total_cycles;
+  }
+  return static_cast<double>(cycles) / (config.freq_mhz * 1e6);
+}
+
+}  // namespace winofault

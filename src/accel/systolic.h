@@ -1,0 +1,53 @@
+// Analytic systolic-array performance model in the spirit of Scale-Sim
+// (the paper's runtime simulator [35]): an R x C MAC array with output-
+// stationary dataflow, a vector unit for Winograd transforms, and a DRAM
+// bandwidth model for stall accounting.
+//
+// Direct convolution maps as an im2col GEMM (M = OC, K = IC*KH*KW,
+// N = OH*OW); Winograd maps each of the alpha^2 transform-domain positions
+// as a channel GEMM (M = OC, K = IC, N = tiles) plus transform adder work
+// on the vector unit — the standard accelerator mapping [20][42].
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "conv/conv_desc.h"
+#include "conv/engine.h"
+
+namespace winofault {
+
+struct SystolicConfig {
+  // Array sized for the reduced model zoo (16-128 channels): an 8x8 array
+  // keeps Winograd's K = IC channel-GEMMs utilized, just as the paper's
+  // full-width models keep a larger array busy. LPDDR4x-class bandwidth
+  // keeps representative layers compute-bound (weight-resident reuse).
+  int rows = 8;
+  int cols = 8;
+  double freq_mhz = 667.0;        // DNN-Engine-like clock [41]
+  int vector_lanes = 32;          // transform adds per cycle
+  double dram_gbps = 25.6;        // sustained DRAM bandwidth
+  int bytes_per_element = 2;      // int16 datapath
+};
+
+struct LayerTiming {
+  std::int64_t compute_cycles = 0;    // systolic GEMM cycles
+  std::int64_t transform_cycles = 0;  // vector-unit Winograd transforms
+  std::int64_t memory_cycles = 0;     // DRAM-bound cycles
+  // Transform unit and DMA are pipelined with the array (double-buffered
+  // tiles, as Winograd accelerators do [20][42]):
+  // total = max(compute, transform, memory).
+  std::int64_t total_cycles = 0;
+};
+
+// One convolution layer under a policy (Winograd policies fall back to the
+// direct mapping for unsupported geometries, mirroring the engines).
+LayerTiming simulate_conv(const SystolicConfig& config, const ConvDesc& desc,
+                          ConvPolicy policy);
+
+// Whole-network runtime in seconds (sum of layer totals).
+double network_runtime_seconds(const SystolicConfig& config,
+                               std::span<const ConvDesc> descs,
+                               ConvPolicy policy);
+
+}  // namespace winofault

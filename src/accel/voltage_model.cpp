@@ -1,0 +1,27 @@
+#include "accel/voltage_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace winofault {
+
+double VoltageModel::ber_at(double v) const {
+  const double log10_ber =
+      log10_ber_anchor + decades_per_volt * (v_anchor - v);
+  if (log10_ber < -18.0) return 0.0;  // numerically negligible
+  return std::pow(10.0, log10_ber);
+}
+
+double VoltageModel::power_w(double v) const {
+  const double ratio = v / v_nom;
+  return dynamic_power_nom_w * ratio * ratio + leakage_power_nom_w * ratio;
+}
+
+double VoltageModel::voltage_for_ber(double ber) const {
+  if (ber <= 0.0) return v_nom;
+  const double v =
+      v_anchor - (std::log10(ber) - log10_ber_anchor) / decades_per_volt;
+  return std::clamp(v, v_min, v_nom);
+}
+
+}  // namespace winofault

@@ -1,0 +1,35 @@
+// Voltage / timing-error / power model of a timing-error-tolerant DNN
+// accelerator in the spirit of the 28-nm DNN Engine [41] the paper scales
+// (0.9 V nominal down to 0.7 V at a fixed 667 MHz clock).
+//
+// Lowering the supply voltage slows logic until paths miss timing; the
+// resulting bit-error rate grows exponentially as voltage drops. We use the
+// standard log-linear model fitted to the paper's Fig 6 anchors:
+//   BER(0.82 V) = 1e-12,  BER(0.77 V) = 1e-8  (4 decades / 50 mV).
+#pragma once
+
+namespace winofault {
+
+struct VoltageModel {
+  double v_nom = 0.90;   // nominal operating voltage
+  double v_min = 0.70;   // lowest supported voltage
+  // log10 BER = log10_ber_anchor + decades_per_volt * (v_anchor - v).
+  double v_anchor = 0.82;
+  double log10_ber_anchor = -12.0;
+  double decades_per_volt = 80.0;
+  // Power at nominal voltage (DNN-Engine-like budget, watts).
+  double dynamic_power_nom_w = 0.060;
+  double leakage_power_nom_w = 0.010;
+
+  // Timing-error bit-error rate at voltage `v` (0 when negligible).
+  double ber_at(double v) const;
+
+  // Total power at voltage `v`, fixed clock: dynamic ~ V^2, leakage ~ V.
+  double power_w(double v) const;
+
+  // Inverse of ber_at for plotting/search convenience: the voltage at which
+  // the model reaches `ber` (clamped to [v_min, v_nom]).
+  double voltage_for_ber(double ber) const;
+};
+
+}  // namespace winofault

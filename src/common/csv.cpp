@@ -1,0 +1,84 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::fmt_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      // Cells are program-generated (no quoting needed beyond commas).
+      out << row[i];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_aligned() const {
+  std::vector<std::size_t> width(header_.size());
+  auto widen = [&width](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i ? "  " : "");
+      out << row[i];
+      out << std::string(width[i] - row[i].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::string rule;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    rule += std::string(width[i], '-');
+    if (i + 1 < header_.size()) rule += "  ";
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    WF_WARN << "cannot open " << path << " for writing";
+    return false;
+  }
+  file << to_csv();
+  return static_cast<bool>(file);
+}
+
+}  // namespace winofault

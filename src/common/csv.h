@@ -1,0 +1,39 @@
+// Small CSV / aligned-table emitters used by the bench harness so every
+// figure's data can be both eyeballed on the terminal and re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace winofault {
+
+// Accumulates rows of stringified cells, writes either CSV or an aligned
+// text table. Cheap by design; benches emit at most a few hundred rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_sci(double value, int precision = 2);
+
+  std::string to_csv() const;
+  std::string to_aligned() const;
+
+  // Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header() const { return header_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace winofault

@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace winofault {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+void check_failed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "[FATAL] %s:%d: WF_CHECK(%s) failed\n", file, line,
+               expr);
+  std::fflush(stderr);
+}
+
+}  // namespace detail
+}  // namespace winofault

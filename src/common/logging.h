@@ -1,0 +1,54 @@
+// Minimal leveled logging to stderr. Benches and examples use INFO; tests
+// default to WARN to keep ctest output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace winofault {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+// Streams a single log record and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit_log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace winofault
+
+#define WF_LOG(level) ::winofault::LogLine(::winofault::LogLevel::level)
+#define WF_DEBUG WF_LOG(kDebug)
+#define WF_INFO WF_LOG(kInfo)
+#define WF_WARN WF_LOG(kWarn)
+#define WF_ERROR WF_LOG(kError)
+
+// Invariant check that aborts with a message; used for programmer errors
+// (shape mismatches, out-of-range op indices), not recoverable conditions.
+#define WF_CHECK(cond)                                                   \
+  if (!(cond))                                                           \
+  ::winofault::detail::check_failed(__FILE__, __LINE__, #cond), abort()
+
+namespace winofault::detail {
+void check_failed(const char* file, int line, const char* expr);
+}

@@ -1,0 +1,40 @@
+// Tiny deterministic parallel-for: splits [0, n) across a fixed number of
+// std::thread workers. Used by the evaluator to run independent images
+// concurrently; every image derives its own RNG from (seed, image index),
+// so results are identical for any thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace winofault {
+
+inline int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+// Invokes body(i) for i in [0, n), distributed over `threads` workers.
+template <typename Body>
+void parallel_for(std::int64_t n, int threads, Body&& body) {
+  if (n <= 0) return;
+  threads = std::max(1, std::min<std::int64_t>(threads, n) > 0
+                            ? std::min(threads, static_cast<int>(n))
+                            : 1);
+  if (threads == 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&body, t, threads, n] {
+      for (std::int64_t i = t; i < n; i += threads) body(i);
+    });
+  }
+  for (auto& worker : pool) worker.join();
+}
+
+}  // namespace winofault

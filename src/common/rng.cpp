@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace winofault {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's method: multiply-high with rejection to remove modulo bias.
+  while (true) {
+    const std::uint64_t x = next();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::next_gaussian() {
+  // Box-Muller; guard against log(0).
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+std::int64_t Rng::binomial(std::int64_t trials, double p) {
+  if (trials <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return trials;
+  const double mean = static_cast<double>(trials) * p;
+  if (mean < 32.0 && p < 1e-4) {
+    // Poisson inversion (Knuth in log-space via exponential gaps would be
+    // slow for large mean; mean is bounded above by 32 here).
+    const double expl = std::exp(-mean);
+    double prod = next_double();
+    std::int64_t k = 0;
+    while (prod > expl) {
+      prod *= next_double();
+      ++k;
+    }
+    return k < trials ? k : trials;
+  }
+  if (trials <= 64) {
+    std::int64_t k = 0;
+    for (std::int64_t i = 0; i < trials; ++i) k += bernoulli(p);
+    return k;
+  }
+  // Normal approximation with continuity correction; accurate enough for the
+  // large-mean regime (mean >= 32) and clamped to the support.
+  const double sd = std::sqrt(mean * (1.0 - p));
+  double draw = std::round(mean + sd * next_gaussian());
+  if (draw < 0.0) draw = 0.0;
+  if (draw > static_cast<double>(trials)) draw = static_cast<double>(trials);
+  return static_cast<std::int64_t>(draw);
+}
+
+Rng Rng::fork() {
+  const std::uint64_t child_seed = next() ^ 0xd1b54a32d192ed03ULL;
+  return Rng(child_seed);
+}
+
+}  // namespace winofault

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for reproducible fault
+// injection experiments. All experiment drivers take an explicit seed so a
+// run can be replayed bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace winofault {
+
+// xoshiro256** 1.0 (Blackman & Vigna). Chosen over std::mt19937_64 for
+// speed and a compact, copyable state; satisfies UniformRandomBitGenerator
+// so it composes with <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  // Re-initializes state via SplitMix64 so nearby seeds diverge.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1) with 53 bits of entropy.
+  double next_double();
+
+  // Uniform in [lo, hi].
+  double next_double(double lo, double hi);
+
+  // True with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double next_gaussian();
+
+  // Number of successes in `trials` Bernoulli(p) draws. Exact for small
+  // trials; uses a Poisson approximation when trials*p is tiny relative to
+  // trials (the fault-injection regime: trials ~ 1e9, p ~ 1e-10).
+  std::int64_t binomial(std::int64_t trials, double p);
+
+  // Creates an independent child stream (jump via distinct SplitMix64 seed).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace winofault

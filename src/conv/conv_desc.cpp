@@ -1,0 +1,3 @@
+#include "conv/conv_desc.h"
+
+// ConvDesc/ConvData are header-only aggregates; this TU anchors the target.

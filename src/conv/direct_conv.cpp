@@ -1,0 +1,82 @@
+#include "conv/direct_conv.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "conv/fault_hook.h"
+#include "fault/fault_model.h"
+
+namespace winofault {
+
+OpSpace DirectConvEngine::op_space(const ConvDesc& desc, DType dtype) const {
+  const std::int64_t outputs = desc.out_c * desc.out_h() * desc.out_w();
+  const std::int64_t window = desc.in_c * desc.kh * desc.kw;
+  OpSpace space;
+  space.n_mul = outputs * window;
+  space.n_add = outputs * (window + (desc.has_bias ? 1 : 0));
+  space.mul_bits = FaultModel::mul_surface_bits(dtype);
+  space.add_bits = FaultModel::add_surface_bits(dtype);
+  return space;
+}
+
+TensorI32 DirectConvEngine::forward(const ConvDesc& desc,
+                                    const ConvData& data) const {
+  WF_CHECK(data.input && data.weights);
+  WF_CHECK(!desc.has_bias || data.bias);
+  TensorI32 out(desc.out_shape());
+  FaultHookNone hook;
+  for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
+    for (std::int64_t oy = 0; oy < desc.out_h(); ++oy) {
+      for (std::int64_t ox = 0; ox < desc.out_w(); ++ox) {
+        const std::int64_t acc =
+            direct_output_acc(desc, data, oc, oy, ox, hook);
+        out.at(0, oc, oy, ox) =
+            requantize_value(acc, data.acc_scale, data.out_quant);
+      }
+    }
+  }
+  return out;
+}
+
+void DirectConvEngine::apply_faults(const ConvDesc& desc, const ConvData& data,
+                                    std::span<const FaultSite> sites,
+                                    TensorI32& out) const {
+  if (sites.empty()) return;
+  WF_CHECK(out.shape() == desc.out_shape());
+  const std::int64_t window = desc.in_c * desc.kh * desc.kw;
+  const std::int64_t adds_per = window + (desc.has_bias ? 1 : 0);
+
+  // Group sites by affected output element so each element is recomputed
+  // once with all of its flips active (matches the instrumented reference
+  // even when several faults land on one output).
+  std::vector<std::pair<std::int64_t, FaultSite>> by_element;
+  by_element.reserve(sites.size());
+  for (const FaultSite& site : sites) {
+    const std::int64_t e = site.kind == OpKind::kMul
+                               ? site.op_index / window
+                               : site.op_index / adds_per;
+    by_element.emplace_back(e, site);
+  }
+  std::stable_sort(by_element.begin(), by_element.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const std::int64_t ohw = desc.out_h() * desc.out_w();
+  std::size_t i = 0;
+  std::vector<FaultSite> group;
+  while (i < by_element.size()) {
+    const std::int64_t e = by_element[i].first;
+    group.clear();
+    for (; i < by_element.size() && by_element[i].first == e; ++i)
+      group.push_back(by_element[i].second);
+    const std::int64_t oc = e / ohw;
+    const std::int64_t oy = (e % ohw) / desc.out_w();
+    const std::int64_t ox = e % desc.out_w();
+    SiteFilterHook hook(group);
+    const std::int64_t acc = direct_output_acc(desc, data, oc, oy, ox, hook);
+    out.at(0, oc, oy, ox) =
+        requantize_value(acc, data.acc_scale, data.out_quant);
+  }
+}
+
+}  // namespace winofault

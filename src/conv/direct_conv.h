@@ -1,0 +1,70 @@
+// Direct (standard) convolution engine: the paper's ST-Conv baseline.
+//
+// Op space per layer (batch 1, E = OC*OH*OW outputs, M = IC*KH*KW window):
+//   muls: E*M, index = e*M + k            (k window-position within output e)
+//   adds: E*(M + has_bias), index = e*A + k — the MAC accumulation chain
+//         (every product is accumulated, including the first, as MAC
+//         hardware does), optionally followed by the bias add at k = M.
+// Padding taps execute like an im2col datapath would (a zero operand), so
+// they are part of the op space.
+#pragma once
+
+#include "conv/conv_desc.h"
+#include "conv/engine.h"
+
+namespace winofault {
+
+class DirectConvEngine final : public ConvEngine {
+ public:
+  const char* name() const override { return "direct"; }
+  bool supports(const ConvDesc&) const override { return true; }
+  OpSpace op_space(const ConvDesc& desc, DType dtype) const override;
+  TensorI32 forward(const ConvDesc& desc, const ConvData& data) const override;
+  void apply_faults(const ConvDesc& desc, const ConvData& data,
+                    std::span<const FaultSite> sites,
+                    TensorI32& out) const override;
+};
+
+// Accumulator of one output element with every primitive op routed through
+// `hook(kind, global_op_index, value, domain_scale)`. Shared by the golden,
+// replay, and instrumented-reference paths.
+template <typename Hook>
+std::int64_t direct_output_acc(const ConvDesc& desc, const ConvData& data,
+                               std::int64_t oc, std::int64_t oy,
+                               std::int64_t ox, Hook&& hook) {
+  const TensorI32& input = *data.input;
+  const TensorI32& weights = *data.weights;
+  const std::int64_t window = desc.in_c * desc.kh * desc.kw;
+  const std::int64_t e = (oc * desc.out_h() + oy) * desc.out_w() + ox;
+  const std::int64_t mul_base = e * window;
+  const std::int64_t adds_per = window + (desc.has_bias ? 1 : 0);
+  const std::int64_t add_base = e * adds_per;
+
+  std::int64_t acc = 0;
+  std::int64_t k = 0;
+  const std::int64_t iy0 = oy * desc.stride - desc.pad;
+  const std::int64_t ix0 = ox * desc.stride - desc.pad;
+  for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
+    for (std::int64_t ky = 0; ky < desc.kh; ++ky) {
+      const std::int64_t iy = iy0 + ky;
+      for (std::int64_t kx = 0; kx < desc.kw; ++kx, ++k) {
+        const std::int64_t ix = ix0 + kx;
+        const bool inside =
+            iy >= 0 && iy < desc.in_h && ix >= 0 && ix < desc.in_w;
+        const std::int64_t a = inside ? input.at(0, ic, iy, ix) : 0;
+        const std::int64_t w = weights.at(oc, ic, ky, kx);
+        std::int64_t p = a * w;
+        p = hook(OpKind::kMul, mul_base + k, p, 1);
+        acc += p;
+        acc = hook(OpKind::kAdd, add_base + k, acc, 1);
+      }
+    }
+  }
+  if (desc.has_bias) {
+    acc += (*data.bias)[static_cast<std::size_t>(oc)];
+    acc = hook(OpKind::kAdd, add_base + window, acc, 1);
+  }
+  return acc;
+}
+
+}  // namespace winofault

@@ -1,0 +1,196 @@
+#include "conv/dwm.h"
+
+#include <array>
+#include <vector>
+
+#include "common/logging.h"
+#include "conv/engine.h"
+#include "conv/winograd_conv.h"
+#include "conv/winograd_transforms.h"
+#include "fault/fault_model.h"
+
+namespace winofault {
+namespace {
+
+struct SubKernel {
+  std::int64_t dy = 0;  // offset of the 3x3 block within the padded 6x6
+  std::int64_t dx = 0;
+};
+
+constexpr std::array<SubKernel, 4> kSubKernels = {
+    SubKernel{0, 0}, SubKernel{0, 3}, SubKernel{3, 0}, SubKernel{3, 3}};
+
+// The equivalent 3x3 sub-problem: the input is materialized with an
+// explicit halo of (pad - 1) on each side and shifted by (dy - pad,
+// dx - pad), then convolved with pad 0, so that
+//   sub_out(y, x) = sum_{a,b} d[y + dy + a - pad, x + dx + b - pad]
+//                             * g[dy + a, dx + b]
+// — exactly the sub-kernel's contribution to the 5x5 output. Baking the
+// halo into the tensor (instead of relying on the engine's zero padding)
+// matters: for pad 2 the engine's padding region would contain *real*
+// shifted samples, not zeros.
+ConvDesc sub_desc(const ConvDesc& desc) {
+  ConvDesc sub = desc;
+  sub.kh = 3;
+  sub.kw = 3;
+  sub.in_h = desc.in_h + 2 * (desc.pad - 1);
+  sub.in_w = desc.in_w + 2 * (desc.pad - 1);
+  sub.pad = 0;
+  sub.has_bias = false;
+  return sub;
+}
+
+TensorI32 shifted_input(const TensorI32& input, const Shape& sub_shape,
+                        std::int64_t dy, std::int64_t dx) {
+  const Shape s = input.shape();
+  TensorI32 out(sub_shape);
+  for (std::int64_t c = 0; c < s.c; ++c) {
+    for (std::int64_t y = 0; y < sub_shape.h; ++y) {
+      const std::int64_t sy = y + dy;
+      if (sy < 0 || sy >= s.h) continue;
+      for (std::int64_t x = 0; x < sub_shape.w; ++x) {
+        const std::int64_t sx = x + dx;
+        if (sx < 0 || sx >= s.w) continue;
+        out.at(0, c, y, x) = input.at(0, c, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+// Accumulator-domain Winograd forward of a 3x3 sub-problem (no bias, no
+// requantization): the inner loop of wg_tile_column without the output
+// stage, summed into `acc_out`.
+void wg_forward_acc(const WinogradPlan& plan, const ConvDesc& desc,
+                    const TensorI32& input, const TensorI32& weights,
+                    const SubKernel& sub, TensorI64& acc_out) {
+  const std::int64_t alpha = plan.alpha;
+  const std::int64_t a2 = alpha * alpha;
+  const std::int64_t ty_count = (desc.out_h() + plan.m - 1) / plan.m;
+  const std::int64_t tx_count = (desc.out_w() + plan.m - 1) / plan.m;
+
+  // Offline filter transform of the 3x3 block at (sub.dy, sub.dx) of the
+  // 6x6 zero-padded 5x5 kernel.
+  std::vector<std::int64_t> u_all(
+      static_cast<std::size_t>(desc.out_c * desc.in_c * a2));
+  for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
+    for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
+      std::int32_t g[9] = {};
+      for (int a = 0; a < 3; ++a) {
+        const std::int64_t gy = sub.dy + a;
+        if (gy >= 5) continue;
+        for (int b = 0; b < 3; ++b) {
+          const std::int64_t gx = sub.dx + b;
+          if (gx >= 5) continue;
+          g[a * 3 + b] = weights.at(oc, ic, gy, gx);
+        }
+      }
+      filter_transform(plan, g, 3,
+                       u_all.data() +
+                           static_cast<std::size_t>((oc * desc.in_c + ic) * a2));
+    }
+  }
+
+  std::vector<std::int64_t> patch(static_cast<std::size_t>(a2));
+  std::vector<std::int64_t> v_all(static_cast<std::size_t>(desc.in_c * a2));
+  std::vector<std::int64_t> macc(static_cast<std::size_t>(a2));
+  std::vector<std::int64_t> ys(static_cast<std::size_t>(plan.m * plan.m));
+  const auto hook = [](std::int64_t, std::int64_t value) { return value; };
+  for (std::int64_t ty = 0; ty < ty_count; ++ty) {
+    for (std::int64_t tx = 0; tx < tx_count; ++tx) {
+      const std::int64_t iy0 = ty * plan.m - desc.pad;
+      const std::int64_t ix0 = tx * plan.m - desc.pad;
+      for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
+        for (std::int64_t r = 0; r < alpha; ++r) {
+          const std::int64_t iy = iy0 + r;
+          for (std::int64_t c = 0; c < alpha; ++c) {
+            const std::int64_t ix = ix0 + c;
+            const bool inside =
+                iy >= 0 && iy < desc.in_h && ix >= 0 && ix < desc.in_w;
+            patch[static_cast<std::size_t>(r * alpha + c)] =
+                inside ? input.at(0, ic, iy, ix) : 0;
+          }
+        }
+        transform_two_pass(plan.bt, patch.data(),
+                           v_all.data() + static_cast<std::size_t>(ic * a2), 0,
+                           hook);
+      }
+      for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
+        std::fill(macc.begin(), macc.end(), 0);
+        for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
+          const std::int64_t* u =
+              u_all.data() + static_cast<std::size_t>((oc * desc.in_c + ic) * a2);
+          const std::int64_t* v =
+              v_all.data() + static_cast<std::size_t>(ic * a2);
+          for (std::int64_t pos = 0; pos < a2; ++pos)
+            macc[static_cast<std::size_t>(pos)] += u[pos] * v[pos];
+        }
+        transform_two_pass(plan.at, macc.data(), ys.data(), 0, hook);
+        for (std::int64_t my = 0; my < plan.m; ++my) {
+          const std::int64_t oy = ty * plan.m + my;
+          if (oy >= desc.out_h()) continue;
+          for (std::int64_t mx = 0; mx < plan.m; ++mx) {
+            const std::int64_t ox = tx * plan.m + mx;
+            if (ox >= desc.out_w()) continue;
+            acc_out.at(0, oc, oy, ox) += div_round_nearest(
+                ys[static_cast<std::size_t>(my * plan.m + mx)],
+                plan.total_scale);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool dwm_supports(const ConvDesc& desc) {
+  return desc.kh == 5 && desc.kw == 5 && desc.stride == 1 && desc.pad >= 1;
+}
+
+TensorI32 dwm_forward(int m, const ConvDesc& desc, const ConvData& data) {
+  WF_CHECK(dwm_supports(desc));
+  WF_CHECK(data.input && data.weights);
+  const WinogradPlan& plan = winograd_plan(m);
+  const ConvDesc sub = sub_desc(desc);
+  WF_CHECK(sub.out_h() == desc.out_h() && sub.out_w() == desc.out_w());
+
+  TensorI64 acc(desc.out_shape());
+  for (const SubKernel& kernel : kSubKernels) {
+    // Halo origin is at -(pad-1), so array index z maps to d[z + dy - pad].
+    const TensorI32 shifted =
+        shifted_input(*data.input, sub.in_shape(), kernel.dy - desc.pad,
+                      kernel.dx - desc.pad);
+    wg_forward_acc(plan, sub, shifted, *data.weights, kernel, acc);
+  }
+
+  TensorI32 out(desc.out_shape());
+  for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
+    const std::int64_t bias =
+        desc.has_bias ? (*data.bias)[static_cast<std::size_t>(oc)] : 0;
+    for (std::int64_t oy = 0; oy < desc.out_h(); ++oy) {
+      for (std::int64_t ox = 0; ox < desc.out_w(); ++ox) {
+        out.at(0, oc, oy, ox) = requantize_value(
+            acc.at(0, oc, oy, ox) + bias, data.acc_scale, data.out_quant);
+      }
+    }
+  }
+  return out;
+}
+
+OpSpace dwm_op_space(int m, const ConvDesc& desc, DType dtype) {
+  WF_CHECK(dwm_supports(desc));
+  const ConvDesc sub = sub_desc(desc);
+  OpSpace space = winograd_engine(m).op_space(
+      ConvDesc{sub.in_c, sub.in_h, sub.in_w, sub.out_c, 3, 3, 1, sub.pad,
+               false},
+      dtype);
+  space.n_mul *= 4;
+  space.n_add *= 4;
+  // Three accumulator merges per output element, plus bias when present.
+  const std::int64_t outputs = desc.out_c * desc.out_h() * desc.out_w();
+  space.n_add += outputs * (3 + (desc.has_bias ? 1 : 0));
+  return space;
+}
+
+}  // namespace winofault

@@ -1,0 +1,43 @@
+// Operation hooks threaded through the engines' computation templates.
+// The golden path uses FaultHookNone (inlines to nothing); the instrumented
+// and replay paths use SiteFilterHook, which applies every scheduled fault
+// whose (kind, op_index) matches the operation being executed. Because both
+// paths run the *same* templated loops, replay is exact by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fault/bitflip.h"
+#include "fault/op_space.h"
+
+namespace winofault {
+
+struct FaultHookNone {
+  std::int64_t operator()(OpKind, std::int64_t, std::int64_t value,
+                          std::int64_t) const {
+    return value;
+  }
+};
+
+class SiteFilterHook {
+ public:
+  explicit SiteFilterHook(std::span<const FaultSite> sites) : sites_(sites) {}
+
+  std::int64_t operator()(OpKind kind, std::int64_t op_index,
+                          std::int64_t value, std::int64_t scale) const {
+    // Multiple sites can hit one op (vanishingly rare); they apply in
+    // schedule order, mirroring successive upsets in one register.
+    for (const FaultSite& site : sites_) {
+      if (site.kind == kind && site.op_index == op_index) {
+        value = apply_op_fault(value, site.bit, scale);
+      }
+    }
+    return value;
+  }
+
+ private:
+  std::span<const FaultSite> sites_;
+};
+
+}  // namespace winofault

@@ -1,0 +1,46 @@
+#include "conv/instrumented_ref.h"
+
+#include "conv/direct_conv.h"
+#include "conv/fault_hook.h"
+#include "conv/winograd_conv.h"
+
+namespace winofault {
+
+TensorI32 direct_forward_instrumented(const ConvDesc& desc,
+                                      const ConvData& data,
+                                      std::span<const FaultSite> sites) {
+  TensorI32 out(desc.out_shape());
+  SiteFilterHook hook(sites);
+  for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
+    for (std::int64_t oy = 0; oy < desc.out_h(); ++oy) {
+      for (std::int64_t ox = 0; ox < desc.out_w(); ++ox) {
+        const std::int64_t acc =
+            direct_output_acc(desc, data, oc, oy, ox, hook);
+        out.at(0, oc, oy, ox) =
+            requantize_value(acc, data.acc_scale, data.out_quant);
+      }
+    }
+  }
+  return out;
+}
+
+TensorI32 winograd_forward_instrumented(int m, const ConvDesc& desc,
+                                        const ConvData& data,
+                                        std::span<const FaultSite> sites) {
+  const auto& engine =
+      static_cast<const WinogradConvEngine&>(winograd_engine(m));
+  const WinogradPlan& plan = engine.plan();
+  const WgLayout layout = WgLayout::make(plan, desc);
+  const std::vector<std::int64_t> u_all = engine.transform_filters(desc, data);
+  TensorI32 out(desc.out_shape());
+  SiteFilterHook hook(sites);
+  for (std::int64_t ty = 0; ty < layout.ty_count; ++ty) {
+    for (std::int64_t tx = 0; tx < layout.tx_count; ++tx) {
+      wg_tile_column(plan, layout, desc, data, u_all.data(), ty, tx, hook,
+                     out);
+    }
+  }
+  return out;
+}
+
+}  // namespace winofault

@@ -1,0 +1,27 @@
+// Slow reference implementations that run the *entire* layer with every
+// primitive operation routed through the fault hook. They exist to prove
+// the exactness of the engines' replay paths: for any fault schedule,
+//   engine.forward() + engine.apply_faults(sites)
+// must equal the instrumented full pass with the same sites. Tests sweep
+// randomized shapes and schedules over this equivalence.
+#pragma once
+
+#include <span>
+
+#include "conv/conv_desc.h"
+#include "fault/op_space.h"
+#include "tensor/tensor.h"
+
+namespace winofault {
+
+// Direct convolution with all ops instrumented.
+TensorI32 direct_forward_instrumented(const ConvDesc& desc,
+                                      const ConvData& data,
+                                      std::span<const FaultSite> sites);
+
+// Winograd convolution (m = 2 or 4) with all ops instrumented.
+TensorI32 winograd_forward_instrumented(int m, const ConvDesc& desc,
+                                        const ConvData& data,
+                                        std::span<const FaultSite> sites);
+
+}  // namespace winofault

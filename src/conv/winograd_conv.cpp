@@ -1,0 +1,133 @@
+#include "conv/winograd_conv.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "conv/fault_hook.h"
+#include "fault/fault_model.h"
+
+namespace winofault {
+
+WgLayout WgLayout::make(const WinogradPlan& plan, const ConvDesc& desc) {
+  WgLayout layout;
+  layout.ty_count = (desc.out_h() + plan.m - 1) / plan.m;
+  layout.tx_count = (desc.out_w() + plan.m - 1) / plan.m;
+  layout.tiles = layout.ty_count * layout.tx_count;
+  layout.a2 = static_cast<std::int64_t>(plan.alpha) * plan.alpha;
+  layout.k_it = plan.input_transform_adds();
+  layout.k_inv = plan.inverse_transform_adds();
+  layout.n_mul = desc.out_c * desc.in_c * layout.tiles * layout.a2;
+  const std::int64_t block_a = desc.in_c * layout.tiles * layout.k_it;
+  const std::int64_t block_b = desc.out_c * desc.in_c * layout.tiles * layout.a2;
+  const std::int64_t block_c = desc.out_c * layout.tiles * layout.k_inv;
+  const std::int64_t block_d =
+      desc.has_bias ? desc.out_c * desc.out_h() * desc.out_w() : 0;
+  layout.base_b = block_a;
+  layout.base_c = layout.base_b + block_b;
+  layout.base_d = layout.base_c + block_c;
+  layout.n_add = layout.base_d + block_d;
+  return layout;
+}
+
+OpSpace WinogradConvEngine::op_space(const ConvDesc& desc, DType dtype) const {
+  WF_CHECK(supports(desc));
+  const WgLayout layout = WgLayout::make(plan_, desc);
+  OpSpace space;
+  space.n_mul = layout.n_mul;
+  space.n_add = layout.n_add;
+  space.mul_bits = FaultModel::mul_surface_bits(dtype);
+  space.add_bits = FaultModel::add_surface_bits(dtype);
+  return space;
+}
+
+std::vector<std::int64_t> WinogradConvEngine::transform_filters(
+    const ConvDesc& desc, const ConvData& data) const {
+  const std::int64_t a2 = static_cast<std::int64_t>(plan_.alpha) * plan_.alpha;
+  std::vector<std::int64_t> u_all(
+      static_cast<std::size_t>(desc.out_c * desc.in_c * a2));
+  for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
+    for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
+      const std::int32_t* g = &data.weights->at(oc, ic, 0, 0);
+      filter_transform(plan_, g, desc.kw,
+                       u_all.data() +
+                           static_cast<std::size_t>((oc * desc.in_c + ic) * a2));
+    }
+  }
+  return u_all;
+}
+
+TensorI32 WinogradConvEngine::forward(const ConvDesc& desc,
+                                      const ConvData& data) const {
+  WF_CHECK(supports(desc));
+  WF_CHECK(data.input && data.weights);
+  WF_CHECK(!desc.has_bias || data.bias);
+  const WgLayout layout = WgLayout::make(plan_, desc);
+  const std::vector<std::int64_t> u_all = transform_filters(desc, data);
+  TensorI32 out(desc.out_shape());
+  FaultHookNone hook;
+  for (std::int64_t ty = 0; ty < layout.ty_count; ++ty) {
+    for (std::int64_t tx = 0; tx < layout.tx_count; ++tx) {
+      wg_tile_column(plan_, layout, desc, data, u_all.data(), ty, tx, hook,
+                     out);
+    }
+  }
+  return out;
+}
+
+void WinogradConvEngine::apply_faults(const ConvDesc& desc,
+                                      const ConvData& data,
+                                      std::span<const FaultSite> sites,
+                                      TensorI32& out) const {
+  if (sites.empty()) return;
+  WF_CHECK(out.shape() == desc.out_shape());
+  const WgLayout layout = WgLayout::make(plan_, desc);
+
+  // Decode each site to its tile; a tile column is recomputed once with all
+  // of its sites active (input-transform faults fan out to every output
+  // channel of the tile, so the whole column is the minimal exact unit).
+  auto site_tile = [&](const FaultSite& site) -> std::int64_t {
+    if (site.kind == OpKind::kMul) {
+      return (site.op_index / layout.a2) % layout.tiles;
+    }
+    const std::int64_t idx = site.op_index;
+    if (idx < layout.base_b) {  // block A: input transform
+      return (idx / layout.k_it) % layout.tiles;
+    }
+    if (idx < layout.base_c) {  // block B: channel accumulation
+      return ((idx - layout.base_b) / layout.a2) % layout.tiles;
+    }
+    if (idx < layout.base_d) {  // block C: inverse transform
+      return ((idx - layout.base_c) / layout.k_inv) % layout.tiles;
+    }
+    // block D: bias add on output element e.
+    const std::int64_t e = idx - layout.base_d;
+    const std::int64_t ohw = desc.out_h() * desc.out_w();
+    const std::int64_t oy = (e % ohw) / desc.out_w();
+    const std::int64_t ox = e % desc.out_w();
+    return (oy / plan_.m) * layout.tx_count + (ox / plan_.m);
+  };
+
+  std::vector<std::pair<std::int64_t, FaultSite>> by_tile;
+  by_tile.reserve(sites.size());
+  for (const FaultSite& site : sites)
+    by_tile.emplace_back(site_tile(site), site);
+  std::stable_sort(by_tile.begin(), by_tile.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const std::vector<std::int64_t> u_all = transform_filters(desc, data);
+  std::size_t i = 0;
+  std::vector<FaultSite> group;
+  while (i < by_tile.size()) {
+    const std::int64_t t = by_tile[i].first;
+    group.clear();
+    for (; i < by_tile.size() && by_tile[i].first == t; ++i)
+      group.push_back(by_tile[i].second);
+    const std::int64_t ty = t / layout.tx_count;
+    const std::int64_t tx = t % layout.tx_count;
+    SiteFilterHook hook(group);
+    wg_tile_column(plan_, layout, desc, data, u_all.data(), ty, tx, hook, out);
+  }
+}
+
+}  // namespace winofault

@@ -1,0 +1,109 @@
+#include "conv/winograd_transforms.h"
+
+namespace winofault {
+namespace {
+
+SmallMat make_mat(int rows, int cols,
+                  std::initializer_list<std::int64_t> values) {
+  SmallMat m;
+  m.rows = rows;
+  m.cols = cols;
+  auto it = values.begin();
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) m.v[r][c] = *it++;
+  return m;
+}
+
+// F(2x2, 3x3): interpolation points {0, 1, -1, inf} (Lavin & Gray).
+WinogradPlan make_f2() {
+  WinogradPlan plan;
+  plan.m = 2;
+  plan.alpha = 4;
+  plan.g_scale = 2;
+  plan.total_scale = 4;
+  plan.bt = make_mat(4, 4,
+                     {1, 0, -1, 0,   //
+                      0, 1, 1, 0,    //
+                      0, -1, 1, 0,   //
+                      0, 1, 0, -1});
+  plan.gs = make_mat(4, 3,
+                     {2, 0, 0,   //
+                      1, 1, 1,   //
+                      1, -1, 1,  //
+                      0, 0, 2});
+  plan.at = make_mat(2, 4,
+                     {1, 1, 1, 0,  //
+                      0, 1, -1, -1});
+  return plan;
+}
+
+// F(4x4, 3x3): interpolation points {0, ±1, ±2, inf}; Gs = 24*G.
+WinogradPlan make_f4() {
+  WinogradPlan plan;
+  plan.m = 4;
+  plan.alpha = 6;
+  plan.g_scale = 24;
+  plan.total_scale = 576;
+  plan.bt = make_mat(6, 6,
+                     {4, 0, -5, 0, 1, 0,    //
+                      0, -4, -4, 1, 1, 0,   //
+                      0, 4, -4, -1, 1, 0,   //
+                      0, -2, -1, 2, 1, 0,   //
+                      0, 2, -1, -2, 1, 0,   //
+                      0, 4, 0, -5, 0, 1});
+  plan.gs = make_mat(6, 3,
+                     {6, 0, 0,     //
+                      -4, -4, -4,  //
+                      -4, 4, -4,   //
+                      1, 2, 4,     //
+                      1, -2, 4,    //
+                      0, 0, 24});
+  plan.at = make_mat(4, 6,
+                     {1, 1, 1, 1, 1, 0,    //
+                      0, 1, -1, 2, -2, 0,  //
+                      0, 1, 1, 4, 4, 0,    //
+                      0, 1, -1, 8, -8, 1});
+  return plan;
+}
+
+}  // namespace
+
+const WinogradPlan& winograd_plan_f2() {
+  static const WinogradPlan plan = make_f2();
+  return plan;
+}
+
+const WinogradPlan& winograd_plan_f4() {
+  static const WinogradPlan plan = make_f4();
+  return plan;
+}
+
+const WinogradPlan& winograd_plan(int m) {
+  WF_CHECK(m == 2 || m == 4);
+  return m == 2 ? winograd_plan_f2() : winograd_plan_f4();
+}
+
+void filter_transform(const WinogradPlan& plan, const std::int32_t* g,
+                      std::int64_t g_row_stride, std::int64_t* u_out) {
+  const SmallMat& gs = plan.gs;
+  // tmp = Gs * g : alpha x 3.
+  std::int64_t tmp[8 * 3];
+  for (int r = 0; r < gs.rows; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < 3; ++k)
+        acc += gs.at(r, k) * static_cast<std::int64_t>(g[k * g_row_stride + c]);
+      tmp[r * 3 + c] = acc;
+    }
+  }
+  // u = tmp * Gs^T : alpha x alpha.
+  for (int r = 0; r < gs.rows; ++r) {
+    for (int j = 0; j < gs.rows; ++j) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < 3; ++k) acc += tmp[r * 3 + k] * gs.at(j, k);
+      u_out[r * gs.rows + j] = acc;
+    }
+  }
+}
+
+}  // namespace winofault

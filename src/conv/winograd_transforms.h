@@ -1,0 +1,138 @@
+// Exact integer Winograd transform matrices and the add-DAG walker used by
+// both the fast golden path and the instrumented fault paths.
+//
+// F(m, 3) computes an m x m output tile from an (m+2) x (m+2) input patch:
+//   Y = A^T [ (G g G^T) (.) (B^T d B) ] A
+// G contains fractions; we use the scaled integer matrix Gs = s*G
+// (s = 2 for F(2,3), s = 24 for F(4,3)), which multiplies the element-wise
+// products — and therefore the inverse-transformed tile — by S = s^2
+// uniformly. Because the true convolution output is an integer, the final
+// division by S is exact, so integer Winograd output is bit-identical to
+// direct convolution. All transform arithmetic is int64.
+//
+// Operation accounting (the op space of the fault model):
+//   * element-wise products and their channel accumulation are MAC-style:
+//     alpha^2 muls + alpha^2 adds per (oc, ic, tile);
+//   * the data transforms (B^T d B, A^T M A) are adder trees: an output
+//     element combining k nonzero inputs costs k-1 adds; multiplications by
+//     the small constant matrix entries are shift-adds, not counted as muls
+//     (standard Winograd accounting, matching the paper's mul reduction);
+//   * the filter transform G g G^T is performed offline on the static
+//     weights and is not part of the runtime fault surface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+// Dense small constant matrix (max 6x6 needed for F(4,3)).
+struct SmallMat {
+  int rows = 0;
+  int cols = 0;
+  std::array<std::array<std::int64_t, 8>, 8> v{};
+
+  std::int64_t at(int r, int c) const { return v[r][c]; }
+
+  int row_nnz(int r) const {
+    int nnz = 0;
+    for (int c = 0; c < cols; ++c) nnz += v[r][c] != 0;
+    return nnz;
+  }
+
+  // Adds needed by the two-pass transform L * X * L^T applied to a
+  // cols x cols input: pass1 has rows*cols outputs, pass2 rows*rows.
+  std::int64_t two_pass_adds() const {
+    std::int64_t per_row = 0;
+    for (int r = 0; r < rows; ++r) {
+      const int nnz = row_nnz(r);
+      per_row += nnz > 1 ? nnz - 1 : 0;
+    }
+    return per_row * (cols + rows);  // cols columns in pass1, rows in pass2
+  }
+};
+
+// One Winograd configuration F(m, 3).
+struct WinogradPlan {
+  int m = 2;                   // output tile size
+  int alpha = 4;               // input tile size m + 2
+  std::int64_t g_scale = 2;    // s such that Gs = s*G is integer
+  std::int64_t total_scale = 4;  // S = s^2: scale of products & inverse tile
+  SmallMat bt;  // B^T (alpha x alpha)
+  SmallMat gs;  // s*G  (alpha x 3)
+  SmallMat at;  // A^T  (m x alpha)
+
+  std::int64_t input_transform_adds() const { return bt.two_pass_adds(); }
+  std::int64_t inverse_transform_adds() const { return at.two_pass_adds(); }
+};
+
+// Plans for the two supported tile sizes.
+const WinogradPlan& winograd_plan_f2();  // F(2x2, 3x3), alpha = 4
+const WinogradPlan& winograd_plan_f4();  // F(4x4, 3x3), alpha = 6
+const WinogradPlan& winograd_plan(int m);
+
+// Filter transform U = Gs g Gs^T for one (oc, ic) 3x3 kernel; exact int64.
+// `g` is a row-major 3x3 view.
+void filter_transform(const WinogradPlan& plan, const std::int32_t* g,
+                      std::int64_t g_row_stride, std::int64_t* u_out);
+
+// Two-pass constant-matrix transform with a per-add hook, walking the adder
+// tree in the canonical op order (pass-major, then output element, then
+// term). Computes out = L * in * L^T for a cols x cols int64 tile.
+//
+// Hook signature: std::int64_t hook(std::int64_t add_index, std::int64_t
+// value) — called after every add with the layer-local index of that add
+// (starting at `base_add_index`) and the freshly computed partial sum; the
+// returned value replaces it. The final hook index is base + two_pass_adds.
+template <typename Hook>
+void transform_two_pass(const SmallMat& L, const std::int64_t* in,
+                        std::int64_t* out, std::int64_t base_add_index,
+                        Hook&& hook) {
+  // pass1: tmp = L * in  (rows x cols), in is cols x cols.
+  std::int64_t tmp[8 * 8];
+  std::int64_t add_index = base_add_index;
+  for (int r = 0; r < L.rows; ++r) {
+    for (int c = 0; c < L.cols; ++c) {
+      std::int64_t acc = 0;
+      bool first = true;
+      for (int k = 0; k < L.cols; ++k) {
+        const std::int64_t coeff = L.at(r, k);
+        if (coeff == 0) continue;
+        const std::int64_t term = coeff * in[k * L.cols + c];
+        if (first) {
+          acc = term;
+          first = false;
+        } else {
+          acc += term;
+          acc = hook(add_index++, acc);
+        }
+      }
+      tmp[r * L.cols + c] = acc;
+    }
+  }
+  // pass2: out = tmp * L^T  (rows x rows).
+  for (int r = 0; r < L.rows; ++r) {
+    for (int j = 0; j < L.rows; ++j) {
+      std::int64_t acc = 0;
+      bool first = true;
+      for (int k = 0; k < L.cols; ++k) {
+        const std::int64_t coeff = L.at(j, k);
+        if (coeff == 0) continue;
+        const std::int64_t term = coeff * tmp[r * L.cols + k];
+        if (first) {
+          acc = term;
+          first = false;
+        } else {
+          acc += term;
+          acc = hook(add_index++, acc);
+        }
+      }
+      out[r * L.rows + j] = acc;
+    }
+  }
+  WF_CHECK(add_index == base_add_index + L.two_pass_adds());
+}
+
+}  // namespace winofault

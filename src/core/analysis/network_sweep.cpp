@@ -1,0 +1,38 @@
+#include "core/analysis/network_sweep.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+std::vector<SweepPoint> accuracy_sweep(const Network& network,
+                                       const Dataset& dataset,
+                                       const SweepOptions& options) {
+  std::vector<SweepPoint> points;
+  points.reserve(options.bers.size());
+  for (const double ber : options.bers) {
+    EvalOptions eval;
+    eval.fault.ber = ber;
+    eval.fault.mode = options.mode;
+    eval.policy = options.policy;
+    eval.seed = options.seed;
+    eval.threads = options.threads;
+    const EvalResult result = evaluate(network, dataset, eval);
+    points.push_back(SweepPoint{ber, result.accuracy, result.avg_flips});
+  }
+  return points;
+}
+
+std::vector<double> log_ber_grid(double lo, double hi, int points) {
+  WF_CHECK(lo > 0.0 && hi >= lo && points >= 2);
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  const double step = std::log10(hi / lo) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(lo * std::pow(10.0, step * i));
+  }
+  return grid;
+}
+
+}  // namespace winofault

@@ -1,0 +1,33 @@
+// Network-wise fault-tolerance evaluation (paper Sec 3.2.2, Figs 1 and 2):
+// accuracy of a network across a bit-error-rate sweep under a given conv
+// policy and injection mode.
+#pragma once
+
+#include <vector>
+
+#include "nn/evaluator.h"
+
+namespace winofault {
+
+struct SweepPoint {
+  double ber = 0.0;
+  double accuracy = 0.0;
+  double avg_flips = 0.0;
+};
+
+struct SweepOptions {
+  std::vector<double> bers;
+  ConvPolicy policy = ConvPolicy::kDirect;
+  InjectionMode mode = InjectionMode::kOpLevel;
+  std::uint64_t seed = 1;
+  int threads = 0;
+};
+
+std::vector<SweepPoint> accuracy_sweep(const Network& network,
+                                       const Dataset& dataset,
+                                       const SweepOptions& options);
+
+// Log-spaced BER grid [lo, hi] with `points` entries (both ends included).
+std::vector<double> log_ber_grid(double lo, double hi, int points);
+
+}  // namespace winofault

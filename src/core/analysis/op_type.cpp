@@ -1,0 +1,29 @@
+#include "core/analysis/op_type.h"
+
+namespace winofault {
+
+OpTypeResult op_type_sensitivity(const Network& network,
+                                 const Dataset& dataset,
+                                 const OpTypeOptions& options) {
+  OpTypeResult result;
+  EvalOptions eval;
+  eval.fault.ber = options.ber;
+  eval.policy = options.policy;
+  eval.seed = options.seed;
+  eval.threads = options.threads;
+
+  result.accuracy_all_faulty = evaluate(network, dataset, eval).accuracy;
+
+  EvalOptions add_only = eval;  // muls fault-free
+  add_only.fault.only_kind = OpKind::kAdd;
+  result.accuracy_mul_fault_free =
+      evaluate(network, dataset, add_only).accuracy;
+
+  EvalOptions mul_only = eval;  // adds fault-free
+  mul_only.fault.only_kind = OpKind::kMul;
+  result.accuracy_add_fault_free =
+      evaluate(network, dataset, mul_only).accuracy;
+  return result;
+}
+
+}  // namespace winofault

@@ -1,0 +1,30 @@
+// Operation-type fault-tolerance analysis (paper Sec 3.2.4, Fig 4):
+// accuracy when one op kind is kept fault-free. High "mul fault-free"
+// accuracy means multiplications are the vulnerable operations and should
+// be protected first — the priority rule of the TMR planner.
+#pragma once
+
+#include "nn/evaluator.h"
+
+namespace winofault {
+
+struct OpTypeOptions {
+  double ber = 0.0;
+  ConvPolicy policy = ConvPolicy::kDirect;
+  std::uint64_t seed = 1;
+  int threads = 0;
+};
+
+struct OpTypeResult {
+  double accuracy_all_faulty = 0.0;
+  // Faults only in adds => multiplications fault-free ("X-Conv-Mul" curves).
+  double accuracy_mul_fault_free = 0.0;
+  // Faults only in muls => additions fault-free ("X-Conv-Add" curves).
+  double accuracy_add_fault_free = 0.0;
+};
+
+OpTypeResult op_type_sensitivity(const Network& network,
+                                 const Dataset& dataset,
+                                 const OpTypeOptions& options);
+
+}  // namespace winofault

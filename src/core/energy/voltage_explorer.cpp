@@ -1,0 +1,87 @@
+#include "core/energy/voltage_explorer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+std::vector<VoltagePoint> accuracy_vs_voltage(
+    const Network& network, const Dataset& dataset, const VoltageModel& model,
+    ConvPolicy policy, std::span<const double> voltages, std::uint64_t seed,
+    int threads) {
+  std::vector<VoltagePoint> points;
+  points.reserve(voltages.size());
+  for (const double v : voltages) {
+    EvalOptions eval;
+    eval.fault.ber = model.ber_at(v);
+    eval.policy = policy;
+    eval.seed = seed;
+    eval.threads = threads;
+    const EvalResult result = evaluate(network, dataset, eval);
+    points.push_back(VoltagePoint{v, eval.fault.ber, result.accuracy});
+  }
+  return points;
+}
+
+std::vector<EnergyPoint> explore_voltage_scaling(
+    const Network& network, const Dataset& dataset, const EnergyModel& model,
+    const ExplorerOptions& options) {
+  WF_CHECK(!options.voltage_grid.empty());
+  const std::vector<ConvDesc> descs = network.conv_descs();
+
+  // Clean accuracy (fault-free) as the loss reference.
+  EvalOptions clean;
+  clean.policy = options.curve_policy;
+  clean.seed = options.seed;
+  clean.threads = options.threads;
+  const double clean_accuracy = evaluate(network, dataset, clean).accuracy;
+
+  // Accuracy curve along the decision grid, measured once.
+  const std::vector<VoltagePoint> curve = accuracy_vs_voltage(
+      network, dataset, model.voltage, options.curve_policy,
+      options.voltage_grid, options.seed, options.threads);
+
+  // Baseline: direct execution at nominal voltage.
+  const double base_energy = model.inference_energy_j(
+      descs, ConvPolicy::kDirect, model.voltage.v_nom);
+
+  std::vector<EnergyPoint> points;
+  points.reserve(options.loss_budgets.size());
+  for (const double budget : options.loss_budgets) {
+    const double floor = clean_accuracy - budget;
+    // Lowest grid voltage whose measured accuracy stays above the floor
+    // (grid is descending; stop at the first violation).
+    EnergyPoint point;
+    point.loss_budget = budget;
+    point.chosen_voltage = model.voltage.v_nom;
+    point.accuracy = clean_accuracy;
+    for (const VoltagePoint& vp : curve) {
+      if (vp.accuracy + 1e-12 >= floor) {
+        if (vp.voltage < point.chosen_voltage) {
+          point.chosen_voltage = vp.voltage;
+          point.accuracy = vp.accuracy;
+        }
+      } else {
+        break;  // descending grid: deeper scaling only gets worse
+      }
+    }
+    point.energy_norm =
+        model.inference_energy_j(descs, options.exec_policy,
+                                 point.chosen_voltage) /
+        base_energy;
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<double> voltage_grid(double v_hi, double v_lo, int points) {
+  WF_CHECK(points >= 2 && v_hi >= v_lo);
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  const double step = (v_hi - v_lo) / (points - 1);
+  for (int i = 0; i < points; ++i) grid.push_back(v_hi - step * i);
+  return grid;
+}
+
+}  // namespace winofault

@@ -1,0 +1,58 @@
+// Voltage-scaling energy explorer (paper Sec 4.2, Figs 6 and 7).
+//
+// For each accuracy-loss budget it finds the lowest safe supply voltage —
+// the lowest V whose timing-error BER the network still tolerates — and
+// reports normalized energy. The three configurations mirror the paper:
+//   ST-Conv:         decisions and execution on direct convolution.
+//   WG-Conv-W/O-AFT: executes Winograd (shorter runtime) but, unaware of
+//                    Winograd's fault tolerance, selects the voltage using
+//                    the *direct* accuracy/BER curve (conservative).
+//   WG-Conv-W/AFT:   selects the voltage with Winograd's own curve —
+//                    scaling deeper for extra savings.
+// Energy is normalized to direct-conv execution at nominal voltage.
+#pragma once
+
+#include <vector>
+
+#include "accel/energy_model.h"
+#include "nn/evaluator.h"
+
+namespace winofault {
+
+struct VoltagePoint {
+  double voltage = 0.0;
+  double ber = 0.0;
+  double accuracy = 0.0;
+};
+
+// Accuracy of the network along a voltage grid (Fig 6 curves).
+std::vector<VoltagePoint> accuracy_vs_voltage(
+    const Network& network, const Dataset& dataset, const VoltageModel& model,
+    ConvPolicy policy, std::span<const double> voltages, std::uint64_t seed,
+    int threads = 0);
+
+struct EnergyPoint {
+  double loss_budget = 0.0;      // allowed accuracy drop (absolute)
+  double chosen_voltage = 0.0;   // lowest safe voltage
+  double accuracy = 0.0;         // measured at the chosen voltage
+  double energy_norm = 0.0;      // vs ST-Conv at nominal voltage
+};
+
+struct ExplorerOptions {
+  std::vector<double> loss_budgets;   // e.g. {0.01, 0.03, 0.05, 0.10}
+  std::vector<double> voltage_grid;   // descending search grid
+  ConvPolicy exec_policy = ConvPolicy::kDirect;    // runtime/energy engine
+  ConvPolicy curve_policy = ConvPolicy::kDirect;   // accuracy-curve engine
+  std::uint64_t seed = 1;
+  int threads = 0;
+};
+
+std::vector<EnergyPoint> explore_voltage_scaling(const Network& network,
+                                                 const Dataset& dataset,
+                                                 const EnergyModel& model,
+                                                 const ExplorerOptions& options);
+
+// Uniform descending voltage grid [v_hi, v_lo] with `points` entries.
+std::vector<double> voltage_grid(double v_hi, double v_lo, int points);
+
+}  // namespace winofault

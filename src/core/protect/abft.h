@@ -1,0 +1,58 @@
+// Algorithm-based fault tolerance (ABFT) for convolution — the checksum
+// baseline the paper positions fine-grained TMR against (related work
+// [17] Kosaian et al. and [1] Sanity-Check).
+//
+// Principle: convolution is linear in the output channels, so
+//   sum_oc conv(x, W_oc) == conv(x, sum_oc W_oc).
+// One extra "checksum channel" convolution (1/OC of the layer's cost)
+// predicts the channel-sum of every output pixel; a mismatch beyond the
+// requantization rounding bound flags the pixel column, which is then
+// recomputed fault-free (recompute-based correction).
+//
+// Coverage: any fault whose output-domain magnitude exceeds the rounding
+// tolerance is detected; sub-quantum faults slip through, and pixels with
+// saturated channels are conservatively flagged because clamping breaks
+// checksum linearity (both classic ABFT coverage limits — quantified in
+// tests and the ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "conv/conv_desc.h"
+#include "fault/op_space.h"
+
+namespace winofault {
+
+struct AbftResult {
+  std::int64_t flagged_pixels = 0;    // pixel columns failing the checksum
+  std::int64_t corrected_values = 0;  // output values rewritten
+};
+
+class ConvAbft {
+ public:
+  // `tolerance_steps` widens the detection threshold beyond the worst-case
+  // requantization rounding bound (OC/2 quanta); 0 = tightest.
+  explicit ConvAbft(std::int64_t tolerance_steps = 2)
+      : tolerance_steps_(tolerance_steps) {}
+
+  // Detects corrupted pixel columns of `out` (any conv engine's output for
+  // desc/data). Returns flat (y * out_w + x) indices.
+  std::vector<std::int64_t> detect(const ConvDesc& desc, const ConvData& data,
+                                   const TensorI32& out) const;
+
+  // Detect + recompute flagged columns fault-free; returns statistics.
+  AbftResult protect(const ConvDesc& desc, const ConvData& data,
+                     TensorI32& out) const;
+
+  // Extra operations of the ABFT scheme on this layer: the checksum-channel
+  // convolution, the per-pixel channel-sum reduction, and the compare
+  // (counted as adds). Correction recompute cost is excluded (it is
+  // fault-rate dependent); see the ablation bench for measured totals.
+  OpSpace overhead_ops(const ConvDesc& desc, DType dtype) const;
+
+ private:
+  std::int64_t tolerance_steps_;
+};
+
+}  // namespace winofault

@@ -1,0 +1,121 @@
+#include "core/protect/tmr_planner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace winofault {
+namespace {
+
+double evaluate_with_protection(
+    const Network& network, const Dataset& dataset,
+    const std::unordered_map<int, ProtectionSet>& protection,
+    ConvPolicy policy, double ber, std::uint64_t seed, int threads) {
+  EvalOptions eval;
+  eval.fault.ber = ber;
+  eval.fault.protection = protection;
+  eval.policy = policy;
+  eval.seed = seed;
+  eval.threads = threads;
+  return evaluate(network, dataset, eval).accuracy;
+}
+
+}  // namespace
+
+std::vector<int> vulnerability_order(const LayerwiseResult& analysis) {
+  std::vector<int> order(analysis.layers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return analysis.layers[static_cast<std::size_t>(a)].vulnerability >
+           analysis.layers[static_cast<std::size_t>(b)].vulnerability;
+  });
+  return order;
+}
+
+TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
+                 const TmrPlanOptions& options) {
+  TmrPlan plan;
+
+  // 1. Layer-wise vulnerability ranking under the analysis engine.
+  std::vector<int> order;
+  if (options.layer_order != nullptr) {
+    order = *options.layer_order;
+  } else {
+    LayerwiseOptions lw;
+    lw.ber = options.ber;
+    lw.policy = options.analysis_policy;
+    lw.seed = options.seed;
+    lw.threads = options.threads;
+    order = vulnerability_order(layer_vulnerability(network, dataset, lw));
+  }
+
+  if (options.initial_protection != nullptr) {
+    plan.protection = *options.initial_protection;
+  }
+
+  // 2. Iterative protection: muls of the most vulnerable layers first,
+  // then adds, a `step_fraction` slice per iteration.
+  double accuracy = evaluate_with_protection(
+      network, dataset, plan.protection, options.analysis_policy, options.ber,
+      options.seed, options.threads);
+  if (accuracy >= options.accuracy_goal) {
+    plan.achieved_accuracy = accuracy;
+    plan.goal_met = true;
+    return plan;
+  }
+  // Protection passes: (kind, layer in vulnerability order).
+  for (const OpKind kind : {OpKind::kMul, OpKind::kAdd}) {
+    for (const int layer : order) {
+      while (plan.iterations < options.max_iterations) {
+        ProtectionSet& set = plan.protection[layer];  // default-constructed
+        const double current = kind == OpKind::kMul ? set.mul_fraction()
+                                                    : set.add_fraction();
+        if (current >= 1.0) break;  // layer kind fully protected
+        const double next = std::min(1.0, current + options.step_fraction);
+        if (kind == OpKind::kMul) {
+          set.set_mul_fraction(next);
+        } else {
+          set.set_add_fraction(next);
+        }
+        ++plan.iterations;
+        accuracy = evaluate_with_protection(
+            network, dataset, plan.protection, options.analysis_policy,
+            options.ber, options.seed, options.threads);
+        if (accuracy >= options.accuracy_goal) {
+          plan.achieved_accuracy = accuracy;
+          plan.goal_met = true;
+          return plan;
+        }
+      }
+      if (plan.iterations >= options.max_iterations) break;
+    }
+    if (plan.iterations >= options.max_iterations) break;
+  }
+  plan.achieved_accuracy = accuracy;
+  plan.goal_met = accuracy >= options.accuracy_goal;
+  return plan;
+}
+
+double plan_overhead_ops(const Network& network, const TmrPlan& plan,
+                         ConvPolicy policy) {
+  double overhead = 0.0;
+  for (const auto& [layer, set] : plan.protection) {
+    const OpSpace space = network.protectable_op_space(layer, policy);
+    overhead += set.overhead(space);
+  }
+  return overhead;
+}
+
+double full_tmr_ops(const Network& network, ConvPolicy policy) {
+  const OpSpace space = network.total_op_space(policy);
+  return 2.0 * static_cast<double>(space.total_ops());
+}
+
+double plan_accuracy(const Network& network, const Dataset& dataset,
+                     const TmrPlan& plan, ConvPolicy policy, double ber,
+                     std::uint64_t seed, int threads) {
+  return evaluate_with_protection(network, dataset, plan.protection, policy,
+                                  ber, seed, threads);
+}
+
+}  // namespace winofault

@@ -1,0 +1,40 @@
+// Bit-flip primitives. An operation result is modeled as a fixed-point
+// register whose LSB weighs `scale` integer units of the engine's internal
+// accumulator domain (Winograd engines carry an exact integer scaling of 4
+// or 576 — see winograd_transforms.h); flipping bit `bit` adds or subtracts
+// 2^bit * scale depending on the current state of that bit. For scale == 1
+// and in-range values this is exactly an XOR on the register.
+#pragma once
+
+#include <cstdint>
+
+namespace winofault {
+
+// Flips bit `bit` (0 = LSB) of `value` interpreted as a `width`-bit two's
+// complement register, and returns the sign-extended 64-bit result.
+// Precondition: 0 <= bit < width <= 63; value must fit in `width` bits.
+constexpr std::int64_t flip_bit(std::int64_t value, int bit, int width) {
+  const std::uint64_t mask =
+      (width >= 64) ? ~0ULL : ((1ULL << width) - 1ULL);
+  std::uint64_t reg = static_cast<std::uint64_t>(value) & mask;
+  reg ^= (1ULL << bit);
+  // Sign-extend from `width` bits.
+  const std::uint64_t sign = 1ULL << (width - 1);
+  if (reg & sign) reg |= ~mask;
+  return static_cast<std::int64_t>(reg);
+}
+
+// Fault application in an engine's internal domain: `value` is the op result
+// in integer units where the conceptual register's LSB weighs `scale`.
+// Returns the faulted value. The bit state is read from the conceptual
+// register (value/scale, truncated), so for scale == 1 this matches
+// flip_bit() XOR semantics exactly.
+constexpr std::int64_t apply_op_fault(std::int64_t value, int bit,
+                                      std::int64_t scale = 1) {
+  const std::int64_t conceptual = value / scale;  // trunc toward zero
+  const bool was_set = (conceptual >> bit) & 1;   // arithmetic shift (C++20)
+  const std::int64_t delta = (std::int64_t{1} << bit) * scale;
+  return was_set ? value - delta : value + delta;
+}
+
+}  // namespace winofault

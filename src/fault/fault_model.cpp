@@ -1,0 +1,4 @@
+#include "fault/fault_model.h"
+
+// FaultModel is header-only today; this translation unit anchors the library
+// and reserves room for calibrated (non-uniform) bit-error profiles.

@@ -1,0 +1,32 @@
+// The soft-error model of the paper's operation-level fault-injection
+// platform (Sec 3.1): every bit of every primitive operation's fault surface
+// flips independently with probability `ber` per inference. Fault-surface
+// widths are declared by each engine in its OpSpace (see op_space.h).
+#pragma once
+
+#include "fault/op_space.h"
+#include "tensor/dtype.h"
+
+namespace winofault {
+
+struct FaultModel {
+  // Probability of a single bit flip in an operation (paper: "bit error
+  // rate denotes the probability of a bit flip in an operation").
+  double ber = 0.0;
+
+  // Canonical fault-surface widths used by the engines:
+  // full product register for muls, W+4 guarded datapath bits for adds.
+  static constexpr int mul_surface_bits(DType dtype) {
+    return 2 * bit_width(dtype);
+  }
+  static constexpr int add_surface_bits(DType dtype) {
+    return bit_width(dtype) + 4;
+  }
+
+  // Expected number of flipped bits when executing `space` once.
+  double expected_flips(const OpSpace& space) const {
+    return ber * static_cast<double>(space.total_bits());
+  }
+};
+
+}  // namespace winofault

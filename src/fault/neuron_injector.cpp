@@ -1,0 +1,23 @@
+#include "fault/neuron_injector.h"
+
+#include "fault/bitflip.h"
+
+namespace winofault {
+
+std::int64_t NeuronInjector::inject(TensorI32& activations, Rng& rng) const {
+  if (ber_ <= 0.0 || activations.numel() == 0) return 0;
+  const int width = bit_width(dtype_);
+  const std::int64_t bit_space = activations.numel() * width;
+  const std::int64_t flips = rng.binomial(bit_space, ber_);
+  for (std::int64_t i = 0; i < flips; ++i) {
+    const std::uint64_t draw =
+        rng.next_below(static_cast<std::uint64_t>(bit_space));
+    const std::int64_t neuron = static_cast<std::int64_t>(draw) / width;
+    const int bit = static_cast<int>(draw % width);
+    activations[neuron] = static_cast<std::int32_t>(
+        flip_bit(activations[neuron], bit, width));
+  }
+  return flips;
+}
+
+}  // namespace winofault

@@ -1,0 +1,30 @@
+// Neuron-level fault injection in the style of TensorFI / PyTorchFI: bit
+// flips land on stored activation values rather than on the results of
+// primitive arithmetic operations. Used by the Fig 1 experiment to show why
+// neuron-level injection cannot distinguish standard from Winograd
+// convolution (both produce the same neurons).
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+
+namespace winofault {
+
+class NeuronInjector {
+ public:
+  // `ber` is the per-bit flip probability over each neuron's storage width.
+  NeuronInjector(double ber, DType dtype) : ber_(ber), dtype_(dtype) {}
+
+  // Flips sampled bits of `activations` in place (values stay saturated to
+  // the dtype's register width). Returns the number of flipped bits.
+  std::int64_t inject(TensorI32& activations, Rng& rng) const;
+
+  double ber() const { return ber_; }
+
+ private:
+  double ber_;
+  DType dtype_;
+};
+
+}  // namespace winofault

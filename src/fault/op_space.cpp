@@ -1,0 +1,26 @@
+#include "fault/op_space.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+OpSpace& OpSpace::operator+=(const OpSpace& other) {
+  n_mul += other.n_mul;
+  n_add += other.n_add;
+  if (mul_bits == 0) mul_bits = other.mul_bits;
+  if (add_bits == 0) add_bits = other.add_bits;
+  if (other.n_mul > 0) WF_CHECK(other.mul_bits == mul_bits);
+  if (other.n_add > 0) WF_CHECK(other.add_bits == add_bits);
+  return *this;
+}
+
+std::string to_string(const FaultSite& site) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s[%lld]:bit%d", op_kind_name(site.kind),
+                static_cast<long long>(site.op_index), site.bit);
+  return buf;
+}
+
+}  // namespace winofault

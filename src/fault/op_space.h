@@ -1,0 +1,58 @@
+// The operation-index space of a layer: the set of primitive multiply and
+// add operations its computation performs, enumerated deterministically.
+// Fault sites are (operation kind, operation index, bit) triples; each conv
+// engine defines the decode from index to a concrete point in its
+// computation DAG.
+//
+// Fault-surface widths. Every op result conceptually lives in a fixed-point
+// register; soft errors strike its value-significant bits:
+//   * multiplication: the full 2W-bit product register (W = data width) —
+//     flips can reach the product's top bits, so errors as large as
+//     2^(2W-1) quanta occur; this is what makes muls the dominant
+//     vulnerability (paper Sec 1 / Fig 4);
+//   * addition: the W+4 low bits of the adder/accumulator datapath (sign
+//     extension and saturation logic above the guard bits are modeled as
+//     hardened), so add faults are bounded at ~2^(W+3) quanta.
+// Engines record the widths here so the sampler sizes the bit space
+// correctly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace winofault {
+
+enum class OpKind : std::uint8_t { kMul = 0, kAdd = 1 };
+
+constexpr const char* op_kind_name(OpKind kind) {
+  return kind == OpKind::kMul ? "mul" : "add";
+}
+
+struct OpSpace {
+  std::int64_t n_mul = 0;
+  std::int64_t n_add = 0;
+  int mul_bits = 0;  // fault-surface width of a mul result register
+  int add_bits = 0;  // fault-surface width of an add result register
+
+  std::int64_t total_ops() const { return n_mul + n_add; }
+  std::int64_t total_bits() const {
+    return n_mul * mul_bits + n_add * add_bits;
+  }
+
+  // Accumulates counts; surface widths must agree (or be unset on one side).
+  OpSpace& operator+=(const OpSpace& other);
+};
+
+// One injected fault: flip `bit` of the result register of the `op_index`-th
+// operation of kind `kind` within a layer's op space.
+struct FaultSite {
+  OpKind kind = OpKind::kMul;
+  std::int64_t op_index = 0;
+  int bit = 0;
+
+  bool operator==(const FaultSite&) const = default;
+};
+
+std::string to_string(const FaultSite& site);
+
+}  // namespace winofault

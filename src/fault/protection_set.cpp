@@ -1,0 +1,51 @@
+#include "fault/protection_set.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace winofault {
+namespace {
+
+// SplitMix64 finalizer as a keyed hash: maps (salt, kind, index) to a
+// uniform 64-bit value. Protection covers indices whose hash falls below
+// fraction * 2^64, giving monotone growth in the fraction.
+std::uint64_t mix(std::uint64_t salt, OpKind kind, std::int64_t index) {
+  std::uint64_t z = salt ^ (static_cast<std::uint64_t>(index) * 2 +
+                            static_cast<std::uint64_t>(kind));
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double clamp01(double f) { return std::clamp(f, 0.0, 1.0); }
+
+}  // namespace
+
+ProtectionSet::ProtectionSet(double mul_fraction, double add_fraction,
+                             std::uint64_t salt)
+    : mul_fraction_(clamp01(mul_fraction)),
+      add_fraction_(clamp01(add_fraction)),
+      salt_(salt) {}
+
+void ProtectionSet::set_mul_fraction(double f) { mul_fraction_ = clamp01(f); }
+void ProtectionSet::set_add_fraction(double f) { add_fraction_ = clamp01(f); }
+
+bool ProtectionSet::covers(OpKind kind, std::int64_t op_index) const {
+  const double fraction =
+      kind == OpKind::kMul ? mul_fraction_ : add_fraction_;
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  const double u =
+      static_cast<double>(mix(salt_, kind, op_index) >> 11) * 0x1.0p-53;
+  return u < fraction;
+}
+
+double ProtectionSet::overhead(const OpSpace& space, double mul_cost,
+                               double add_cost) const {
+  return 2.0 * (mul_fraction_ * static_cast<double>(space.n_mul) * mul_cost +
+                add_fraction_ * static_cast<double>(space.n_add) * add_cost);
+}
+
+}  // namespace winofault

@@ -1,0 +1,44 @@
+// Fractional, randomly-selected protection of a layer's operations — the
+// "fine-grained TMR" of paper Sec 4.1. Membership is decided by a keyed hash
+// of the op index, so a protection set costs O(1) memory regardless of layer
+// size, is deterministic, and monotonically grows as the fraction grows
+// (op i stays protected when the fraction increases), which the iterative
+// planner relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/op_space.h"
+
+namespace winofault {
+
+class ProtectionSet {
+ public:
+  ProtectionSet() = default;
+  ProtectionSet(double mul_fraction, double add_fraction,
+                std::uint64_t salt = 0x5bf03635d0c6c1a3ULL);
+
+  double mul_fraction() const { return mul_fraction_; }
+  double add_fraction() const { return add_fraction_; }
+  void set_mul_fraction(double f);
+  void set_add_fraction(double f);
+
+  bool empty() const { return mul_fraction_ <= 0.0 && add_fraction_ <= 0.0; }
+
+  // True when the op is TMR-protected (its result is voted and thus
+  // fault-free under the single-fault-per-site model).
+  bool covers(OpKind kind, std::int64_t op_index) const;
+
+  // Extra operation cost of protection: each protected op is executed two
+  // additional times (TMR), so overhead = 2 * covered op cost. `mul_cost`
+  // and `add_cost` weight the two op types (a voter is amortized into them).
+  double overhead(const OpSpace& space, double mul_cost = 1.0,
+                  double add_cost = 1.0) const;
+
+ private:
+  double mul_fraction_ = 0.0;
+  double add_fraction_ = 0.0;
+  std::uint64_t salt_ = 0x5bf03635d0c6c1a3ULL;
+};
+
+}  // namespace winofault

@@ -1,0 +1,91 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace winofault {
+namespace {
+
+// One box-blur pass along both axes (radius 1), cheap low-pass structure.
+void box_blur(TensorF& image) {
+  const Shape s = image.shape();
+  TensorF tmp = image;
+  for (std::int64_t c = 0; c < s.c; ++c) {
+    for (std::int64_t y = 0; y < s.h; ++y) {
+      for (std::int64_t x = 0; x < s.w; ++x) {
+        float sum = 0;
+        int n = 0;
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+          const std::int64_t yy = y + dy;
+          if (yy < 0 || yy >= s.h) continue;
+          for (std::int64_t dx = -1; dx <= 1; ++dx) {
+            const std::int64_t xx = x + dx;
+            if (xx < 0 || xx >= s.w) continue;
+            sum += tmp.at(0, c, yy, xx);
+            ++n;
+          }
+        }
+        image.at(0, c, y, x) = sum / static_cast<float>(n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<TensorF> make_images(const Shape& shape, int count,
+                                 std::uint64_t seed) {
+  std::vector<TensorF> images;
+  images.reserve(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    TensorF image(shape);
+    for (auto& v : image.flat())
+      v = static_cast<float>(rng.next_gaussian());
+    box_blur(image);
+    box_blur(image);
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+Dataset make_teacher_dataset(const Network& network, int count,
+                             int num_classes, double target_clean_accuracy,
+                             std::uint64_t seed) {
+  WF_CHECK(network.calibrated());
+  WF_CHECK(num_classes >= 2);
+  Dataset dataset;
+  dataset.num_classes = num_classes;
+  dataset.images = make_images(network.input_shape(), count, seed);
+  dataset.labels.resize(dataset.images.size());
+
+  // Fault-free teacher predictions (direct policy; Winograd is identical).
+  std::vector<int> teacher(dataset.images.size());
+  parallel_for(static_cast<std::int64_t>(dataset.images.size()),
+               default_thread_count(), [&](std::int64_t i) {
+                 ExecContext ctx;
+                 teacher[static_cast<std::size_t>(i)] = network.predict(
+                     dataset.images[static_cast<std::size_t>(i)], ctx);
+               });
+
+  // Solve keep-rate q from: target = q + (1-q)/C.
+  const double c = static_cast<double>(num_classes);
+  double keep = (target_clean_accuracy - 1.0 / c) / (1.0 - 1.0 / c);
+  keep = std::clamp(keep, 0.0, 1.0);
+
+  Rng rng(seed ^ 0xf00dULL);
+  for (std::size_t i = 0; i < dataset.labels.size(); ++i) {
+    if (rng.bernoulli(keep)) {
+      dataset.labels[i] = teacher[i];
+    } else {
+      dataset.labels[i] =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+              num_classes)));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace winofault

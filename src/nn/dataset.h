@@ -1,0 +1,37 @@
+// Synthetic evaluation data with teacher labels (DESIGN.md substitution #1):
+// images are smoothed Gaussian noise fields; each label is the fault-free
+// network's own top-1 prediction, with a calibrated fraction redirected to
+// a random wrong class so the clean accuracy matches the paper's reported
+// model accuracy (e.g. 72.6% for VGG19 on CIFAR-100). Fault injection then
+// erodes agreement with the teacher exactly as it erodes accuracy in the
+// paper's setup.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.h"
+#include "tensor/tensor.h"
+
+namespace winofault {
+
+struct Dataset {
+  std::vector<TensorF> images;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  std::size_t size() const { return images.size(); }
+};
+
+// Smoothed-noise image batch (box-blurred Gaussian noise, unit-ish range).
+std::vector<TensorF> make_images(const Shape& shape, int count,
+                                 std::uint64_t seed);
+
+// Builds a teacher-labeled dataset for a calibrated network.
+// `target_clean_accuracy` in (0, 1]; the label-corruption rate q solves
+// target = q_keep + (1 - q_keep)/num_classes (random wrong labels can still
+// collide with the prediction of a degraded run only by chance).
+Dataset make_teacher_dataset(const Network& network, int count,
+                             int num_classes, double target_clean_accuracy,
+                             std::uint64_t seed);
+
+}  // namespace winofault

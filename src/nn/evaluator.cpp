@@ -1,0 +1,64 @@
+#include "nn/evaluator.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace winofault {
+
+EvalResult evaluate(const Network& network, const Dataset& dataset,
+                    const EvalOptions& options) {
+  WF_CHECK(network.calibrated());
+  WF_CHECK(!dataset.images.empty());
+  const int threads =
+      options.threads > 0 ? options.threads : default_thread_count();
+
+  // Destruction short-circuit (see EvalOptions::max_expected_flips).
+  if (options.fault.mode == InjectionMode::kOpLevel &&
+      options.fault.protection.empty() &&
+      options.fault.fault_free_layer < 0 &&
+      !options.fault.only_kind.has_value() && dataset.num_classes > 1) {
+    const FaultModel model{options.fault.ber};
+    const double expected =
+        model.expected_flips(network.total_op_space(options.policy));
+    if (expected > options.max_expected_flips) {
+      EvalResult result;
+      result.images = static_cast<int>(dataset.images.size());
+      result.accuracy = 1.0 / static_cast<double>(dataset.num_classes);
+      result.avg_flips = expected;
+      return result;
+    }
+  }
+
+  std::atomic<std::int64_t> correct{0};
+  std::atomic<std::int64_t> flips{0};
+  parallel_for(
+      static_cast<std::int64_t>(dataset.images.size()), threads,
+      [&](std::int64_t i) {
+        // Derive the per-image fault stream from (seed, image index) so the
+        // result is independent of the thread schedule.
+        FaultSession session(options.fault,
+                             options.seed * 0x9e3779b97f4a7c15ULL +
+                                 static_cast<std::uint64_t>(i) * 2 + 1);
+        ExecContext ctx;
+        ctx.policy = options.policy;
+        ctx.session = &session;
+        const int prediction =
+            network.predict(dataset.images[static_cast<std::size_t>(i)], ctx);
+        if (prediction == dataset.labels[static_cast<std::size_t>(i)]) {
+          correct.fetch_add(1, std::memory_order_relaxed);
+        }
+        flips.fetch_add(session.total_flips(), std::memory_order_relaxed);
+      });
+
+  EvalResult result;
+  result.images = static_cast<int>(dataset.images.size());
+  result.accuracy = static_cast<double>(correct.load()) /
+                    static_cast<double>(dataset.images.size());
+  result.avg_flips = static_cast<double>(flips.load()) /
+                     static_cast<double>(dataset.images.size());
+  return result;
+}
+
+}  // namespace winofault

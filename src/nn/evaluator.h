@@ -1,0 +1,36 @@
+// Accuracy evaluation under fault injection: the measurement loop behind
+// every figure. Runs the dataset through the network with a fresh
+// FaultSession per image (seeded deterministically from (seed, image)), in
+// parallel, and reports top-1 accuracy plus fault statistics.
+#pragma once
+
+#include "nn/dataset.h"
+#include "nn/fault_session.h"
+#include "nn/network.h"
+
+namespace winofault {
+
+struct EvalOptions {
+  FaultConfig fault;
+  ConvPolicy policy = ConvPolicy::kDirect;
+  std::uint64_t seed = 1;
+  int threads = 0;  // 0 => hardware concurrency
+
+  // Destruction short-circuit: when the expected op-level flips per
+  // inference exceed this, the network output is noise and simulating
+  // hundreds of thousands of replays per image is pointless — the
+  // evaluator reports chance accuracy (1/classes) directly. Only applies
+  // to unrestricted op-level injection (no protection, no exclusions).
+  double max_expected_flips = 20000.0;
+};
+
+struct EvalResult {
+  double accuracy = 0.0;       // top-1 vs dataset labels
+  double avg_flips = 0.0;      // injected bit flips per inference
+  int images = 0;
+};
+
+EvalResult evaluate(const Network& network, const Dataset& dataset,
+                    const EvalOptions& options);
+
+}  // namespace winofault

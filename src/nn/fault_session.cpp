@@ -1,0 +1,36 @@
+#include "nn/fault_session.h"
+
+namespace winofault {
+
+void FaultSession::apply(int prot_index, const ConvEngine& engine,
+                         const ConvDesc& desc, const ConvData& data,
+                         TensorI32& out) {
+  if (config_.ber <= 0.0) return;
+  if (prot_index == config_.fault_free_layer) return;
+
+  if (config_.mode == InjectionMode::kNeuronLevel) {
+    // Neuron-level platforms flip stored activation bits; they see the same
+    // tensor regardless of the convolution algorithm underneath — the very
+    // blindness Fig 1 demonstrates.
+    NeuronInjector injector(config_.ber, data.dtype);
+    total_flips_ += injector.inject(out, rng_);
+    return;
+  }
+
+  const OpSpace space = engine.op_space(desc, data.dtype);
+  const ProtectionSet* protection = nullptr;
+  if (const auto it = config_.protection.find(prot_index);
+      it != config_.protection.end()) {
+    protection = &it->second;
+  }
+  std::vector<FaultSite> sites;
+  if (config_.only_kind.has_value()) {
+    sites = sampler_.sample_kind(space, *config_.only_kind, rng_, protection);
+  } else {
+    sites = sampler_.sample(space, rng_, protection);
+  }
+  total_flips_ += static_cast<std::int64_t>(sites.size());
+  engine.apply_faults(desc, data, sites, out);
+}
+
+}  // namespace winofault

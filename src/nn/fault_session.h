@@ -1,0 +1,55 @@
+// Per-inference fault-injection state: the paper's fault-injection platform
+// configured for one forward pass. Supports the full experiment matrix:
+//   * operation-level injection (Sec 3.1) with per-layer TMR protection,
+//   * neuron-level injection (TensorFI/PyTorchFI style, Fig 1),
+//   * op-kind restriction (fault-free muls / adds, Fig 4),
+//   * fault-free-layer exclusion (layer-wise sensitivity, Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "conv/engine.h"
+#include "fault/fault_model.h"
+#include "fault/neuron_injector.h"
+#include "fault/protection_set.h"
+#include "fault/site_sampler.h"
+
+namespace winofault {
+
+enum class InjectionMode { kOpLevel, kNeuronLevel };
+
+struct FaultConfig {
+  double ber = 0.0;
+  InjectionMode mode = InjectionMode::kOpLevel;
+  // When set, only this op kind receives faults (the other is fault-free).
+  std::optional<OpKind> only_kind;
+  // Protectable-layer ordinal kept fault-free (-1: none). Fig 3 protocol.
+  int fault_free_layer = -1;
+  // Fine-grained TMR protection per protectable-layer ordinal (Sec 4.1).
+  std::unordered_map<int, ProtectionSet> protection;
+};
+
+class FaultSession {
+ public:
+  FaultSession(const FaultConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed), sampler_(FaultModel{config.ber}) {}
+
+  // Called by protectable layers after the golden forward; corrupts `out`
+  // in place according to the configuration.
+  void apply(int prot_index, const ConvEngine& engine, const ConvDesc& desc,
+             const ConvData& data, TensorI32& out);
+
+  std::int64_t total_flips() const { return total_flips_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  SiteSampler sampler_;
+  std::int64_t total_flips_ = 0;
+};
+
+}  // namespace winofault

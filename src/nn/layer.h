@@ -1,0 +1,64 @@
+// Layer abstraction of the quantized inference engine. A network is a DAG
+// of nodes; each node owns a Layer and consumes the outputs of earlier
+// nodes. Activation tensors travel together with their quantization params.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "conv/engine.h"
+#include "fault/op_space.h"
+#include "tensor/quantize.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace winofault {
+
+class FaultSession;
+
+// A produced activation: quantized values + their scale.
+struct NodeOutput {
+  TensorI32 tensor;
+  QuantParams quant;
+};
+
+// Per-inference execution parameters.
+struct ExecContext {
+  ConvPolicy policy = ConvPolicy::kDirect;
+  FaultSession* session = nullptr;  // null => fault-free run
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual const char* kind() const = 0;
+
+  virtual Shape infer_shape(std::span<const Shape> in) const = 0;
+
+  // True for layers carrying a convolution op space (conv / linear): the
+  // targets of operation-level fault injection and TMR protection.
+  virtual bool protectable() const { return false; }
+
+  // Output quantization for non-calibrated layers, derived from the input
+  // params (e.g. ReLU keeps scale; Add covers the sum of ranges).
+  virtual QuantParams derive_quant(std::span<const QuantParams> in_quants,
+                                   DType dtype) const;
+
+  // Calibration support (protectable layers only): max |pre-activation|
+  // in real units over one input sample, used to pick the output scale.
+  virtual double calib_acc_absmax(
+      std::span<const NodeOutput* const> ins) const;
+
+  // Op space under the engine the policy selects (protectable layers only).
+  virtual OpSpace op_space(DType dtype, ConvPolicy policy) const;
+
+  // Executes the layer; `prot_index` is the protectable-layer ordinal used
+  // by the fault session (-1 for non-protectable layers).
+  virtual TensorI32 forward(std::span<const NodeOutput* const> ins,
+                            const QuantParams& out_quant, ExecContext& ctx,
+                            int prot_index) const = 0;
+};
+
+}  // namespace winofault

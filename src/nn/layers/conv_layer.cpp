@@ -1,0 +1,86 @@
+#include "nn/layers/conv_layer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "conv/direct_conv.h"
+#include "conv/fault_hook.h"
+#include "nn/fault_session.h"
+
+namespace winofault {
+
+ConvLayer::ConvLayer(ConvDesc desc, const TensorF& weights,
+                     std::vector<float> bias, DType dtype)
+    : desc_(desc), bias_real_(std::move(bias)), dtype_(dtype) {
+  WF_CHECK(weights.shape() == desc_.weight_shape());
+  WF_CHECK(!desc_.has_bias ||
+           static_cast<std::int64_t>(bias_real_.size()) == desc_.out_c);
+  w_quant_ = choose_quant_params(weights, dtype);
+  weights_q_ = quantize(weights, w_quant_);
+}
+
+Shape ConvLayer::infer_shape(std::span<const Shape> in) const {
+  WF_CHECK(in.size() == 1);
+  WF_CHECK(in[0] == desc_.in_shape());
+  return desc_.out_shape();
+}
+
+ConvData ConvLayer::make_data(const NodeOutput& in,
+                              const QuantParams& out_quant,
+                              std::vector<std::int64_t>& bias_acc) const {
+  ConvData data;
+  data.input = &in.tensor;
+  data.weights = &weights_q_;
+  data.dtype = dtype_;
+  data.acc_scale = in.quant.scale * w_quant_.scale;
+  data.out_quant = out_quant;
+  if (desc_.has_bias) {
+    bias_acc.resize(bias_real_.size());
+    for (std::size_t i = 0; i < bias_real_.size(); ++i) {
+      bias_acc[i] = static_cast<std::int64_t>(
+          std::llround(bias_real_[i] / data.acc_scale));
+    }
+    data.bias = &bias_acc;
+  }
+  return data;
+}
+
+double ConvLayer::calib_acc_absmax(
+    std::span<const NodeOutput* const> ins) const {
+  WF_CHECK(ins.size() == 1);
+  std::vector<std::int64_t> bias_acc;
+  // Scale of out_quant is irrelevant here; we inspect raw accumulators.
+  const ConvData data = make_data(*ins[0], QuantParams{}, bias_acc);
+  std::int64_t absmax = 1;
+  FaultHookNone hook;
+  for (std::int64_t oc = 0; oc < desc_.out_c; ++oc) {
+    for (std::int64_t oy = 0; oy < desc_.out_h(); ++oy) {
+      for (std::int64_t ox = 0; ox < desc_.out_w(); ++ox) {
+        const std::int64_t acc =
+            direct_output_acc(desc_, data, oc, oy, ox, hook);
+        absmax = std::max(absmax, static_cast<std::int64_t>(std::llabs(acc)));
+      }
+    }
+  }
+  return static_cast<double>(absmax) * data.acc_scale;
+}
+
+OpSpace ConvLayer::op_space(DType dtype, ConvPolicy policy) const {
+  return select_engine(policy, desc_).op_space(desc_, dtype);
+}
+
+TensorI32 ConvLayer::forward(std::span<const NodeOutput* const> ins,
+                             const QuantParams& out_quant, ExecContext& ctx,
+                             int prot_index) const {
+  WF_CHECK(ins.size() == 1);
+  std::vector<std::int64_t> bias_acc;
+  const ConvData data = make_data(*ins[0], out_quant, bias_acc);
+  const ConvEngine& engine = select_engine(ctx.policy, desc_);
+  TensorI32 out = engine.forward(desc_, data);
+  if (ctx.session != nullptr) {
+    ctx.session->apply(prot_index, engine, desc_, data, out);
+  }
+  return out;
+}
+
+}  // namespace winofault

@@ -1,0 +1,43 @@
+// Quantized 3x3/1x1/5x5 convolution layer: the protectable unit of the
+// fault study. Holds float master weights quantized at construction; the
+// engine (direct vs Winograd) is chosen per inference by the ConvPolicy.
+#pragma once
+
+#include <vector>
+
+#include "conv/conv_desc.h"
+#include "nn/layer.h"
+
+namespace winofault {
+
+class ConvLayer final : public Layer {
+ public:
+  // `weights` is [out_c, in_c, kh, kw] float; `bias` real-valued per out_c.
+  ConvLayer(ConvDesc desc, const TensorF& weights, std::vector<float> bias,
+            DType dtype);
+
+  const char* kind() const override { return "conv"; }
+  bool protectable() const override { return true; }
+  Shape infer_shape(std::span<const Shape> in) const override;
+  double calib_acc_absmax(
+      std::span<const NodeOutput* const> ins) const override;
+  OpSpace op_space(DType dtype, ConvPolicy policy) const override;
+  TensorI32 forward(std::span<const NodeOutput* const> ins,
+                    const QuantParams& out_quant, ExecContext& ctx,
+                    int prot_index) const override;
+
+  const ConvDesc& desc() const { return desc_; }
+
+ private:
+  // Assembles the engine-facing view for a given input activation.
+  ConvData make_data(const NodeOutput& in, const QuantParams& out_quant,
+                     std::vector<std::int64_t>& bias_acc) const;
+
+  ConvDesc desc_;
+  TensorI32 weights_q_;
+  QuantParams w_quant_;
+  std::vector<float> bias_real_;
+  DType dtype_;
+};
+
+}  // namespace winofault

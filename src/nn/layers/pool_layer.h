@@ -1,0 +1,46 @@
+// Spatial pooling layers. Max pooling preserves the input scale exactly;
+// average pooling uses integer rounding (sum + n/2) / n, also preserving
+// the scale.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace winofault {
+
+enum class PoolMode { kMax, kAvg };
+
+class PoolLayer final : public Layer {
+ public:
+  PoolLayer(PoolMode mode, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad = 0);
+
+  const char* kind() const override {
+    return mode_ == PoolMode::kMax ? "maxpool" : "avgpool";
+  }
+  Shape infer_shape(std::span<const Shape> in) const override;
+  QuantParams derive_quant(std::span<const QuantParams> in_quants,
+                           DType dtype) const override;
+  TensorI32 forward(std::span<const NodeOutput* const> ins,
+                    const QuantParams& out_quant, ExecContext& ctx,
+                    int prot_index) const override;
+
+ private:
+  PoolMode mode_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+};
+
+// Global average pooling to 1x1 (classifier heads).
+class GlobalAvgPoolLayer final : public Layer {
+ public:
+  const char* kind() const override { return "gap"; }
+  Shape infer_shape(std::span<const Shape> in) const override;
+  QuantParams derive_quant(std::span<const QuantParams> in_quants,
+                           DType dtype) const override;
+  TensorI32 forward(std::span<const NodeOutput* const> ins,
+                    const QuantParams& out_quant, ExecContext& ctx,
+                    int prot_index) const override;
+};
+
+}  // namespace winofault

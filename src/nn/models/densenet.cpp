@@ -1,0 +1,58 @@
+// DenseNet169 (ImageNet flavor at reduced resolution): dense blocks
+// [6, 12, 32, 32] of (1x1 bottleneck -> 3x3 growth) layers with channel
+// concatenation, joined by half-compression transitions with 2x2 average
+// pooling. The dense 3x3 convolutions are Winograd-eligible; the heavy use
+// of concatenation makes single-operation faults fan out quickly, which is
+// why DenseNet shows the paper's sharpest accuracy transitions (Fig 2a).
+#include "nn/dataset.h"
+#include "nn/models/zoo.h"
+
+namespace winofault {
+namespace {
+
+int dense_layer(Network& net, Rng& rng, int input, std::int64_t growth) {
+  int y = net.add_conv(input, 4 * growth, 1, 1, 0, rng);  // bottleneck
+  y = net.add_conv(y, growth, 3, 1, 1, rng);              // growth conv
+  return net.add_concat({input, y});
+}
+
+int transition(Network& net, Rng& rng, int input, std::int64_t out_c) {
+  int y = net.add_conv(input, out_c, 1, 1, 0, rng);
+  return net.add_avgpool(y, 2, 2);
+}
+
+}  // namespace
+
+Network make_densenet169(const ZooConfig& config) {
+  Network net("densenet169", config.dtype);
+  Rng rng(config.seed + 2);
+  // Growth rate scales with width (full model: 32).
+  const std::int64_t growth = scaled_channels(32, config.width);
+
+  int x = net.add_input(Shape{1, 3, 56, 56});
+  x = net.add_conv(x, 2 * growth, 3, 1, 1, rng);  // stem
+  x = net.add_maxpool(x, 2, 2);                   // 56 -> 28
+
+  std::int64_t channels = 2 * growth;
+  const int blocks[] = {6, 12, 32, 32};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int layer = 0; layer < blocks[stage]; ++layer) {
+      x = dense_layer(net, rng, x, growth);
+      channels += growth;
+    }
+    if (stage < 3) {
+      channels = channels / 2;  // DenseNet compression 0.5
+      x = transition(net, rng, x, channels);
+    }
+  }
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 1000, rng);
+  net.set_output(x);
+
+  net.calibrate(make_images(net.input_shape(), config.calib_images,
+                            config.seed ^ 0xde45eULL));
+  return net;
+}
+
+}  // namespace winofault

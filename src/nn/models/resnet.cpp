@@ -1,0 +1,61 @@
+// ResNet50 (ImageNet flavor at reduced resolution): a 3x3 stem followed by
+// bottleneck stages [3, 4, 6, 3]. Each bottleneck is 1x1 reduce -> 3x3 ->
+// 1x1 expand (x4) with a residual add (projection shortcut on stage entry).
+// Only the 3x3 stride-1 convolutions are Winograd-eligible, so the paper's
+// "smoother" ResNet improvement emerges naturally from the op mix.
+#include "nn/dataset.h"
+#include "nn/models/zoo.h"
+
+namespace winofault {
+namespace {
+
+// Returns the output node of one bottleneck block.
+int bottleneck(Network& net, Rng& rng, int input, std::int64_t mid,
+               std::int64_t out, std::int64_t stride, bool project) {
+  int branch = net.add_conv(input, mid, 1, 1, 0, rng);          // reduce
+  branch = net.add_conv(branch, mid, 3, stride, 1, rng);        // spatial
+  branch = net.add_conv(branch, out, 1, 1, 0, rng, /*relu=*/false);  // expand
+  int shortcut = input;
+  if (project) {
+    shortcut =
+        net.add_conv(input, out, 1, stride, 0, rng, /*relu=*/false);
+  }
+  const int sum = net.add_add(branch, shortcut);
+  return net.add_relu(sum);
+}
+
+}  // namespace
+
+Network make_resnet50(const ZooConfig& config) {
+  Network net("resnet50", config.dtype);
+  Rng rng(config.seed + 1);
+  const auto ch = [&config](std::int64_t base) {
+    return scaled_channels(base, config.width);
+  };
+
+  int x = net.add_input(Shape{1, 3, 56, 56});
+  x = net.add_conv(x, ch(64), 3, 1, 1, rng);  // stem (3x3 for small input)
+
+  const struct {
+    std::int64_t mid;
+    int blocks;
+    std::int64_t stride;
+  } stages[] = {{64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2}};
+  for (const auto& stage : stages) {
+    for (int b = 0; b < stage.blocks; ++b) {
+      const bool first = b == 0;
+      x = bottleneck(net, rng, x, ch(stage.mid), ch(stage.mid) * 4,
+                     first ? stage.stride : 1, first);
+    }
+  }
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 1000, rng);
+  net.set_output(x);
+
+  net.calibrate(make_images(net.input_shape(), config.calib_images,
+                            config.seed ^ 0x4e5e7ULL));
+  return net;
+}
+
+}  // namespace winofault

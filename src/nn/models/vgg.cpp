@@ -1,0 +1,37 @@
+// VGG19 for CIFAR-100: sixteen 3x3 convolutions in five blocks separated by
+// 2x2 max pooling, then a single classifier head (the common CIFAR variant
+// of VGG19). All convolutions are Winograd-eligible — this is the paper's
+// primary workload (Figs 1, 3, 5, 6, 7).
+#include "nn/dataset.h"
+#include "nn/models/zoo.h"
+
+namespace winofault {
+
+Network make_vgg19(const ZooConfig& config) {
+  Network net("vgg19", config.dtype);
+  Rng rng(config.seed);
+  const auto ch = [&config](std::int64_t base) {
+    return scaled_channels(base, config.width);
+  };
+
+  int x = net.add_input(Shape{1, 3, 32, 32});
+  const struct {
+    std::int64_t channels;
+    int convs;
+  } blocks[] = {{64, 2}, {128, 2}, {256, 4}, {512, 4}, {512, 4}};
+  for (const auto& block : blocks) {
+    for (int i = 0; i < block.convs; ++i) {
+      x = net.add_conv(x, ch(block.channels), 3, 1, 1, rng);
+    }
+    x = net.add_maxpool(x, 2, 2);
+  }
+  x = net.add_flatten(x);  // 32 / 2^5 = 1x1 spatial
+  x = net.add_linear(x, 100, rng);
+  net.set_output(x);
+
+  net.calibrate(make_images(net.input_shape(), config.calib_images,
+                            config.seed ^ 0xca11b8ULL));
+  return net;
+}
+
+}  // namespace winofault

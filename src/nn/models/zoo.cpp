@@ -1,0 +1,37 @@
+#include "nn/models/zoo.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+std::int64_t scaled_channels(std::int64_t base, double width) {
+  const std::int64_t scaled =
+      static_cast<std::int64_t>(std::llround(static_cast<double>(base) * width));
+  const std::int64_t floored = std::max<std::int64_t>(scaled, 4);
+  return (floored + 1) / 2 * 2;  // round up to even
+}
+
+std::span<const ZooEntry> model_zoo() {
+  // Clean accuracies are the paper's reported model accuracies (72.6% is
+  // stated for VGG19; the others use the architectures' standard top-1).
+  static const std::array<ZooEntry, 4> entries = {
+      ZooEntry{"densenet169", 1000, 0.756, 0.25, make_densenet169},
+      ZooEntry{"resnet50", 1000, 0.761, 0.125, make_resnet50},
+      ZooEntry{"vgg19", 100, 0.726, 0.25, make_vgg19},
+      ZooEntry{"googlenet", 10, 0.92, 0.125, make_googlenet},
+  };
+  return entries;
+}
+
+const ZooEntry& zoo_entry(const std::string& name) {
+  for (const ZooEntry& entry : model_zoo()) {
+    if (entry.name == name) return entry;
+  }
+  WF_CHECK(false && "unknown model name");
+  return model_zoo()[0];
+}
+
+}  // namespace winofault

@@ -1,0 +1,48 @@
+// The benchmark model zoo of the paper's evaluation (Sec 3.2.1):
+//   DenseNet169 @ ImageNet, ResNet50 @ ImageNet, VGG19 @ CIFAR-100,
+//   GoogLeNet @ CIFAR-10,
+// instantiated at reduced width/resolution (DESIGN.md substitution #1) with
+// exact layer topologies. Builders return calibrated, ready-to-run
+// networks; every model also records the clean accuracy its teacher-labeled
+// dataset should be tuned to (the paper's reported model accuracies).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "nn/network.h"
+
+namespace winofault {
+
+struct ZooConfig {
+  DType dtype = DType::kInt16;
+  // Channel multiplier; 1.0 would be the paper's full-width models.
+  double width = 0.25;
+  std::uint64_t seed = 2024;
+  int calib_images = 8;
+};
+
+Network make_vgg19(const ZooConfig& config);       // 32x32, 100 classes
+Network make_resnet50(const ZooConfig& config);    // 56x56, 1000 classes
+Network make_densenet169(const ZooConfig& config); // 56x56, 1000 classes
+Network make_googlenet(const ZooConfig& config);   // 32x32, 10 classes
+
+struct ZooEntry {
+  std::string name;          // paper's benchmark label
+  int num_classes = 0;
+  double clean_accuracy = 0; // paper-reported model accuracy target
+  double default_width = 0.25;
+  std::function<Network(const ZooConfig&)> build;
+};
+
+// All four benchmarks in the paper's order.
+std::span<const ZooEntry> model_zoo();
+
+// Lookup by name ("vgg19", "resnet50", "densenet169", "googlenet").
+const ZooEntry& zoo_entry(const std::string& name);
+
+// Channel scaling helper: width-multiplied, floored at 4, rounded to even.
+std::int64_t scaled_channels(std::int64_t base, double width);
+
+}  // namespace winofault

@@ -1,0 +1,112 @@
+// Quantized inference network: a DAG of layers with per-node quantization,
+// built through a small builder API, calibrated on sample images, and
+// executed under any ConvPolicy with optional fault injection.
+//
+// Winograd and direct execution are bit-identical fault-free (guaranteed by
+// the integer Winograd engines), so a single calibration serves every
+// policy and all accuracy differences under faults are pure fault effects.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace winofault {
+
+class Network {
+ public:
+  explicit Network(std::string name, DType dtype)
+      : name_(std::move(name)), dtype_(dtype) {}
+
+  const std::string& name() const { return name_; }
+  DType dtype() const { return dtype_; }
+
+  // ---- Builder API (returns node ids) ----
+  int add_input(Shape shape);
+  int add_layer(std::unique_ptr<Layer> layer, std::vector<int> inputs);
+  // Convenience wrappers used by the model zoo; weights are He-initialized
+  // from `rng` unless provided.
+  int add_conv(int input, std::int64_t out_c, std::int64_t k,
+               std::int64_t stride, std::int64_t pad, Rng& rng,
+               bool relu = true);
+  // Explicit-weight variants (used when importing trained models).
+  int add_conv(int input, std::int64_t out_c, std::int64_t k,
+               std::int64_t stride, std::int64_t pad, const TensorF& weights,
+               std::vector<float> bias, bool relu = true);
+  int add_linear(int input, std::int64_t out_features, Rng& rng);
+  int add_linear(int input, std::int64_t out_features, const TensorF& weights,
+                 std::vector<float> bias);
+  int add_relu(int input);
+  int add_maxpool(int input, std::int64_t k, std::int64_t stride,
+                  std::int64_t pad = 0);
+  int add_avgpool(int input, std::int64_t k, std::int64_t stride,
+                  std::int64_t pad = 0);
+  int add_global_avgpool(int input);
+  int add_flatten(int input);
+  int add_add(int a, int b);
+  int add_concat(std::vector<int> inputs);
+  void set_output(int node) { output_node_ = node; }
+
+  // ---- Calibration ----
+  // Runs `images` through the network layer by layer, choosing each
+  // protectable layer's output scale from the observed accumulator range,
+  // and centers the classifier logits on the batch mean (the calibrated
+  // output bias a trained, class-balanced head would have; without it a
+  // random-weight network predicts one constant class for every input).
+  // Must be called once before forward()/predict().
+  void calibrate(std::span<const TensorF> images);
+  bool calibrated() const { return calibrated_; }
+
+  // Disable logit centering before calibrate() for genuinely trained
+  // models, whose classifier bias is already meaningful.
+  void set_logit_centering(bool enabled) { center_logits_ = enabled; }
+
+  // ---- Execution (thread-safe after calibration) ----
+  TensorI32 forward(const TensorF& image, ExecContext& ctx) const;
+  int predict(const TensorF& image, ExecContext& ctx) const;
+
+  // ---- Introspection ----
+  Shape input_shape() const { return input_shape_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  // Protectable (conv/linear) layers in execution order: the index space of
+  // FaultConfig::fault_free_layer and FaultConfig::protection.
+  int num_protectable() const { return static_cast<int>(protectable_.size()); }
+  const Layer& protectable_layer(int prot_index) const;
+  OpSpace protectable_op_space(int prot_index, ConvPolicy policy) const;
+  // Whole-network op space under a policy.
+  OpSpace total_op_space(ConvPolicy policy) const;
+  // All conv descriptors in execution order (performance model input).
+  std::vector<ConvDesc> conv_descs() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;  // null for the input node
+    std::vector<int> inputs;
+    Shape shape;
+    QuantParams quant;
+    int prot_index = -1;  // ordinal among protectable layers, or -1
+  };
+
+  TensorI32 quantize_input(const TensorF& image) const;
+
+  std::string name_;
+  DType dtype_;
+  Shape input_shape_;
+  std::vector<Node> nodes_;
+  std::vector<int> protectable_;  // node ids of protectable layers
+  int output_node_ = -1;
+  bool calibrated_ = false;
+  bool center_logits_ = true;
+  QuantParams input_quant_;
+  // Per-class logit centering offsets (output quant units), see calibrate().
+  std::vector<std::int32_t> logit_offsets_;
+};
+
+// He-normal initialized conv weight tensor [out_c, in_c, k, k].
+TensorF he_init_conv(std::int64_t out_c, std::int64_t in_c, std::int64_t k,
+                     Rng& rng);
+
+}  // namespace winofault

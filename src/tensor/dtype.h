@@ -1,0 +1,35 @@
+// Fixed-point data-type descriptors. The paper evaluates networks quantized
+// to 8-bit and 16-bit fixed point; accumulation is performed in wide signed
+// integers so fault-free arithmetic is exact.
+#pragma once
+
+#include <cstdint>
+
+namespace winofault {
+
+enum class DType : std::uint8_t { kInt8, kInt16 };
+
+constexpr int bit_width(DType dtype) {
+  return dtype == DType::kInt8 ? 8 : 16;
+}
+
+constexpr const char* dtype_name(DType dtype) {
+  return dtype == DType::kInt8 ? "int8" : "int16";
+}
+
+constexpr std::int32_t dtype_min(DType dtype) {
+  return dtype == DType::kInt8 ? -128 : -32768;
+}
+
+constexpr std::int32_t dtype_max(DType dtype) {
+  return dtype == DType::kInt8 ? 127 : 32767;
+}
+
+// Saturating clamp into the representable range of `dtype`.
+constexpr std::int32_t clamp_to(DType dtype, std::int64_t value) {
+  const std::int64_t lo = dtype_min(dtype);
+  const std::int64_t hi = dtype_max(dtype);
+  return static_cast<std::int32_t>(value < lo ? lo : (value > hi ? hi : value));
+}
+
+}  // namespace winofault

@@ -1,0 +1,45 @@
+#include "tensor/quantize.h"
+
+#include <cmath>
+
+namespace winofault {
+
+QuantParams choose_quant_params(const TensorF& real, DType dtype) {
+  double absmax = 0.0;
+  for (const float v : real.flat())
+    absmax = std::max(absmax, static_cast<double>(std::fabs(v)));
+  if (absmax == 0.0) absmax = 1.0;
+  QuantParams params;
+  params.dtype = dtype;
+  params.scale = absmax / static_cast<double>(dtype_max(dtype));
+  return params;
+}
+
+TensorI32 quantize(const TensorF& real, const QuantParams& params) {
+  TensorI32 out(real.shape());
+  const double inv_scale = 1.0 / params.scale;
+  for (std::int64_t i = 0; i < real.numel(); ++i) {
+    const double scaled = static_cast<double>(real[i]) * inv_scale;
+    out[i] = clamp_to(params.dtype,
+                      static_cast<std::int64_t>(std::llround(scaled)));
+  }
+  return out;
+}
+
+TensorF dequantize(const TensorI32& stored, const QuantParams& params) {
+  TensorF out(stored.shape());
+  for (std::int64_t i = 0; i < stored.numel(); ++i) {
+    out[i] = static_cast<float>(stored[i] * params.scale);
+  }
+  return out;
+}
+
+std::int32_t requantize_value(std::int64_t acc, double acc_scale,
+                              const QuantParams& out_params) {
+  const double real = static_cast<double>(acc) * acc_scale;
+  const double stored = real / out_params.scale;
+  return clamp_to(out_params.dtype,
+                  static_cast<std::int64_t>(std::llround(stored)));
+}
+
+}  // namespace winofault

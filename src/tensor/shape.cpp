@@ -1,0 +1,20 @@
+#include "tensor/shape.h"
+
+#include <cstdio>
+
+namespace winofault {
+
+std::string Shape::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%lld,%lld,%lld,%lld]",
+                static_cast<long long>(n), static_cast<long long>(c),
+                static_cast<long long>(h), static_cast<long long>(w));
+  return buf;
+}
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace winofault

@@ -1,0 +1,34 @@
+// NCHW tensor shape with row-major linearization. Networks in this project
+// run with batch size 1 per inference (fault statistics are per-image), but
+// the shape type keeps the batch dimension for generality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace winofault {
+
+struct Shape {
+  std::int64_t n = 1;
+  std::int64_t c = 1;
+  std::int64_t h = 1;
+  std::int64_t w = 1;
+
+  std::int64_t numel() const { return n * c * h * w; }
+
+  std::int64_t index(std::int64_t in, std::int64_t ic, std::int64_t ih,
+                     std::int64_t iw) const {
+    return ((in * c + ic) * h + ih) * w + iw;
+  }
+
+  bool operator==(const Shape&) const = default;
+
+  std::string to_string() const;
+};
+
+// Spatial output size of a convolution/pool window: standard formula with
+// symmetric padding.
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad);
+
+}  // namespace winofault

@@ -1,0 +1,60 @@
+// Owning dense NCHW tensor. Value-semantic, zero-initialized; the project
+// deliberately avoids views/strides — every layer materializes its output,
+// which keeps the fault-replay bookkeeping simple and exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/shape.h"
+
+namespace winofault {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), T{}) {}
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(shape), data_(std::move(data)) {
+    WF_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel());
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  T& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(shape_.index(n, c, h, w))];
+  }
+  const T& at(std::int64_t n, std::int64_t c, std::int64_t h,
+              std::int64_t w) const {
+    return data_[static_cast<std::size_t>(shape_.index(n, c, h, w))];
+  }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  bool operator==(const Tensor&) const = default;
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using TensorI32 = Tensor<std::int32_t>;
+using TensorI64 = Tensor<std::int64_t>;
+using TensorF = Tensor<float>;
+
+}  // namespace winofault

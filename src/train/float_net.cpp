@@ -1,0 +1,330 @@
+#include "train/float_net.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace winofault {
+namespace {
+
+// Plain float conv 3x3 pad 1 stride 1 (cross-correlation, matching the
+// quantized engines' convention).
+void conv3x3(const TensorF& in, const TensorF& w, std::span<const float> bias,
+             TensorF& out) {
+  const Shape is = in.shape();
+  const Shape os = out.shape();
+  for (std::int64_t oc = 0; oc < os.c; ++oc) {
+    for (std::int64_t y = 0; y < os.h; ++y) {
+      for (std::int64_t x = 0; x < os.w; ++x) {
+        float acc = bias[static_cast<std::size_t>(oc)];
+        for (std::int64_t ic = 0; ic < is.c; ++ic) {
+          for (std::int64_t ky = 0; ky < 3; ++ky) {
+            const std::int64_t iy = y + ky - 1;
+            if (iy < 0 || iy >= is.h) continue;
+            for (std::int64_t kx = 0; kx < 3; ++kx) {
+              const std::int64_t ix = x + kx - 1;
+              if (ix < 0 || ix >= is.w) continue;
+              acc += in.at(0, ic, iy, ix) * w.at(oc, ic, ky, kx);
+            }
+          }
+        }
+        out.at(0, oc, y, x) = acc;
+      }
+    }
+  }
+}
+
+void relu_inplace(TensorF& t) {
+  for (auto& v : t.flat()) v = v > 0 ? v : 0;
+}
+
+}  // namespace
+
+struct FloatCnn::Cache {
+  TensorF a1;      // conv1 pre-activation
+  TensorF r1;      // relu(conv1)
+  TensorF p1;      // maxpool(r1)
+  TensorI32 amax;  // argmax index per pooled element (flat into r1)
+  TensorF a2;      // conv2 pre-activation
+  TensorF r2;      // relu(conv2)
+  std::vector<float> gap;     // per-channel mean of r2
+  std::vector<float> logits;  // fc output
+};
+
+FloatCnn::FloatCnn(const TrainConfig& config, std::uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  w1_ = he_init_conv(config.c1, config.in_c, 3, rng);
+  w2_ = he_init_conv(config.c2, config.c1, 3, rng);
+  b1_.assign(static_cast<std::size_t>(config.c1), 0.0f);
+  b2_.assign(static_cast<std::size_t>(config.c2), 0.0f);
+  fc_w_.resize(static_cast<std::size_t>(config.classes * config.c2));
+  const double stddev = std::sqrt(2.0 / static_cast<double>(config.c2));
+  for (auto& v : fc_w_) v = static_cast<float>(rng.next_gaussian() * stddev);
+  fc_b_.assign(static_cast<std::size_t>(config.classes), 0.0f);
+}
+
+void FloatCnn::forward_internal(const TensorF& image, Cache& cache) const {
+  const std::int64_t img = config_.img;
+  const std::int64_t half = img / 2;
+  cache.a1 = TensorF(Shape{1, config_.c1, img, img});
+  conv3x3(image, w1_, b1_, cache.a1);
+  cache.r1 = cache.a1;
+  relu_inplace(cache.r1);
+
+  cache.p1 = TensorF(Shape{1, config_.c1, half, half});
+  cache.amax = TensorI32(Shape{1, config_.c1, half, half});
+  for (std::int64_t c = 0; c < config_.c1; ++c) {
+    for (std::int64_t y = 0; y < half; ++y) {
+      for (std::int64_t x = 0; x < half; ++x) {
+        float best = -1e30f;
+        std::int64_t best_idx = 0;
+        for (std::int64_t dy = 0; dy < 2; ++dy) {
+          for (std::int64_t dx = 0; dx < 2; ++dx) {
+            const std::int64_t iy = 2 * y + dy;
+            const std::int64_t ix = 2 * x + dx;
+            const float v = cache.r1.at(0, c, iy, ix);
+            if (v > best) {
+              best = v;
+              best_idx = cache.r1.shape().index(0, c, iy, ix);
+            }
+          }
+        }
+        cache.p1.at(0, c, y, x) = best;
+        cache.amax.at(0, c, y, x) = static_cast<std::int32_t>(best_idx);
+      }
+    }
+  }
+
+  cache.a2 = TensorF(Shape{1, config_.c2, half, half});
+  conv3x3(cache.p1, w2_, b2_, cache.a2);
+  cache.r2 = cache.a2;
+  relu_inplace(cache.r2);
+
+  cache.gap.assign(static_cast<std::size_t>(config_.c2), 0.0f);
+  const float inv = 1.0f / static_cast<float>(half * half);
+  for (std::int64_t c = 0; c < config_.c2; ++c) {
+    float sum = 0;
+    for (std::int64_t y = 0; y < half; ++y)
+      for (std::int64_t x = 0; x < half; ++x) sum += cache.r2.at(0, c, y, x);
+    cache.gap[static_cast<std::size_t>(c)] = sum * inv;
+  }
+
+  cache.logits.assign(static_cast<std::size_t>(config_.classes), 0.0f);
+  for (int k = 0; k < config_.classes; ++k) {
+    float acc = fc_b_[static_cast<std::size_t>(k)];
+    for (std::int64_t c = 0; c < config_.c2; ++c) {
+      acc += fc_w_[static_cast<std::size_t>(k * config_.c2 + c)] *
+             cache.gap[static_cast<std::size_t>(c)];
+    }
+    cache.logits[static_cast<std::size_t>(k)] = acc;
+  }
+}
+
+std::vector<float> FloatCnn::forward(const TensorF& image) const {
+  Cache cache;
+  forward_internal(image, cache);
+  return cache.logits;
+}
+
+int FloatCnn::predict(const TensorF& image) const {
+  const std::vector<float> logits = forward(image);
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
+}
+
+double FloatCnn::train_batch(std::span<const TensorF> images,
+                             std::span<const int> labels,
+                             double learning_rate) {
+  WF_CHECK(images.size() == labels.size() && !images.empty());
+  const std::int64_t img = config_.img;
+  const std::int64_t half = img / 2;
+  // Gradient accumulators.
+  TensorF gw1(w1_.shape()), gw2(w2_.shape());
+  std::vector<float> gb1(b1_.size()), gb2(b2_.size());
+  std::vector<float> gfc_w(fc_w_.size()), gfc_b(fc_b_.size());
+  double loss_sum = 0.0;
+
+  Cache cache;
+  for (std::size_t s = 0; s < images.size(); ++s) {
+    forward_internal(images[s], cache);
+    // Softmax cross-entropy.
+    const int label = labels[s];
+    float maxlogit = cache.logits[0];
+    for (const float l : cache.logits) maxlogit = std::max(maxlogit, l);
+    double denom = 0;
+    std::vector<double> probs(cache.logits.size());
+    for (std::size_t k = 0; k < probs.size(); ++k) {
+      probs[k] = std::exp(static_cast<double>(cache.logits[k] - maxlogit));
+      denom += probs[k];
+    }
+    for (auto& p : probs) p /= denom;
+    loss_sum += -std::log(std::max(probs[static_cast<std::size_t>(label)],
+                                   1e-12));
+
+    // dL/dlogits.
+    std::vector<float> dlogits(probs.size());
+    for (std::size_t k = 0; k < probs.size(); ++k) {
+      dlogits[k] = static_cast<float>(probs[k]) -
+                   (static_cast<int>(k) == label ? 1.0f : 0.0f);
+    }
+    // FC backward.
+    std::vector<float> dgap(static_cast<std::size_t>(config_.c2), 0.0f);
+    for (int k = 0; k < config_.classes; ++k) {
+      gfc_b[static_cast<std::size_t>(k)] += dlogits[static_cast<std::size_t>(k)];
+      for (std::int64_t c = 0; c < config_.c2; ++c) {
+        gfc_w[static_cast<std::size_t>(k * config_.c2 + c)] +=
+            dlogits[static_cast<std::size_t>(k)] *
+            cache.gap[static_cast<std::size_t>(c)];
+        dgap[static_cast<std::size_t>(c)] +=
+            dlogits[static_cast<std::size_t>(k)] *
+            fc_w_[static_cast<std::size_t>(k * config_.c2 + c)];
+      }
+    }
+    // GAP backward -> dr2; ReLU mask -> da2.
+    TensorF da2(cache.a2.shape());
+    const float inv = 1.0f / static_cast<float>(half * half);
+    for (std::int64_t c = 0; c < config_.c2; ++c) {
+      for (std::int64_t y = 0; y < half; ++y) {
+        for (std::int64_t x = 0; x < half; ++x) {
+          const float g = dgap[static_cast<std::size_t>(c)] * inv;
+          da2.at(0, c, y, x) = cache.a2.at(0, c, y, x) > 0 ? g : 0.0f;
+        }
+      }
+    }
+    // conv2 backward: weight grads + input grads (dp1).
+    TensorF dp1(cache.p1.shape());
+    for (std::int64_t oc = 0; oc < config_.c2; ++oc) {
+      for (std::int64_t y = 0; y < half; ++y) {
+        for (std::int64_t x = 0; x < half; ++x) {
+          const float g = da2.at(0, oc, y, x);
+          if (g == 0.0f) continue;
+          gb2[static_cast<std::size_t>(oc)] += g;
+          for (std::int64_t ic = 0; ic < config_.c1; ++ic) {
+            for (std::int64_t ky = 0; ky < 3; ++ky) {
+              const std::int64_t iy = y + ky - 1;
+              if (iy < 0 || iy >= half) continue;
+              for (std::int64_t kx = 0; kx < 3; ++kx) {
+                const std::int64_t ix = x + kx - 1;
+                if (ix < 0 || ix >= half) continue;
+                gw2.at(oc, ic, ky, kx) += g * cache.p1.at(0, ic, iy, ix);
+                dp1.at(0, ic, iy, ix) += g * w2_.at(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+    // Maxpool backward -> dr1 (route to argmax), ReLU mask -> da1.
+    TensorF da1(cache.a1.shape());
+    for (std::int64_t c = 0; c < config_.c1; ++c) {
+      for (std::int64_t y = 0; y < half; ++y) {
+        for (std::int64_t x = 0; x < half; ++x) {
+          const float g = dp1.at(0, c, y, x);
+          if (g == 0.0f) continue;
+          const std::int64_t flat = cache.amax.at(0, c, y, x);
+          if (cache.a1[flat] > 0) da1[flat] += g;
+        }
+      }
+    }
+    // conv1 backward: weight grads only (input grads unused).
+    for (std::int64_t oc = 0; oc < config_.c1; ++oc) {
+      for (std::int64_t y = 0; y < img; ++y) {
+        for (std::int64_t x = 0; x < img; ++x) {
+          const float g = da1.at(0, oc, y, x);
+          if (g == 0.0f) continue;
+          gb1[static_cast<std::size_t>(oc)] += g;
+          for (std::int64_t ic = 0; ic < config_.in_c; ++ic) {
+            for (std::int64_t ky = 0; ky < 3; ++ky) {
+              const std::int64_t iy = y + ky - 1;
+              if (iy < 0 || iy >= img) continue;
+              for (std::int64_t kx = 0; kx < 3; ++kx) {
+                const std::int64_t ix = x + kx - 1;
+                if (ix < 0 || ix >= img) continue;
+                gw1.at(oc, ic, ky, kx) += g * images[s].at(0, ic, iy, ix);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // SGD update (mean gradient).
+  const float step =
+      static_cast<float>(learning_rate / static_cast<double>(images.size()));
+  for (std::int64_t i = 0; i < w1_.numel(); ++i) w1_[i] -= step * gw1[i];
+  for (std::int64_t i = 0; i < w2_.numel(); ++i) w2_[i] -= step * gw2[i];
+  for (std::size_t i = 0; i < b1_.size(); ++i) b1_[i] -= step * gb1[i];
+  for (std::size_t i = 0; i < b2_.size(); ++i) b2_[i] -= step * gb2[i];
+  for (std::size_t i = 0; i < fc_w_.size(); ++i) fc_w_[i] -= step * gfc_w[i];
+  for (std::size_t i = 0; i < fc_b_.size(); ++i) fc_b_[i] -= step * gfc_b[i];
+  return loss_sum / static_cast<double>(images.size());
+}
+
+double FloatCnn::accuracy(std::span<const TensorF> images,
+                          std::span<const int> labels) const {
+  int correct = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    correct += predict(images[i]) == labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(images.size());
+}
+
+Network FloatCnn::to_network(DType dtype,
+                             std::span<const TensorF> calib) const {
+  Network net("trained-cnn", dtype);
+  int x = net.add_input(Shape{1, config_.in_c, config_.img, config_.img});
+  x = net.add_conv(x, config_.c1, 3, 1, 1, w1_, b1_, /*relu=*/true);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, config_.c2, 3, 1, 1, w2_, b2_, /*relu=*/true);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  TensorF fc(Shape{config_.classes, config_.c2, 1, 1},
+             std::vector<float>(fc_w_.begin(), fc_w_.end()));
+  x = net.add_linear(x, config_.classes, fc, fc_b_);
+  net.set_output(x);
+  net.set_logit_centering(false);  // trained bias is meaningful
+  net.calibrate(calib);
+  return net;
+}
+
+BlobData make_blob_data(const TrainConfig& config, int count, double noise,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  // Per-class smooth pattern.
+  std::vector<TensorF> patterns;
+  const Shape shape{1, config.in_c, config.img, config.img};
+  for (int k = 0; k < config.classes; ++k) {
+    TensorF p(shape);
+    for (auto& v : p.flat()) v = static_cast<float>(rng.next_gaussian());
+    // Cheap smoothing: average with axis-shifted copies.
+    TensorF s = p;
+    for (std::int64_t c = 0; c < shape.c; ++c) {
+      for (std::int64_t y = 0; y < shape.h; ++y) {
+        for (std::int64_t x = 0; x < shape.w; ++x) {
+          float sum = p.at(0, c, y, x);
+          int n = 1;
+          if (y + 1 < shape.h) { sum += p.at(0, c, y + 1, x); ++n; }
+          if (x + 1 < shape.w) { sum += p.at(0, c, y, x + 1); ++n; }
+          s.at(0, c, y, x) = sum / static_cast<float>(n);
+        }
+      }
+    }
+    patterns.push_back(std::move(s));
+  }
+  BlobData data;
+  for (int i = 0; i < count; ++i) {
+    const int label = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(config.classes)));
+    TensorF image = patterns[static_cast<std::size_t>(label)];
+    for (auto& v : image.flat())
+      v += static_cast<float>(rng.next_gaussian() * noise);
+    data.images.push_back(std::move(image));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+}  // namespace winofault

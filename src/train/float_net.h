@@ -1,0 +1,69 @@
+// Minimal float training substrate: a small CNN (conv-relu-pool-conv-relu-
+// GAP-fc) with hand-written backpropagation and SGD. It exists to show the
+// fault-tolerance results are not an artifact of random weights: a genuinely
+// trained classifier is exported into the quantized inference engine and
+// fault-injected in examples/train_and_inject.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/network.h"
+#include "tensor/tensor.h"
+
+namespace winofault {
+
+struct TrainConfig {
+  std::int64_t in_c = 1;
+  std::int64_t img = 12;      // square input
+  std::int64_t c1 = 8;        // channels of conv1
+  std::int64_t c2 = 8;        // channels of conv2
+  int classes = 4;
+};
+
+class FloatCnn {
+ public:
+  FloatCnn(const TrainConfig& config, std::uint64_t seed);
+
+  const TrainConfig& config() const { return config_; }
+
+  // Logits for one image.
+  std::vector<float> forward(const TensorF& image) const;
+  int predict(const TensorF& image) const;
+
+  // One SGD step over a minibatch (softmax cross-entropy); returns the
+  // mean loss before the update.
+  double train_batch(std::span<const TensorF> images,
+                     std::span<const int> labels, double learning_rate);
+
+  double accuracy(std::span<const TensorF> images,
+                  std::span<const int> labels) const;
+
+  // Exports the trained weights into a quantized Network (conv engines,
+  // fault injection, TMR — the whole machinery applies).
+  Network to_network(DType dtype, std::span<const TensorF> calib) const;
+
+ private:
+  struct Cache;  // forward activations for backprop
+  void forward_internal(const TensorF& image, Cache& cache) const;
+
+  TrainConfig config_;
+  // Parameters (row-major conv weights [oc][ic][3][3]).
+  TensorF w1_, w2_;
+  std::vector<float> b1_, b2_;
+  std::vector<float> fc_w_;  // [classes][c2]
+  std::vector<float> fc_b_;
+};
+
+// Synthetic "blobs" classification data: per-class smoothed pattern plus
+// Gaussian noise. Returns images and labels.
+struct BlobData {
+  std::vector<TensorF> images;
+  std::vector<int> labels;
+};
+BlobData make_blob_data(const TrainConfig& config, int count, double noise,
+                        std::uint64_t seed);
+
+}  // namespace winofault

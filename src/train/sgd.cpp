@@ -1,0 +1,49 @@
+#include "train/sgd.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+TrainStats train_sgd(FloatCnn& model, const BlobData& data,
+                     const SgdOptions& options) {
+  WF_CHECK(!data.images.empty());
+  Rng rng(options.seed);
+  std::vector<std::size_t> order(data.images.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  TrainStats stats;
+  double lr = options.learning_rate;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = order.size() - 1; i > 0; --i) {
+      const std::size_t j = rng.next_below(i + 1);
+      std::swap(order[i], order[j]);
+    }
+    double loss = 0;
+    int batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(options.batch_size));
+      std::vector<TensorF> images;
+      std::vector<int> labels;
+      for (std::size_t i = start; i < end; ++i) {
+        images.push_back(data.images[order[i]]);
+        labels.push_back(data.labels[order[i]]);
+      }
+      loss += model.train_batch(images, labels, lr);
+      ++batches;
+    }
+    stats.final_loss = loss / batches;
+    if (options.verbose) {
+      WF_INFO << "epoch " << epoch << " loss " << stats.final_loss;
+    }
+    lr *= options.decay;
+  }
+  stats.train_accuracy = model.accuracy(data.images, data.labels);
+  return stats;
+}
+
+}  // namespace winofault

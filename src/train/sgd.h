@@ -1,0 +1,26 @@
+// Training-loop driver for the float CNN substrate: epoch shuffling,
+// minibatching, and a simple step-decay schedule.
+#pragma once
+
+#include "train/float_net.h"
+
+namespace winofault {
+
+struct SgdOptions {
+  int epochs = 20;
+  int batch_size = 16;
+  double learning_rate = 0.1;
+  double decay = 0.9;  // per-epoch multiplicative decay
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  double final_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+TrainStats train_sgd(FloatCnn& model, const BlobData& data,
+                     const SgdOptions& options);
+
+}  // namespace winofault

@@ -1,0 +1,106 @@
+// Tests for the accelerator substrate: systolic cycle model, voltage/BER
+// model, and energy accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/energy_model.h"
+#include "accel/systolic.h"
+#include "accel/voltage_model.h"
+
+namespace winofault {
+namespace {
+
+ConvDesc conv3(std::int64_t c, std::int64_t hw) {
+  ConvDesc desc;
+  desc.in_c = c;
+  desc.in_h = hw;
+  desc.in_w = hw;
+  desc.out_c = c;
+  return desc;
+}
+
+TEST(Systolic, WinogradIsFasterOnThreeByThree) {
+  const SystolicConfig config;
+  const ConvDesc desc = conv3(64, 32);
+  const LayerTiming direct = simulate_conv(config, desc, ConvPolicy::kDirect);
+  const LayerTiming wg2 = simulate_conv(config, desc, ConvPolicy::kWinograd2);
+  const LayerTiming wg4 = simulate_conv(config, desc, ConvPolicy::kWinograd4);
+  EXPECT_LT(wg2.total_cycles, direct.total_cycles);
+  EXPECT_LT(wg4.compute_cycles, wg2.compute_cycles)
+      << "F(4,3) multiplies less than F(2,3)";
+  EXPECT_GT(wg2.transform_cycles, 0);
+  EXPECT_EQ(direct.transform_cycles, 0);
+}
+
+TEST(Systolic, WinogradFallsBackForUnsupportedShapes) {
+  const SystolicConfig config;
+  ConvDesc pointwise = conv3(64, 16);
+  pointwise.kh = pointwise.kw = 1;
+  pointwise.pad = 0;
+  const LayerTiming direct =
+      simulate_conv(config, pointwise, ConvPolicy::kDirect);
+  const LayerTiming wg = simulate_conv(config, pointwise, ConvPolicy::kWinograd2);
+  EXPECT_EQ(direct.total_cycles, wg.total_cycles);
+}
+
+TEST(Systolic, CyclesScaleWithWork) {
+  const SystolicConfig config;
+  const LayerTiming small = simulate_conv(config, conv3(16, 16), ConvPolicy::kDirect);
+  const LayerTiming large = simulate_conv(config, conv3(32, 32), ConvPolicy::kDirect);
+  EXPECT_GT(large.total_cycles, 4 * small.total_cycles);
+}
+
+TEST(Systolic, NetworkRuntimeSumsLayers) {
+  const SystolicConfig config;
+  const std::vector<ConvDesc> descs = {conv3(16, 16), conv3(16, 16)};
+  const double one = network_runtime_seconds(
+      config, std::span<const ConvDesc>(descs.data(), 1), ConvPolicy::kDirect);
+  const double two = network_runtime_seconds(config, descs, ConvPolicy::kDirect);
+  EXPECT_NEAR(two, 2.0 * one, 1e-12);
+  EXPECT_GT(one, 0.0);
+}
+
+TEST(VoltageModel, ReproducesPaperAnchors) {
+  const VoltageModel model;
+  EXPECT_NEAR(std::log10(model.ber_at(0.82)), -12.0, 1e-9);
+  EXPECT_NEAR(std::log10(model.ber_at(0.77)), -8.0, 1e-9);
+  // Monotone: lower voltage, more errors.
+  EXPECT_GT(model.ber_at(0.75), model.ber_at(0.80));
+  // Nominal voltage: negligible.
+  EXPECT_EQ(model.ber_at(0.90), 0.0);
+}
+
+TEST(VoltageModel, VoltageForBerInvertsBerAt) {
+  const VoltageModel model;
+  for (const double ber : {1e-11, 1e-9, 1e-8}) {
+    const double v = model.voltage_for_ber(ber);
+    EXPECT_NEAR(model.ber_at(v), ber, ber * 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(model.voltage_for_ber(0.0), model.v_nom);
+}
+
+TEST(VoltageModel, PowerDropsWithVoltage) {
+  const VoltageModel model;
+  EXPECT_GT(model.power_w(0.9), model.power_w(0.8));
+  EXPECT_GT(model.power_w(0.8), model.power_w(0.7));
+  // Dynamic scaling ~ V^2: 0.8/0.9 => ~0.79x dynamic.
+  const double p_nom = model.power_w(model.v_nom);
+  EXPECT_NEAR(p_nom, model.dynamic_power_nom_w + model.leakage_power_nom_w,
+              1e-12);
+}
+
+TEST(EnergyModel, WinogradSavesEnergyAtEqualVoltage) {
+  EnergyModel model;
+  const std::vector<ConvDesc> descs = {conv3(32, 32), conv3(32, 32)};
+  const double st = model.inference_energy_j(descs, ConvPolicy::kDirect, 0.9);
+  const double wg = model.inference_energy_j(descs, ConvPolicy::kWinograd2, 0.9);
+  EXPECT_LT(wg, st);
+  // And lowering voltage saves more.
+  const double wg_low =
+      model.inference_energy_j(descs, ConvPolicy::kWinograd2, 0.8);
+  EXPECT_LT(wg_low, wg);
+}
+
+}  // namespace
+}  // namespace winofault

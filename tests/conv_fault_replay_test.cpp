@@ -1,0 +1,222 @@
+// Property suite: engine.forward() + engine.apply_faults(sites) is
+// bit-identical to running the whole layer with every operation
+// instrumented (instrumented_ref). This proves the fast replay path
+// implements the operation-level fault model exactly, for every op kind,
+// every block of the Winograd add space, and multi-fault schedules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "conv/engine.h"
+#include "conv/instrumented_ref.h"
+#include "conv/winograd_conv.h"
+#include "fault/site_sampler.h"
+#include "test_util.h"
+
+namespace winofault {
+namespace {
+
+using testing::ConvProblem;
+using testing::count_diffs;
+using testing::expect_tensors_equal;
+using testing::make_problem;
+
+ConvDesc small_desc() {
+  ConvDesc desc;
+  desc.in_c = 3;
+  desc.in_h = 9;
+  desc.in_w = 7;
+  desc.out_c = 4;
+  return desc;
+}
+
+void check_replay(const ConvEngine& engine, bool winograd, int m,
+                  const ConvProblem& p, std::span<const FaultSite> sites) {
+  TensorI32 replay = engine.forward(p.desc, p.data());
+  engine.apply_faults(p.desc, p.data(), sites, replay);
+  const TensorI32 ref =
+      winograd ? winograd_forward_instrumented(m, p.desc, p.data(), sites)
+               : direct_forward_instrumented(p.desc, p.data(), sites);
+  expect_tensors_equal(ref, replay, "instrumented vs replay");
+}
+
+// Exhaustive-ish single-fault sweep: every op-space region, several bits.
+TEST(DirectReplay, SingleFaultSweep) {
+  Rng rng(101);
+  const ConvDesc desc = small_desc();
+  const ConvProblem p = make_problem(rng, desc, DType::kInt16);
+  const OpSpace space = direct_engine().op_space(desc, DType::kInt16);
+  for (const OpKind kind : {OpKind::kMul, OpKind::kAdd}) {
+    const std::int64_t n =
+        kind == OpKind::kMul ? space.n_mul : space.n_add;
+    const int width = kind == OpKind::kMul ? space.mul_bits : space.add_bits;
+    for (int trial = 0; trial < 60; ++trial) {
+      FaultSite site;
+      site.kind = kind;
+      site.op_index = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      site.bit =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(width)));
+      check_replay(direct_engine(), false, 0, p, {&site, 1});
+    }
+  }
+}
+
+class WinogradReplay : public ::testing::TestWithParam<int> {};
+
+TEST_P(WinogradReplay, SingleFaultSweepAllBlocks) {
+  const int m = GetParam();
+  Rng rng(202 + m);
+  const ConvDesc desc = small_desc();
+  const ConvProblem p = make_problem(rng, desc, DType::kInt16);
+  const auto& engine = winograd_engine(m);
+  const OpSpace space = engine.op_space(desc, DType::kInt16);
+  const WgLayout layout =
+      WgLayout::make(winograd_plan(m), desc);
+
+  // Muls.
+  for (int trial = 0; trial < 40; ++trial) {
+    FaultSite site;
+    site.kind = OpKind::kMul;
+    site.op_index = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(space.n_mul)));
+    site.bit = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(space.mul_bits)));
+    check_replay(engine, true, m, p, {&site, 1});
+  }
+  // Adds: hit each block explicitly (input transform, channel accumulation,
+  // inverse transform, bias).
+  const std::int64_t block_bounds[5] = {0, layout.base_b, layout.base_c,
+                                        layout.base_d, layout.n_add};
+  for (int block = 0; block < 4; ++block) {
+    const std::int64_t lo = block_bounds[block];
+    const std::int64_t hi = block_bounds[block + 1];
+    ASSERT_LT(lo, hi) << "empty add block " << block;
+    for (int trial = 0; trial < 25; ++trial) {
+      FaultSite site;
+      site.kind = OpKind::kAdd;
+      site.op_index =
+          lo + static_cast<std::int64_t>(
+                   rng.next_below(static_cast<std::uint64_t>(hi - lo)));
+      site.bit = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(space.add_bits)));
+      check_replay(engine, true, m, p, {&site, 1});
+    }
+  }
+}
+
+TEST_P(WinogradReplay, MultiFaultSchedules) {
+  const int m = GetParam();
+  Rng rng(303 + m);
+  const ConvDesc desc = small_desc();
+  for (const DType dtype : {DType::kInt8, DType::kInt16}) {
+    const ConvProblem p = make_problem(rng, desc, dtype);
+    const auto& engine = winograd_engine(m);
+    const OpSpace space = engine.op_space(desc, dtype);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<FaultSite> sites;
+      const int count = 1 + static_cast<int>(rng.next_below(8));
+      for (int i = 0; i < count; ++i) {
+        FaultSite site;
+        site.kind = rng.bernoulli(0.5) ? OpKind::kMul : OpKind::kAdd;
+        const std::int64_t n =
+            site.kind == OpKind::kMul ? space.n_mul : space.n_add;
+        const int width =
+            site.kind == OpKind::kMul ? space.mul_bits : space.add_bits;
+        site.op_index = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        site.bit = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(width)));
+        sites.push_back(site);
+      }
+      check_replay(engine, true, m, p, sites);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, WinogradReplay, ::testing::Values(2, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "F" + std::to_string(info.param);
+                         });
+
+TEST(DirectReplay, MultiFaultSchedules) {
+  Rng rng(404);
+  const ConvDesc desc = small_desc();
+  for (const DType dtype : {DType::kInt8, DType::kInt16}) {
+    const ConvProblem p = make_problem(rng, desc, dtype);
+    const OpSpace space = direct_engine().op_space(desc, dtype);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<FaultSite> sites;
+      const int count = 1 + static_cast<int>(rng.next_below(10));
+      for (int i = 0; i < count; ++i) {
+        FaultSite site;
+        site.kind = rng.bernoulli(0.5) ? OpKind::kMul : OpKind::kAdd;
+        const std::int64_t n =
+            site.kind == OpKind::kMul ? space.n_mul : space.n_add;
+        const int width =
+            site.kind == OpKind::kMul ? space.mul_bits : space.add_bits;
+        site.op_index = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        site.bit = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(width)));
+        sites.push_back(site);
+      }
+      check_replay(direct_engine(), false, 0, p, sites);
+    }
+  }
+}
+
+// An input-transform fault must be able to corrupt outputs across *all*
+// output channels of its tile (the fan-out the replay must honor).
+TEST(WinogradReplay, InputTransformFaultFansOutAcrossChannels) {
+  Rng rng(505);
+  ConvDesc desc = small_desc();
+  desc.out_c = 6;
+  const ConvProblem p = make_problem(rng, desc, DType::kInt16);
+  const auto& engine = winograd_engine(2);
+  const WgLayout layout = WgLayout::make(winograd_plan_f2(), desc);
+  const TensorI32 golden = engine.forward(desc, p.data());
+
+  // High bit of an early input-transform add of tile 0, channel 0.
+  FaultSite site;
+  site.kind = OpKind::kAdd;
+  site.op_index = 3;  // within block A, tile 0
+  site.bit = FaultModel::add_surface_bits(DType::kInt16) - 1;
+  ASSERT_LT(site.op_index, layout.base_b);
+  TensorI32 faulty = golden;
+  engine.apply_faults(desc, p.data(), {&site, 1}, faulty);
+
+  // Count distinct output channels touched.
+  int channels_touched = 0;
+  for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
+    bool touched = false;
+    for (std::int64_t y = 0; y < desc.out_h() && !touched; ++y)
+      for (std::int64_t x = 0; x < desc.out_w() && !touched; ++x)
+        touched = faulty.at(0, oc, y, x) != golden.at(0, oc, y, x);
+    channels_touched += touched;
+  }
+  EXPECT_GT(channels_touched, 1)
+      << "input-transform fault should corrupt multiple output channels";
+}
+
+// Faults outside their tile must leave other outputs untouched.
+TEST(WinogradReplay, FaultLocality) {
+  Rng rng(606);
+  const ConvDesc desc = small_desc();
+  const ConvProblem p = make_problem(rng, desc, DType::kInt16);
+  const auto& engine = winograd_engine(2);
+  const TensorI32 golden = engine.forward(desc, p.data());
+  const OpSpace space = engine.op_space(desc, DType::kInt16);
+
+  FaultSite site;
+  site.kind = OpKind::kMul;
+  site.op_index = space.n_mul - 1;  // last tile, last output channel
+  site.bit = space.mul_bits - 1;
+  TensorI32 faulty = golden;
+  engine.apply_faults(desc, p.data(), {&site, 1}, faulty);
+  // Damage confined to one m x m tile of one channel: at most m*m diffs.
+  EXPECT_LE(count_diffs(golden, faulty), 4);
+}
+
+}  // namespace
+}  // namespace winofault

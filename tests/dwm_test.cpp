@@ -1,0 +1,96 @@
+// Tests for the Decomposable Winograd Method extension: 5x5 convolutions
+// decomposed into 3x3 Winograd sub-problems must match direct 5x5
+// convolution bit-for-bit, and the op accounting must show the expected
+// multiplication reduction.
+#include <gtest/gtest.h>
+
+#include "conv/dwm.h"
+#include "conv/engine.h"
+#include "test_util.h"
+
+namespace winofault {
+namespace {
+
+using testing::ConvProblem;
+using testing::expect_tensors_equal;
+using testing::make_problem;
+
+ConvDesc desc_5x5(std::int64_t in_c, std::int64_t hw, std::int64_t out_c,
+                  std::int64_t pad) {
+  ConvDesc desc;
+  desc.in_c = in_c;
+  desc.in_h = hw;
+  desc.in_w = hw;
+  desc.out_c = out_c;
+  desc.kh = 5;
+  desc.kw = 5;
+  desc.pad = pad;
+  return desc;
+}
+
+TEST(Dwm, SupportsOnly5x5Stride1) {
+  EXPECT_TRUE(dwm_supports(desc_5x5(1, 8, 1, 2)));
+  EXPECT_TRUE(dwm_supports(desc_5x5(1, 8, 1, 1)));
+  ConvDesc three;
+  three.kh = three.kw = 3;
+  EXPECT_FALSE(dwm_supports(three));
+  ConvDesc strided = desc_5x5(1, 8, 1, 2);
+  strided.stride = 2;
+  EXPECT_FALSE(dwm_supports(strided));
+  ConvDesc nopad = desc_5x5(1, 8, 1, 0);
+  EXPECT_FALSE(dwm_supports(nopad));
+}
+
+class DwmExactness
+    : public ::testing::TestWithParam<std::tuple<int, DType, int>> {};
+
+TEST_P(DwmExactness, MatchesDirect5x5) {
+  const int m = std::get<0>(GetParam());
+  const DType dtype = std::get<1>(GetParam());
+  const int pad = std::get<2>(GetParam());
+  Rng rng(811 + m + pad);
+  const ConvDesc desc = desc_5x5(3, 12, 4, pad);
+  const ConvProblem p = make_problem(rng, desc, dtype);
+  const TensorI32 ref = direct_engine().forward(desc, p.data());
+  const TensorI32 dwm = dwm_forward(m, desc, p.data());
+  expect_tensors_equal(ref, dwm, "dwm vs direct 5x5");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DwmExactness,
+    ::testing::Combine(::testing::Values(2, 4),
+                       ::testing::Values(DType::kInt8, DType::kInt16),
+                       ::testing::Values(1, 2)));
+
+TEST(Dwm, RaggedSpatialSizes) {
+  Rng rng(911);
+  ConvDesc desc = desc_5x5(2, 11, 3, 2);
+  desc.in_w = 7;  // non-square, odd
+  const ConvProblem p = make_problem(rng, desc, DType::kInt16);
+  expect_tensors_equal(direct_engine().forward(desc, p.data()),
+                       dwm_forward(2, desc, p.data()), "ragged dwm");
+}
+
+TEST(Dwm, NoBias) {
+  Rng rng(912);
+  ConvDesc desc = desc_5x5(2, 10, 2, 2);
+  desc.has_bias = false;
+  const ConvProblem p = make_problem(rng, desc, DType::kInt16);
+  expect_tensors_equal(direct_engine().forward(desc, p.data()),
+                       dwm_forward(4, desc, p.data()), "no-bias dwm");
+}
+
+TEST(Dwm, OpSpaceReducesMuls) {
+  const ConvDesc desc = desc_5x5(16, 16, 16, 2);
+  const OpSpace direct = direct_engine().op_space(desc, DType::kInt16);
+  for (const int m : {2, 4}) {
+    const OpSpace dwm = dwm_op_space(m, desc, DType::kInt16);
+    EXPECT_LT(dwm.n_mul, direct.n_mul)
+        << "DWM F(" << m << ") should multiply less than direct 5x5";
+    EXPECT_GT(dwm.n_mul, 0);
+    EXPECT_GT(dwm.n_add, 0);
+  }
+}
+
+}  // namespace
+}  // namespace winofault

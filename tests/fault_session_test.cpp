@@ -1,0 +1,181 @@
+// Tests for the per-inference fault session: injection modes, layer
+// exclusion, op-kind restriction, protection, and the Fig 1 property that
+// neuron-level injection cannot distinguish conv algorithms while
+// operation-level injection can.
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/evaluator.h"
+#include "nn/network.h"
+
+namespace winofault {
+namespace {
+
+Network small_net(DType dtype = DType::kInt16) {
+  Network net("small", dtype);
+  Rng rng(17);
+  int x = net.add_input(Shape{1, 3, 16, 16});
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 4, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 3, 5));
+  return net;
+}
+
+TEST(FaultSession, ZeroBerIsIdentity) {
+  const Network net = small_net();
+  const auto images = make_images(net.input_shape(), 3, 21);
+  for (const TensorF& image : images) {
+    ExecContext clean_ctx;
+    const TensorI32 clean = net.forward(image, clean_ctx);
+    FaultConfig config;
+    config.ber = 0.0;
+    FaultSession session(config, 33);
+    ExecContext ctx;
+    ctx.session = &session;
+    const TensorI32 out = net.forward(image, ctx);
+    EXPECT_EQ(clean, out);
+    EXPECT_EQ(session.total_flips(), 0);
+  }
+}
+
+TEST(FaultSession, HighBerCorruptsOutputs) {
+  const Network net = small_net();
+  const auto images = make_images(net.input_shape(), 2, 22);
+  FaultConfig config;
+  config.ber = 1e-5;
+  int corrupted = 0;
+  for (const TensorF& image : images) {
+    ExecContext clean_ctx;
+    const TensorI32 clean = net.forward(image, clean_ctx);
+    FaultSession session(config, 44);
+    ExecContext ctx;
+    ctx.session = &session;
+    const TensorI32 out = net.forward(image, ctx);
+    EXPECT_GT(session.total_flips(), 0);
+    corrupted += !(clean == out);
+  }
+  EXPECT_GT(corrupted, 0);
+}
+
+TEST(FaultSession, SameSeedReproducesExactly) {
+  const Network net = small_net();
+  const auto images = make_images(net.input_shape(), 1, 23);
+  FaultConfig config;
+  config.ber = 1e-6;
+  for (const ConvPolicy policy :
+       {ConvPolicy::kDirect, ConvPolicy::kWinograd2}) {
+    FaultSession s1(config, 777), s2(config, 777);
+    ExecContext c1, c2;
+    c1.policy = c2.policy = policy;
+    c1.session = &s1;
+    c2.session = &s2;
+    const TensorI32 a = net.forward(images[0], c1);
+    const TensorI32 b = net.forward(images[0], c2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(s1.total_flips(), s2.total_flips());
+  }
+}
+
+TEST(FaultSession, FaultFreeLayerIsExcluded) {
+  const Network net = small_net();
+  const auto images = make_images(net.input_shape(), 1, 24);
+  // With every layer excluded one at a time at extreme BER, flips drop
+  // relative to no exclusion.
+  FaultConfig all;
+  all.ber = 1e-5;
+  FaultSession base(all, 55);
+  ExecContext ctx_base;
+  ctx_base.session = &base;
+  net.forward(images[0], ctx_base);
+
+  std::int64_t excluded_total = 0;
+  for (int layer = 0; layer < net.num_protectable(); ++layer) {
+    FaultConfig config = all;
+    config.fault_free_layer = layer;
+    FaultSession session(config, 55);
+    ExecContext ctx;
+    ctx.session = &session;
+    net.forward(images[0], ctx);
+    EXPECT_LE(session.total_flips(), base.total_flips());
+    excluded_total += session.total_flips();
+  }
+  // Summed over all single-layer exclusions, (P-1) * base flips expected.
+  EXPECT_LT(excluded_total, net.num_protectable() * base.total_flips());
+}
+
+TEST(FaultSession, OnlyKindRestriction) {
+  const Network net = small_net();
+  const auto images = make_images(net.input_shape(), 1, 25);
+  FaultConfig mul_only;
+  mul_only.ber = 1e-5;
+  mul_only.only_kind = OpKind::kMul;
+  FaultConfig add_only = mul_only;
+  add_only.only_kind = OpKind::kAdd;
+  FaultSession sm(mul_only, 66), sa(add_only, 66);
+  ExecContext cm, ca;
+  cm.session = &sm;
+  ca.session = &sa;
+  net.forward(images[0], cm);
+  net.forward(images[0], ca);
+  EXPECT_GT(sm.total_flips(), 0);
+  EXPECT_GT(sa.total_flips(), 0);
+}
+
+TEST(FaultSession, FullProtectionRestoresCleanOutput) {
+  const Network net = small_net();
+  const auto images = make_images(net.input_shape(), 2, 26);
+  FaultConfig config;
+  config.ber = 1e-5;
+  for (int p = 0; p < net.num_protectable(); ++p)
+    config.protection.emplace(p, ProtectionSet(1.0, 1.0));
+  for (const TensorF& image : images) {
+    ExecContext clean_ctx;
+    const TensorI32 clean = net.forward(image, clean_ctx);
+    FaultSession session(config, 88);
+    ExecContext ctx;
+    ctx.session = &session;
+    const TensorI32 out = net.forward(image, ctx);
+    EXPECT_EQ(clean, out);
+    EXPECT_EQ(session.total_flips(), 0);
+  }
+}
+
+// The Fig 1 mechanism: neuron-level injection samples the *same* fault
+// space for direct and Winograd execution (activation tensors are
+// identical), so per-seed it corrupts identically; operation-level
+// injection samples engine-specific op spaces and diverges.
+TEST(FaultSession, NeuronLevelCannotDistinguishEngines) {
+  const Network net = small_net();
+  const auto images = make_images(net.input_shape(), 3, 27);
+  FaultConfig config;
+  config.ber = 1e-4;
+  config.mode = InjectionMode::kNeuronLevel;
+  for (const TensorF& image : images) {
+    FaultSession s_direct(config, 99), s_wino(config, 99);
+    ExecContext cd, cw;
+    cd.policy = ConvPolicy::kDirect;
+    cd.session = &s_direct;
+    cw.policy = ConvPolicy::kWinograd2;
+    cw.session = &s_wino;
+    const TensorI32 a = net.forward(image, cd);
+    const TensorI32 b = net.forward(image, cw);
+    EXPECT_EQ(a, b) << "neuron-level FI must be blind to the conv algorithm";
+  }
+}
+
+TEST(FaultSession, OpLevelSeesSmallerWinogradMulSpace) {
+  const Network net = small_net();
+  const OpSpace direct = net.total_op_space(ConvPolicy::kDirect);
+  const OpSpace wino = net.total_op_space(ConvPolicy::kWinograd4);
+  EXPECT_LT(wino.n_mul, direct.n_mul);
+  // Expected flip counts scale with the op-bit space.
+  FaultModel model{1e-6};
+  EXPECT_LT(model.expected_flips(wino), model.expected_flips(direct));
+}
+
+}  // namespace
+}  // namespace winofault

@@ -1,0 +1,97 @@
+// Model-zoo construction tests at tiny width: topology sizes, calibration,
+// cross-policy fault-free equivalence, and Winograd mul reduction at the
+// network level for each of the paper's four benchmarks.
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/models/zoo.h"
+#include "test_util.h"
+
+namespace winofault {
+namespace {
+
+ZooConfig tiny_config() {
+  ZooConfig config;
+  config.width = 0.05;  // floor at 4 channels everywhere: fast smoke builds
+  config.calib_images = 2;
+  config.seed = 314;
+  return config;
+}
+
+TEST(Zoo, RegistryHasAllFourBenchmarks) {
+  const auto zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 4u);
+  EXPECT_EQ(zoo[0].name, "densenet169");
+  EXPECT_EQ(zoo[1].name, "resnet50");
+  EXPECT_EQ(zoo[2].name, "vgg19");
+  EXPECT_EQ(zoo[3].name, "googlenet");
+  EXPECT_DOUBLE_EQ(zoo_entry("vgg19").clean_accuracy, 0.726);
+}
+
+TEST(Zoo, ScaledChannelsFloorsAndEvens) {
+  EXPECT_EQ(scaled_channels(64, 0.25), 16);
+  EXPECT_EQ(scaled_channels(64, 1.0), 64);
+  EXPECT_EQ(scaled_channels(3, 0.25), 4);    // floor
+  EXPECT_EQ(scaled_channels(100, 0.25), 26); // 25 -> rounded up to even
+}
+
+struct ZooCase {
+  const char* name;
+  int expected_protectable;
+};
+
+class ZooBuild : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooBuild, ConstructsCalibratesAndPredicts) {
+  const ZooCase& c = GetParam();
+  const ZooEntry& entry = zoo_entry(c.name);
+  const Network net = entry.build(tiny_config());
+  EXPECT_TRUE(net.calibrated());
+  EXPECT_EQ(net.num_protectable(), c.expected_protectable) << c.name;
+
+  const auto images = make_images(net.input_shape(), 2, 1234);
+  ExecContext ctx;
+  for (const TensorF& image : images) {
+    const int prediction = net.predict(image, ctx);
+    EXPECT_GE(prediction, 0);
+    EXPECT_LT(prediction, entry.num_classes);
+  }
+}
+
+TEST_P(ZooBuild, WinogradMatchesDirectFaultFree) {
+  const ZooCase& c = GetParam();
+  const Network net = zoo_entry(c.name).build(tiny_config());
+  const auto images = make_images(net.input_shape(), 1, 4321);
+  ExecContext direct_ctx;
+  const TensorI32 ref = net.forward(images[0], direct_ctx);
+  ExecContext wg_ctx;
+  wg_ctx.policy = ConvPolicy::kWinograd4;
+  const TensorI32 wg = net.forward(images[0], wg_ctx);
+  testing::expect_tensors_equal(ref, wg, c.name);
+}
+
+TEST_P(ZooBuild, WinogradReducesNetworkMuls) {
+  const ZooCase& c = GetParam();
+  const Network net = zoo_entry(c.name).build(tiny_config());
+  const OpSpace direct = net.total_op_space(ConvPolicy::kDirect);
+  const OpSpace wg = net.total_op_space(ConvPolicy::kWinograd4);
+  EXPECT_LT(wg.n_mul, direct.n_mul) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooBuild,
+    ::testing::Values(
+        // VGG19: 16 convs + 1 linear.
+        ZooCase{"vgg19", 17},
+        // ResNet50: stem + 16 blocks * 3 convs + 4 projections + fc = 54.
+        ZooCase{"resnet50", 54},
+        // DenseNet169: stem + 82*2 dense convs + 3 transitions + fc = 169.
+        ZooCase{"densenet169", 169},
+        // GoogLeNet: stem + 9 inceptions * 6 convs + fc = 56.
+        ZooCase{"googlenet", 56}),
+    [](const ::testing::TestParamInfo<ZooCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace winofault

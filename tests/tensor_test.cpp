@@ -1,0 +1,104 @@
+// Unit tests for tensors, shapes, and the symmetric quantization scheme.
+#include <gtest/gtest.h>
+
+#include "tensor/quantize.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace winofault {
+namespace {
+
+TEST(Shape, NumelAndIndexing) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(s.index(0, 0, 0, 0), 0);
+  EXPECT_EQ(s.index(0, 0, 0, 1), 1);
+  EXPECT_EQ(s.index(0, 0, 1, 0), 5);
+  EXPECT_EQ(s.index(0, 1, 0, 0), 20);
+  EXPECT_EQ(s.index(1, 0, 0, 0), 60);
+  EXPECT_EQ(s.index(1, 2, 3, 4), 119);
+}
+
+TEST(Shape, ConvOutDim) {
+  EXPECT_EQ(conv_out_dim(32, 3, 1, 1), 32);  // same padding
+  EXPECT_EQ(conv_out_dim(32, 3, 1, 0), 30);  // valid
+  EXPECT_EQ(conv_out_dim(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_dim(32, 1, 1, 0), 32);  // pointwise
+  EXPECT_EQ(conv_out_dim(32, 2, 2, 0), 16);  // pooling window
+}
+
+TEST(Tensor, ZeroInitializedAndMutable) {
+  TensorI32 t(Shape{1, 2, 3, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0);
+  t.at(0, 1, 2, 2) = 17;
+  EXPECT_EQ(t[t.shape().index(0, 1, 2, 2)], 17);
+}
+
+TEST(DTypeTraits, RangesAndClamp) {
+  EXPECT_EQ(bit_width(DType::kInt8), 8);
+  EXPECT_EQ(bit_width(DType::kInt16), 16);
+  EXPECT_EQ(clamp_to(DType::kInt8, 1000), 127);
+  EXPECT_EQ(clamp_to(DType::kInt8, -1000), -128);
+  EXPECT_EQ(clamp_to(DType::kInt8, 5), 5);
+  EXPECT_EQ(clamp_to(DType::kInt16, 40000), 32767);
+  EXPECT_EQ(clamp_to(DType::kInt16, -40000), -32768);
+}
+
+TEST(Quantize, RoundTripWithinHalfStep) {
+  TensorF real(Shape{1, 1, 4, 4});
+  float v = -2.0f;
+  for (auto& x : real.flat()) {
+    x = v;
+    v += 0.25f;
+  }
+  for (const DType dtype : {DType::kInt8, DType::kInt16}) {
+    const QuantParams q = choose_quant_params(real, dtype);
+    const TensorI32 stored = quantize(real, q);
+    const TensorF back = dequantize(stored, q);
+    for (std::int64_t i = 0; i < real.numel(); ++i) {
+      EXPECT_NEAR(back[i], real[i], q.scale * 0.51) << dtype_name(dtype);
+    }
+  }
+}
+
+TEST(Quantize, FullRangeUsesExtremes) {
+  TensorF real(Shape{1, 1, 1, 2});
+  real[0] = 1.0f;
+  real[1] = -1.0f;
+  const QuantParams q = choose_quant_params(real, DType::kInt8);
+  const TensorI32 stored = quantize(real, q);
+  EXPECT_EQ(stored[0], 127);
+  EXPECT_EQ(stored[1], -127);
+}
+
+TEST(Quantize, AllZeroTensorHasFiniteScale) {
+  TensorF real(Shape{1, 1, 2, 2});
+  const QuantParams q = choose_quant_params(real, DType::kInt16);
+  EXPECT_GT(q.scale, 0.0);
+  const TensorI32 stored = quantize(real, q);
+  for (std::int64_t i = 0; i < stored.numel(); ++i) EXPECT_EQ(stored[i], 0);
+}
+
+TEST(Requantize, RoundsAndSaturates) {
+  QuantParams out;
+  out.dtype = DType::kInt8;
+  out.scale = 0.5;  // one output step = 0.5 real units
+  // acc 10 at acc_scale 0.1 -> real 1.0 -> 2 steps.
+  EXPECT_EQ(requantize_value(10, 0.1, out), 2);
+  // Rounding: real 0.26 -> 0.52 steps -> 1.
+  EXPECT_EQ(requantize_value(26, 0.01, out), 1);
+  // Saturation both ways.
+  EXPECT_EQ(requantize_value(1'000'000, 1.0, out), 127);
+  EXPECT_EQ(requantize_value(-1'000'000, 1.0, out), -128);
+}
+
+TEST(Requantize, Int16MidRangeExact) {
+  QuantParams out;
+  out.dtype = DType::kInt16;
+  out.scale = 1.0;
+  EXPECT_EQ(requantize_value(12345, 1.0, out), 12345);
+  EXPECT_EQ(requantize_value(-12345, 1.0, out), -12345);
+}
+
+}  // namespace
+}  // namespace winofault

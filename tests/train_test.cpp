@@ -1,0 +1,89 @@
+// Tests for the float training substrate: learning actually happens on the
+// blob task, gradients improve loss, and a trained model exports into the
+// quantized engine with consistent predictions.
+#include <gtest/gtest.h>
+
+#include "train/sgd.h"
+
+namespace winofault {
+namespace {
+
+TrainConfig small_config() {
+  TrainConfig config;
+  config.in_c = 1;
+  config.img = 10;
+  config.c1 = 6;
+  config.c2 = 6;
+  config.classes = 3;
+  return config;
+}
+
+TEST(BlobData, DeterministicAndLabeled) {
+  const TrainConfig config = small_config();
+  const BlobData a = make_blob_data(config, 20, 0.3, 5);
+  const BlobData b = make_blob_data(config, 20, 0.3, 5);
+  ASSERT_EQ(a.images.size(), 20u);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.images[0], b.images[0]);
+  for (const int label : a.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, config.classes);
+  }
+}
+
+TEST(FloatCnn, TrainingImprovesLossAndAccuracy) {
+  const TrainConfig config = small_config();
+  FloatCnn model(config, 11);
+  const BlobData data = make_blob_data(config, 90, 0.4, 7);
+
+  const double initial_accuracy = model.accuracy(data.images, data.labels);
+  SgdOptions options;
+  options.epochs = 40;
+  options.batch_size = 15;
+  options.learning_rate = 0.3;
+  options.decay = 0.95;
+  const TrainStats stats = train_sgd(model, data, options);
+  EXPECT_GT(stats.train_accuracy, 0.85)
+      << "blob task should be separable (initial " << initial_accuracy << ")";
+  EXPECT_LT(stats.final_loss, 1.0);
+}
+
+TEST(FloatCnn, LossDecreasesOverSteps) {
+  const TrainConfig config = small_config();
+  FloatCnn model(config, 13);
+  const BlobData data = make_blob_data(config, 30, 0.3, 9);
+  double first = 0, last = 0;
+  for (int step = 0; step < 20; ++step) {
+    const double loss = model.train_batch(data.images, data.labels, 0.3);
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST(FloatCnn, ExportsToQuantizedNetworkFaithfully) {
+  const TrainConfig config = small_config();
+  FloatCnn model(config, 17);
+  const BlobData data = make_blob_data(config, 90, 0.4, 19);
+  SgdOptions options;
+  options.epochs = 40;
+  options.batch_size = 15;
+  options.learning_rate = 0.3;
+  options.decay = 0.95;
+  train_sgd(model, data, options);
+
+  const Network net = model.to_network(DType::kInt16, data.images);
+  EXPECT_TRUE(net.calibrated());
+  EXPECT_EQ(net.num_protectable(), 3);
+
+  // Quantized predictions agree with float predictions on most samples.
+  ExecContext ctx;
+  int agree = 0;
+  for (std::size_t i = 0; i < data.images.size(); ++i) {
+    agree += net.predict(data.images[i], ctx) == model.predict(data.images[i]);
+  }
+  EXPECT_GT(static_cast<double>(agree) / data.images.size(), 0.85);
+}
+
+}  // namespace
+}  // namespace winofault
