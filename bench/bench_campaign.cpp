@@ -1,0 +1,120 @@
+// Fault-sweep campaign throughput: a fig1-style operation-level injection
+// campaign (BER sweep, many trials per image) timed end-to-end with the
+// golden-activation cache on and off. Emits BENCH_campaign.json so CI can
+// track the perf trajectory, plus the usual terminal/CSV table.
+//
+// Extra knobs on top of bench_util.h:
+//   WINOFAULT_TRIALS  injection trials per (image, BER) point (default 100)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/analysis/network_sweep.h"
+
+using namespace winofault;
+using namespace winofault::bench;
+
+namespace {
+
+double run_campaign(const Network& net, const Dataset& data,
+                    const std::vector<double>& bers, int trials,
+                    std::uint64_t seed, bool reuse_golden,
+                    double* accuracy_checksum) {
+  const auto start = std::chrono::steady_clock::now();
+  double checksum = 0.0;
+  for (const double ber : bers) {
+    for (const ConvPolicy policy :
+         {ConvPolicy::kDirect, ConvPolicy::kWinograd2}) {
+      EvalOptions options;
+      options.fault.ber = ber;
+      options.policy = policy;
+      options.seed = seed;
+      options.trials = trials;
+      options.reuse_golden = reuse_golden;
+      checksum += evaluate(net, data, options).accuracy;
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (accuracy_checksum != nullptr) *accuracy_checksum = checksum;
+  return elapsed.count();
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = bench_env();
+  const int trials = env_int("WINOFAULT_TRIALS", 100);
+  ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
+  const std::vector<double> bers = log_ber_grid(1e-9, 1e-7, 3);
+
+  // Inference count per run: images * trials * bers * 2 policies.
+  const double inferences = static_cast<double>(m.data.size()) * trials *
+                            static_cast<double>(bers.size()) * 2.0;
+
+  double cached_checksum = 0.0, scratch_checksum = 0.0, seed_checksum = 0.0;
+  const double cached_s = run_campaign(m.net, m.data, bers, trials, env.seed,
+                                       /*reuse_golden=*/true,
+                                       &cached_checksum);
+  const double scratch_s = run_campaign(m.net, m.data, bers, trials, env.seed,
+                                        /*reuse_golden=*/false,
+                                        &scratch_checksum);
+  // Seed-equivalent execution: scratch trials on the seed revision's
+  // kernels (reference direct loop, per-forward Winograd filter transform).
+  set_seed_equivalent_kernels(true);
+  const double seed_s = run_campaign(m.net, m.data, bers, trials, env.seed,
+                                     /*reuse_golden=*/false, &seed_checksum);
+  set_seed_equivalent_kernels(false);
+
+  const double cached_ips = inferences / cached_s;
+  const double scratch_ips = inferences / scratch_s;
+  const double seed_ips = inferences / seed_s;
+  const double speedup_vs_scratch = scratch_s / cached_s;
+  const double speedup_vs_seed = seed_s / cached_s;
+
+  Table table({"mode", "wall_s", "inferences_per_s", "accuracy_checksum"});
+  table.add_row({"cached_replay", Table::fmt(cached_s, 3),
+                 Table::fmt(cached_ips, 1), Table::fmt(cached_checksum, 6)});
+  table.add_row({"scratch", Table::fmt(scratch_s, 3),
+                 Table::fmt(scratch_ips, 1), Table::fmt(scratch_checksum, 6)});
+  table.add_row({"seed_equivalent", Table::fmt(seed_s, 3),
+                 Table::fmt(seed_ips, 1), Table::fmt(seed_checksum, 6)});
+  emit(table, "Campaign throughput: golden cache vs scratch vs seed kernels "
+              "(VGG19 int16, op-level FI)",
+       "bench_campaign");
+  std::printf(
+      "speedup: %.2fx vs scratch, %.2fx vs seed kernels "
+      "(%d trials/image, %zu images, %zu BER points)\n",
+      speedup_vs_scratch, speedup_vs_seed, trials, m.data.size(),
+      bers.size());
+  if (cached_checksum != scratch_checksum ||
+      cached_checksum != seed_checksum) {
+    std::printf("ERROR: campaign modes disagree\n");
+    return 1;
+  }
+
+  if (FILE* f = std::fopen("BENCH_campaign.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"fi_campaign_vgg19_int16_oplevel\",\n"
+                 "  \"images\": %zu,\n"
+                 "  \"trials_per_image\": %d,\n"
+                 "  \"ber_points\": %zu,\n"
+                 "  \"inferences\": %.0f,\n"
+                 "  \"cached_wall_s\": %.4f,\n"
+                 "  \"scratch_wall_s\": %.4f,\n"
+                 "  \"seed_equiv_wall_s\": %.4f,\n"
+                 "  \"cached_inferences_per_s\": %.2f,\n"
+                 "  \"scratch_inferences_per_s\": %.2f,\n"
+                 "  \"seed_equiv_inferences_per_s\": %.2f,\n"
+                 "  \"speedup_vs_scratch\": %.3f,\n"
+                 "  \"speedup_vs_seed\": %.3f\n"
+                 "}\n",
+                 m.data.size(), trials, bers.size(), inferences, cached_s,
+                 scratch_s, seed_s, cached_ips, scratch_ips, seed_ips,
+                 speedup_vs_scratch, speedup_vs_seed);
+    std::fclose(f);
+    std::printf("[json] BENCH_campaign.json\n");
+  }
+  return 0;
+}

@@ -1,13 +1,19 @@
 // Micro-benchmarks (google-benchmark): raw kernel throughput of the three
 // convolution engines on zoo-representative shapes, plus fault-replay cost.
 // Context for the paper's premise that Winograd computing is "almost free":
-// the mul-count reduction shows up directly in kernel time.
+// the mul-count reduction shows up directly in kernel time. The direct
+// engine rows come in two flavors — the pre-GEMM reference loop and the
+// im2col + blocked GEMM fast path the engine now routes through — so the
+// fast path's speedup is visible in the same table, as is the cost of a
+// cached incremental replay trial next to a scratch forward.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "conv/direct_conv.h"
 #include "conv/dwm.h"
 #include "conv/engine.h"
 #include "fault/site_sampler.h"
+#include "nn/evaluator.h"
 #include "tensor/quantize.h"
 
 namespace winofault {
@@ -49,10 +55,18 @@ Problem make_problem(std::int64_t c, std::int64_t hw, std::int64_t k) {
   return p;
 }
 
-void BM_DirectConv(benchmark::State& state) {
+void BM_DirectConvRef(benchmark::State& state) {
   const Problem p = make_problem(state.range(0), state.range(1), 3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(direct_engine().forward(p.desc, p.data()));
+    benchmark::DoNotOptimize(direct_forward_reference(p.desc, p.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * p.desc.macs());
+}
+
+void BM_DirectConvGemm(benchmark::State& state) {
+  const Problem p = make_problem(state.range(0), state.range(1), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct_forward_gemm(p.desc, p.data()));
   }
   state.SetItemsProcessed(state.iterations() * p.desc.macs());
 }
@@ -104,12 +118,60 @@ void BM_WinogradFaultReplay(benchmark::State& state) {
   }
 }
 
-BENCHMARK(BM_DirectConv)->Args({16, 32})->Args({64, 16});
+// End-to-end cost of one injection trial on a small network: scratch
+// forward vs incremental replay against a shared golden cache.
+Network trial_net() {
+  Network net("bench-trial", DType::kInt16);
+  Rng rng(41);
+  int x = net.add_input(Shape{1, 3, 32, 32});
+  x = net.add_conv(x, 16, 3, 1, 1, rng);
+  x = net.add_conv(x, 16, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 32, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 10, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 2, 12));
+  return net;
+}
+
+void BM_TrialScratch(benchmark::State& state) {
+  const Network net = trial_net();
+  const TensorF image = make_images(net.input_shape(), 1, 9)[0];
+  FaultConfig config;
+  config.ber = 1e-7;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    FaultSession session(config, seed++);
+    ExecContext ctx;
+    ctx.session = &session;
+    benchmark::DoNotOptimize(net.predict(image, ctx));
+  }
+}
+
+void BM_TrialCachedReplay(benchmark::State& state) {
+  const Network net = trial_net();
+  const TensorF image = make_images(net.input_shape(), 1, 9)[0];
+  const GoldenCache golden = net.make_golden(image, ConvPolicy::kDirect);
+  FaultConfig config;
+  config.ber = 1e-7;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    FaultSession session(config, seed++);
+    benchmark::DoNotOptimize(net.predict_replay(golden, session));
+  }
+}
+
+BENCHMARK(BM_DirectConvRef)->Args({16, 32})->Args({64, 16});
+BENCHMARK(BM_DirectConvGemm)->Args({16, 32})->Args({64, 16});
 BENCHMARK(BM_WinogradF2)->Args({16, 32})->Args({64, 16});
 BENCHMARK(BM_WinogradF4)->Args({16, 32})->Args({64, 16});
 BENCHMARK(BM_Direct5x5)->Args({16, 16});
 BENCHMARK(BM_Dwm5x5)->Args({16, 16});
 BENCHMARK(BM_WinogradFaultReplay);
+BENCHMARK(BM_TrialScratch);
+BENCHMARK(BM_TrialCachedReplay);
 
 }  // namespace
 }  // namespace winofault

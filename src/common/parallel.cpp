@@ -1,0 +1,124 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace winofault::detail {
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+// One parallel_for invocation: shards are claimed atomically under the pool
+// lock; completion is signalled when the last claimed shard finishes.
+struct Job {
+  int shards = 0;
+  int next = 0;  // next unclaimed shard (guarded by the pool mutex)
+  std::atomic<int> done{0};
+  const std::function<void(int)>* shard = nullptr;
+  std::condition_variable finished;
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool(default_thread_count() - 1);
+    return pool;
+  }
+
+  void run(int shards, const std::function<void(int)>& shard) {
+    auto job = std::make_shared<Job>();
+    job->shards = shards;
+    job->shard = &shard;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.push_back(job);
+    }
+    work_available_.notify_all();
+
+    // The caller drains its own job alongside the workers, then waits for
+    // shards claimed by workers to finish.
+    tl_in_parallel_region = true;
+    execute_until_claimed(*job);
+    tl_in_parallel_region = false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    job->finished.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->shards;
+    });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+ private:
+  explicit ThreadPool(int workers) {
+    workers_.reserve(static_cast<std::size_t>(std::max(0, workers)));
+    for (int t = 0; t < workers; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  // Claims and executes shards of `job` until none remain unclaimed.
+  void execute_until_claimed(Job& job) {
+    for (;;) {
+      int shard;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job.next >= job.shards) return;
+        shard = job.next++;
+      }
+      (*job.shard)(shard);
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.shards) {
+        // Last shard: wake the owner (lock ensures the owner is waiting).
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.finished.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    tl_in_parallel_region = true;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_available_.wait(lock, [this] {
+          return stop_ || !jobs_.empty();
+        });
+        if (stop_) return;
+        job = jobs_.front();
+        if (job->next >= job->shards) {
+          jobs_.pop_front();
+          continue;
+        }
+      }
+      execute_until_claimed(*job);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+bool inside_parallel_region() { return tl_in_parallel_region; }
+
+void pool_run(int shards, const std::function<void(int)>& shard) {
+  ThreadPool::instance().run(shards, shard);
+}
+
+}  // namespace winofault::detail

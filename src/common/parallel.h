@@ -1,13 +1,21 @@
-// Tiny deterministic parallel-for: splits [0, n) across a fixed number of
-// std::thread workers. Used by the evaluator to run independent images
-// concurrently; every image derives its own RNG from (seed, image index),
-// so results are identical for any thread count.
+// Deterministic parallel-for over a persistent worker pool. Splits [0, n)
+// into `threads` strided shards (shard t handles i = t, t+threads, ...), so
+// the index->shard mapping — and therefore any per-index RNG derivation —
+// is identical for every thread count and pool size. Used by the evaluator
+// to run independent images concurrently and by the conv engines for
+// tile/row parallelism.
+//
+// The pool threads are spawned once and reused across calls; before this
+// rewrite every parallel_for paid a thread-spawn/join per call, which
+// dominated small per-layer loops. Nested calls (a parallel_for issued from
+// inside a pool shard) run inline on the calling worker: the outer loop
+// already owns the cores, and inlining keeps nesting deadlock-free.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <thread>
-#include <vector>
 
 namespace winofault {
 
@@ -16,25 +24,30 @@ inline int default_thread_count() {
   return hw == 0 ? 4 : static_cast<int>(hw);
 }
 
+namespace detail {
+
+// True on a pool worker (or a caller currently draining its own shards).
+bool inside_parallel_region();
+
+// Executes shard(t) for t in [0, shards) on the persistent pool; the caller
+// participates, so completion never waits on workers occupied elsewhere.
+void pool_run(int shards, const std::function<void(int)>& shard);
+
+}  // namespace detail
+
 // Invokes body(i) for i in [0, n), distributed over `threads` workers.
 template <typename Body>
 void parallel_for(std::int64_t n, int threads, Body&& body) {
   if (n <= 0) return;
-  threads = std::max(1, std::min<std::int64_t>(threads, n) > 0
-                            ? std::min(threads, static_cast<int>(n))
-                            : 1);
-  if (threads == 1) {
+  threads = static_cast<int>(
+      std::clamp<std::int64_t>(threads, std::int64_t{1}, n));
+  if (threads == 1 || detail::inside_parallel_region()) {
     for (std::int64_t i = 0; i < n; ++i) body(i);
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&body, t, threads, n] {
-      for (std::int64_t i = t; i < n; i += threads) body(i);
-    });
-  }
-  for (auto& worker : pool) worker.join();
+  detail::pool_run(threads, [&body, threads, n](int t) {
+    for (std::int64_t i = t; i < n; i += threads) body(i);
+  });
 }
 
 }  // namespace winofault

@@ -49,6 +49,12 @@ struct ConvData {
   DType dtype = DType::kInt16;
   double acc_scale = 1.0;  // real value of one accumulator unit
   QuantParams out_quant;   // requantization target for the layer output
+
+  // Optional precomputed Winograd filter banks (transform_filters output
+  // for m = 2 / 4). Weights are static per layer, so layers cache these
+  // across forwards; when null the engine transforms on the fly.
+  const std::vector<std::int64_t>* wg_bank_f2 = nullptr;
+  const std::vector<std::int64_t>* wg_bank_f4 = nullptr;
 };
 
 }  // namespace winofault

@@ -4,24 +4,133 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "conv/fault_hook.h"
 #include "fault/fault_model.h"
 
 namespace winofault {
+namespace {
 
-OpSpace DirectConvEngine::op_space(const ConvDesc& desc, DType dtype) const {
-  const std::int64_t outputs = desc.out_c * desc.out_h() * desc.out_w();
+// Lowers the input into the [window, out_h*out_w] column matrix the GEMM
+// consumes: row r = (ic, ky, kx) window position, column e = (oy, ox)
+// output element; out-of-image taps are zero (padding executes as an
+// im2col datapath would). For 1x1/stride-1/unpadded convs the input tensor
+// already IS the column matrix, signalled by an empty return.
+std::vector<std::int32_t> im2col(const ConvDesc& desc, const TensorI32& input) {
+  if (desc.kh == 1 && desc.kw == 1 && desc.stride == 1 && desc.pad == 0) {
+    return {};
+  }
+  const std::int64_t oh = desc.out_h(), ow = desc.out_w();
+  const std::int64_t e_count = oh * ow;
   const std::int64_t window = desc.in_c * desc.kh * desc.kw;
-  OpSpace space;
-  space.n_mul = outputs * window;
-  space.n_add = outputs * (window + (desc.has_bias ? 1 : 0));
-  space.mul_bits = FaultModel::mul_surface_bits(dtype);
-  space.add_bits = FaultModel::add_surface_bits(dtype);
-  return space;
+  std::vector<std::int32_t> col(
+      static_cast<std::size_t>(window * e_count), 0);
+  const std::int32_t* in = input.data();
+  for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
+    const std::int32_t* in_c = in + ic * desc.in_h * desc.in_w;
+    for (std::int64_t ky = 0; ky < desc.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < desc.kw; ++kx) {
+        std::int32_t* row =
+            col.data() + ((ic * desc.kh + ky) * desc.kw + kx) * e_count;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * desc.stride - desc.pad + ky;
+          if (iy < 0 || iy >= desc.in_h) continue;
+          const std::int32_t* in_row = in_c + iy * desc.in_w;
+          std::int32_t* out_row = row + oy * ow;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * desc.stride - desc.pad + kx;
+            if (ix >= 0 && ix < desc.in_w) out_row[ox] = in_row[ix];
+          }
+        }
+      }
+    }
+  }
+  return col;
 }
 
-TensorI32 DirectConvEngine::forward(const ConvDesc& desc,
-                                    const ConvData& data) const {
+// Blocked GEMM core: accumulates out[oc][e] = bias[oc] + sum_r W[oc][r] *
+// col[r][e] in int64 and hands each finished (oc, e-block) accumulator span
+// to `sink(oc, e0, accs)`. Parallel over output-channel blocks; sinks touch
+// disjoint data.
+template <typename Sink>
+void gemm_acc(const ConvDesc& desc, const ConvData& data, Sink&& sink) {
+  constexpr std::int64_t kOcBlock = 4;
+  constexpr std::int64_t kEBlock = 512;
+  const std::int64_t e_count = desc.out_h() * desc.out_w();
+  const std::int64_t window = desc.in_c * desc.kh * desc.kw;
+  const std::vector<std::int32_t> col_store = im2col(desc, *data.input);
+  const std::int32_t* col =
+      col_store.empty() ? data.input->data() : col_store.data();
+  const std::int32_t* weights = data.weights->data();
+  const std::int64_t oc_blocks = (desc.out_c + kOcBlock - 1) / kOcBlock;
+  parallel_for(oc_blocks, default_thread_count(), [&](std::int64_t ob) {
+    const std::int64_t oc0 = ob * kOcBlock;
+    const std::int64_t oc1 = std::min(oc0 + kOcBlock, desc.out_c);
+    std::int64_t acc[kOcBlock][kEBlock];
+    for (std::int64_t e0 = 0; e0 < e_count; e0 += kEBlock) {
+      const std::int64_t eb = std::min(kEBlock, e_count - e0);
+      for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+        const std::int64_t init =
+            desc.has_bias ? (*data.bias)[static_cast<std::size_t>(oc)] : 0;
+        std::fill(acc[oc - oc0], acc[oc - oc0] + eb, init);
+      }
+      for (std::int64_t r = 0; r < window; ++r) {
+        const std::int32_t* col_row = col + r * e_count + e0;
+        for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+          const std::int64_t w = weights[oc * window + r];
+          if (w == 0) continue;
+          std::int64_t* a = acc[oc - oc0];
+          for (std::int64_t e = 0; e < eb; ++e) {
+            a[e] += w * col_row[e];
+          }
+        }
+      }
+      for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+        sink(oc, e0, std::span<const std::int64_t>(
+                         acc[oc - oc0], static_cast<std::size_t>(eb)));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+TensorI32 direct_forward_gemm(const ConvDesc& desc, const ConvData& data) {
+  WF_CHECK(data.input && data.weights);
+  WF_CHECK(!desc.has_bias || data.bias);
+  TensorI32 out(desc.out_shape());
+  const std::int64_t e_count = desc.out_h() * desc.out_w();
+  std::int32_t* o = out.data();
+  gemm_acc(desc, data,
+           [&](std::int64_t oc, std::int64_t e0,
+               std::span<const std::int64_t> accs) {
+             std::int32_t* dst = o + oc * e_count + e0;
+             for (std::size_t e = 0; e < accs.size(); ++e) {
+               dst[e] = requantize_value(accs[e], data.acc_scale,
+                                         data.out_quant);
+             }
+           });
+  return out;
+}
+
+std::int64_t direct_acc_absmax(const ConvDesc& desc, const ConvData& data) {
+  std::vector<std::int64_t> per_oc(static_cast<std::size_t>(desc.out_c), 1);
+  gemm_acc(desc, data,
+           [&](std::int64_t oc, std::int64_t,
+               std::span<const std::int64_t> accs) {
+             std::int64_t m = per_oc[static_cast<std::size_t>(oc)];
+             for (const std::int64_t a : accs) {
+               m = std::max(m, a < 0 ? -a : a);
+             }
+             per_oc[static_cast<std::size_t>(oc)] = m;
+           });
+  std::int64_t absmax = 1;
+  for (const std::int64_t m : per_oc) absmax = std::max(absmax, m);
+  return absmax;
+}
+
+TensorI32 direct_forward_reference(const ConvDesc& desc,
+                                   const ConvData& data) {
   WF_CHECK(data.input && data.weights);
   WF_CHECK(!desc.has_bias || data.bias);
   TensorI32 out(desc.out_shape());
@@ -37,6 +146,23 @@ TensorI32 DirectConvEngine::forward(const ConvDesc& desc,
     }
   }
   return out;
+}
+
+OpSpace DirectConvEngine::op_space(const ConvDesc& desc, DType dtype) const {
+  const std::int64_t outputs = desc.out_c * desc.out_h() * desc.out_w();
+  const std::int64_t window = desc.in_c * desc.kh * desc.kw;
+  OpSpace space;
+  space.n_mul = outputs * window;
+  space.n_add = outputs * (window + (desc.has_bias ? 1 : 0));
+  space.mul_bits = FaultModel::mul_surface_bits(dtype);
+  space.add_bits = FaultModel::add_surface_bits(dtype);
+  return space;
+}
+
+TensorI32 DirectConvEngine::forward(const ConvDesc& desc,
+                                    const ConvData& data) const {
+  if (seed_equivalent_kernels()) return direct_forward_reference(desc, data);
+  return direct_forward_gemm(desc, data);
 }
 
 void DirectConvEngine::apply_faults(const ConvDesc& desc, const ConvData& data,

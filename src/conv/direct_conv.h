@@ -25,6 +25,22 @@ class DirectConvEngine final : public ConvEngine {
                     TensorI32& out) const override;
 };
 
+// Fault-free fast path: im2col + blocked GEMM with exact int64 accumulation.
+// Integer addition is order-independent, so the result is bit-identical to
+// the instrumented reference loop for every shape (validated in
+// golden_cache_test). DirectConvEngine::forward routes here; the
+// instrumented direct_output_acc below stays the fault-replay and
+// exactness reference.
+TensorI32 direct_forward_gemm(const ConvDesc& desc, const ConvData& data);
+
+// The pre-GEMM reference loop (one direct_output_acc per output element);
+// kept for exactness tests and as a micro-benchmark baseline.
+TensorI32 direct_forward_reference(const ConvDesc& desc, const ConvData& data);
+
+// Max |raw accumulator| over all output elements, computed on the GEMM fast
+// path (calibration support; the accumulator values are engine-independent).
+std::int64_t direct_acc_absmax(const ConvDesc& desc, const ConvData& data);
+
 // Accumulator of one output element with every primitive op routed through
 // `hook(kind, global_op_index, value, domain_scale)`. Shared by the golden,
 // replay, and instrumented-reference paths.

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "conv/fault_hook.h"
 #include "fault/fault_model.h"
 
@@ -57,21 +58,33 @@ std::vector<std::int64_t> WinogradConvEngine::transform_filters(
   return u_all;
 }
 
+const std::int64_t* WinogradConvEngine::resolve_filter_bank(
+    const ConvDesc& desc, const ConvData& data,
+    std::vector<std::int64_t>& local) const {
+  const std::vector<std::int64_t>* bank =
+      plan_.m == 2 ? data.wg_bank_f2 : data.wg_bank_f4;
+  if (bank != nullptr) return bank->data();
+  local = transform_filters(desc, data);
+  return local.data();
+}
+
 TensorI32 WinogradConvEngine::forward(const ConvDesc& desc,
                                       const ConvData& data) const {
   WF_CHECK(supports(desc));
   WF_CHECK(data.input && data.weights);
   WF_CHECK(!desc.has_bias || data.bias);
   const WgLayout layout = WgLayout::make(plan_, desc);
-  const std::vector<std::int64_t> u_all = transform_filters(desc, data);
+  std::vector<std::int64_t> u_local;
+  const std::int64_t* u_all = resolve_filter_bank(desc, data, u_local);
   TensorI32 out(desc.out_shape());
-  FaultHookNone hook;
-  for (std::int64_t ty = 0; ty < layout.ty_count; ++ty) {
-    for (std::int64_t tx = 0; tx < layout.tx_count; ++tx) {
-      wg_tile_column(plan_, layout, desc, data, u_all.data(), ty, tx, hook,
-                     out);
-    }
-  }
+  // Tile columns write disjoint output regions and share only the read-only
+  // filter bank, so they parallelize freely; nested calls (e.g. under the
+  // evaluator's per-image loop) run inline on the caller.
+  parallel_for(layout.tiles, default_thread_count(), [&](std::int64_t t) {
+    FaultHookNone hook;
+    wg_tile_column(plan_, layout, desc, data, u_all,
+                   t / layout.tx_count, t % layout.tx_count, hook, out);
+  });
   return out;
 }
 
@@ -115,9 +128,29 @@ void WinogradConvEngine::apply_faults(const ConvDesc& desc,
   std::stable_sort(by_tile.begin(), by_tile.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  const std::vector<std::int64_t> u_all = transform_filters(desc, data);
+  // Output channel a non-input-transform site affects (see the op-index
+  // layout in the header comment).
+  auto site_oc = [&](const FaultSite& site) -> std::int64_t {
+    if (site.kind == OpKind::kMul) {
+      return site.op_index / (layout.a2 * layout.tiles * desc.in_c);
+    }
+    const std::int64_t idx = site.op_index;
+    if (idx < layout.base_c) {  // block B (block A handled by the caller)
+      return (idx - layout.base_b) / (layout.a2 * layout.tiles * desc.in_c);
+    }
+    if (idx < layout.base_d) {  // block C
+      return (idx - layout.base_c) / (layout.k_inv * layout.tiles);
+    }
+    return (idx - layout.base_d) / (desc.out_h() * desc.out_w());  // block D
+  };
+
+  std::vector<std::int64_t> u_local;
+  const std::int64_t* u_all = resolve_filter_bank(desc, data, u_local);
   std::size_t i = 0;
   std::vector<FaultSite> group;
+  std::vector<std::int64_t> v_all(
+      static_cast<std::size_t>(desc.in_c * layout.a2));
+  std::vector<std::int64_t> ocs;
   while (i < by_tile.size()) {
     const std::int64_t t = by_tile[i].first;
     group.clear();
@@ -126,7 +159,31 @@ void WinogradConvEngine::apply_faults(const ConvDesc& desc,
     const std::int64_t ty = t / layout.tx_count;
     const std::int64_t tx = t % layout.tx_count;
     SiteFilterHook hook(group);
-    wg_tile_column(plan_, layout, desc, data, u_all.data(), ty, tx, hook, out);
+    // Input-transform faults fan out across every output channel of the
+    // tile, so those groups recompute the whole column. Any other site
+    // touches exactly one channel: transform the tile's inputs once
+    // (fault-free — no block-A site means the hook is identity there) and
+    // recompute only the affected channels, which is ~out_c times cheaper.
+    bool has_input_transform_fault = false;
+    for (const FaultSite& site : group) {
+      has_input_transform_fault |=
+          site.kind == OpKind::kAdd && site.op_index < layout.base_b;
+    }
+    if (has_input_transform_fault) {
+      wg_tile_column(plan_, layout, desc, data, u_all, ty, tx, hook, out);
+      continue;
+    }
+    FaultHookNone none;
+    wg_tile_input_transform(plan_, layout, desc, data, ty, tx, none,
+                            v_all.data());
+    ocs.clear();
+    for (const FaultSite& site : group) ocs.push_back(site_oc(site));
+    std::sort(ocs.begin(), ocs.end());
+    ocs.erase(std::unique(ocs.begin(), ocs.end()), ocs.end());
+    for (const std::int64_t oc : ocs) {
+      wg_tile_one_oc(plan_, layout, desc, data, u_all, v_all.data(), ty, tx,
+                     oc, hook, out);
+    }
   }
 }
 

@@ -69,6 +69,13 @@ class WinogradConvEngine final : public ConvEngine {
   std::vector<std::int64_t> transform_filters(const ConvDesc& desc,
                                               const ConvData& data) const;
 
+  // Returns the filter bank to use for this call: the caller-cached bank
+  // from ConvData when present, otherwise a fresh transform stored in
+  // `local` (which must outlive the returned pointer).
+  const std::int64_t* resolve_filter_bank(
+      const ConvDesc& desc, const ConvData& data,
+      std::vector<std::int64_t>& local) const;
+
  private:
   const WinogradPlan& plan_;
 };
@@ -79,23 +86,18 @@ constexpr std::int64_t div_round_nearest(std::int64_t v, std::int64_t s) {
   return v >= 0 ? (v + s / 2) / s : -((-v + s / 2) / s);
 }
 
-// Computes one tile column (all output channels of tile (ty, tx)) with every
-// primitive op routed through `hook(kind, index, value, domain_scale)`, and
-// writes requantized outputs. `u_all` is the offline-transformed filter bank
-// from WinogradConvEngine::transform_filters.
+// Input transforms for every input channel of tile (ty, tx): fills `v_all`
+// (in_c * alpha^2 values), routing every transform add through `hook`
+// (op-index block A).
 template <typename Hook>
-void wg_tile_column(const WinogradPlan& plan, const WgLayout& layout,
-                    const ConvDesc& desc, const ConvData& data,
-                    const std::int64_t* u_all, std::int64_t ty,
-                    std::int64_t tx, Hook&& hook, TensorI32& out) {
+void wg_tile_input_transform(const WinogradPlan& plan, const WgLayout& layout,
+                             const ConvDesc& desc, const ConvData& data,
+                             std::int64_t ty, std::int64_t tx, Hook&& hook,
+                             std::int64_t* v_all) {
   const std::int64_t alpha = plan.alpha;
   const std::int64_t a2 = layout.a2;
   const std::int64_t t = ty * layout.tx_count + tx;
-  const std::int64_t s_scale = plan.total_scale;
   const TensorI32& input = *data.input;
-
-  // 1. Input transforms for every input channel of this tile.
-  std::vector<std::int64_t> v_all(static_cast<std::size_t>(desc.in_c * a2));
   std::vector<std::int64_t> patch(static_cast<std::size_t>(a2));
   const std::int64_t iy0 = ty * plan.m - desc.pad;
   const std::int64_t ix0 = tx * plan.m - desc.pad;
@@ -113,57 +115,85 @@ void wg_tile_column(const WinogradPlan& plan, const WgLayout& layout,
     const std::int64_t base = (ic * layout.tiles + t) * layout.k_it;
     transform_two_pass(
         plan.bt, patch.data(),
-        v_all.data() + static_cast<std::size_t>(ic * a2), base,
+        v_all + static_cast<std::size_t>(ic * a2), base,
         [&hook](std::int64_t add_index, std::int64_t value) {
           return hook(OpKind::kAdd, add_index, value, std::int64_t{1});
         });
   }
+}
 
-  // 2..4. Per output channel: products + accumulation, inverse, bias.
-  std::vector<std::int64_t> macc(static_cast<std::size_t>(a2));
-  std::vector<std::int64_t> ys(static_cast<std::size_t>(plan.m * plan.m));
+// Products + channel accumulation, inverse transform, and bias/requantize
+// for ONE output channel of tile (ty, tx), given the tile's transformed
+// inputs `v_all`. The minimal exact replay unit for faults that do not land
+// in the input transform (those fan out across channels).
+template <typename Hook>
+void wg_tile_one_oc(const WinogradPlan& plan, const WgLayout& layout,
+                    const ConvDesc& desc, const ConvData& data,
+                    const std::int64_t* u_all, const std::int64_t* v_all,
+                    std::int64_t ty, std::int64_t tx, std::int64_t oc,
+                    Hook&& hook, TensorI32& out) {
+  const std::int64_t a2 = layout.a2;
+  const std::int64_t t = ty * layout.tx_count + tx;
+  const std::int64_t s_scale = plan.total_scale;
+  std::int64_t macc[6 * 6] = {};  // a2 <= 36 (alpha = m + 2 <= 6)
+  std::int64_t ys[4 * 4];         // m <= 4
+  for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
+    const std::int64_t* u =
+        u_all + static_cast<std::size_t>((oc * desc.in_c + ic) * a2);
+    const std::int64_t* v = v_all + static_cast<std::size_t>(ic * a2);
+    const std::int64_t chan_base =
+        ((oc * desc.in_c + ic) * layout.tiles + t) * a2;
+    for (std::int64_t pos = 0; pos < a2; ++pos) {
+      std::int64_t prod = u[pos] * v[pos];
+      prod = hook(OpKind::kMul, chan_base + pos, prod, s_scale);
+      macc[static_cast<std::size_t>(pos)] += prod;
+      macc[static_cast<std::size_t>(pos)] =
+          hook(OpKind::kAdd, layout.base_b + chan_base + pos,
+               macc[static_cast<std::size_t>(pos)], s_scale);
+    }
+  }
+  const std::int64_t inv_base =
+      layout.base_c + (oc * layout.tiles + t) * layout.k_inv;
+  transform_two_pass(
+      plan.at, macc, ys, inv_base,
+      [&hook, s_scale](std::int64_t add_index, std::int64_t value) {
+        return hook(OpKind::kAdd, add_index, value, s_scale);
+      });
+  for (std::int64_t my = 0; my < plan.m; ++my) {
+    const std::int64_t oy = ty * plan.m + my;
+    if (oy >= desc.out_h()) continue;
+    for (std::int64_t mx = 0; mx < plan.m; ++mx) {
+      const std::int64_t ox = tx * plan.m + mx;
+      if (ox >= desc.out_w()) continue;
+      std::int64_t acc = div_round_nearest(
+          ys[static_cast<std::size_t>(my * plan.m + mx)], s_scale);
+      if (desc.has_bias) {
+        acc += (*data.bias)[static_cast<std::size_t>(oc)];
+        const std::int64_t e = (oc * desc.out_h() + oy) * desc.out_w() + ox;
+        acc = hook(OpKind::kAdd, layout.base_d + e, acc, std::int64_t{1});
+      }
+      out.at(0, oc, oy, ox) =
+          requantize_value(acc, data.acc_scale, data.out_quant);
+    }
+  }
+}
+
+// Computes one tile column (all output channels of tile (ty, tx)) with every
+// primitive op routed through `hook(kind, index, value, domain_scale)`, and
+// writes requantized outputs. `u_all` is the offline-transformed filter bank
+// from WinogradConvEngine::transform_filters.
+template <typename Hook>
+void wg_tile_column(const WinogradPlan& plan, const WgLayout& layout,
+                    const ConvDesc& desc, const ConvData& data,
+                    const std::int64_t* u_all, std::int64_t ty,
+                    std::int64_t tx, Hook&& hook, TensorI32& out) {
+  std::vector<std::int64_t> v_all(
+      static_cast<std::size_t>(desc.in_c * layout.a2));
+  wg_tile_input_transform(plan, layout, desc, data, ty, tx, hook,
+                          v_all.data());
   for (std::int64_t oc = 0; oc < desc.out_c; ++oc) {
-    std::fill(macc.begin(), macc.end(), 0);
-    for (std::int64_t ic = 0; ic < desc.in_c; ++ic) {
-      const std::int64_t* u =
-          u_all + static_cast<std::size_t>((oc * desc.in_c + ic) * a2);
-      const std::int64_t* v =
-          v_all.data() + static_cast<std::size_t>(ic * a2);
-      const std::int64_t chan_base = ((oc * desc.in_c + ic) * layout.tiles + t) * a2;
-      for (std::int64_t pos = 0; pos < a2; ++pos) {
-        std::int64_t prod = u[pos] * v[pos];
-        prod = hook(OpKind::kMul, chan_base + pos, prod, s_scale);
-        macc[static_cast<std::size_t>(pos)] += prod;
-        macc[static_cast<std::size_t>(pos)] =
-            hook(OpKind::kAdd, layout.base_b + chan_base + pos,
-                 macc[static_cast<std::size_t>(pos)], s_scale);
-      }
-    }
-    const std::int64_t inv_base =
-        layout.base_c + (oc * layout.tiles + t) * layout.k_inv;
-    transform_two_pass(
-        plan.at, macc.data(), ys.data(), inv_base,
-        [&hook, s_scale](std::int64_t add_index, std::int64_t value) {
-          return hook(OpKind::kAdd, add_index, value, s_scale);
-        });
-    for (std::int64_t my = 0; my < plan.m; ++my) {
-      const std::int64_t oy = ty * plan.m + my;
-      if (oy >= desc.out_h()) continue;
-      for (std::int64_t mx = 0; mx < plan.m; ++mx) {
-        const std::int64_t ox = tx * plan.m + mx;
-        if (ox >= desc.out_w()) continue;
-        std::int64_t acc = div_round_nearest(
-            ys[static_cast<std::size_t>(my * plan.m + mx)], s_scale);
-        if (desc.has_bias) {
-          acc += (*data.bias)[static_cast<std::size_t>(oc)];
-          const std::int64_t e =
-              (oc * desc.out_h() + oy) * desc.out_w() + ox;
-          acc = hook(OpKind::kAdd, layout.base_d + e, acc, std::int64_t{1});
-        }
-        out.at(0, oc, oy, ox) =
-            requantize_value(acc, data.acc_scale, data.out_quant);
-      }
-    }
+    wg_tile_one_oc(plan, layout, desc, data, u_all, v_all.data(), ty, tx, oc,
+                   hook, out);
   }
 }
 

@@ -1,11 +1,17 @@
 // Accuracy evaluation under fault injection: the measurement loop behind
-// every figure. Runs the dataset through the network with a fresh
-// FaultSession per image (seeded deterministically from (seed, image)), in
-// parallel, and reports top-1 accuracy plus fault statistics.
+// every figure. Runs the dataset through the network with fresh
+// FaultSessions per image (seeded deterministically from (seed, image,
+// trial)), in parallel, and reports top-1 accuracy plus fault statistics.
+//
+// With `reuse_golden` (default) each image's fault-free activations are
+// computed once into a GoldenCache and every trial replays incrementally
+// against it (see golden_cache.h) — bit-identical to scratch execution but
+// skipping the redundant golden recompute, which dominates campaign time.
 #pragma once
 
 #include "nn/dataset.h"
 #include "nn/fault_session.h"
+#include "nn/golden_cache.h"
 #include "nn/network.h"
 
 namespace winofault {
@@ -15,6 +21,15 @@ struct EvalOptions {
   ConvPolicy policy = ConvPolicy::kDirect;
   std::uint64_t seed = 1;
   int threads = 0;  // 0 => hardware concurrency
+
+  // Independent injection trials per image; accuracy and flip statistics
+  // average over images * trials. Trial 0 reproduces the single-trial
+  // fault stream of earlier revisions.
+  int trials = 1;
+
+  // Golden-activation cache + incremental fault replay (identical results,
+  // far fewer recomputed layers). Off = recompute every trial from scratch.
+  bool reuse_golden = true;
 
   // Destruction short-circuit: when the expected op-level flips per
   // inference exceed this, the network output is noise and simulating

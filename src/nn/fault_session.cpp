@@ -1,5 +1,7 @@
 #include "nn/fault_session.h"
 
+#include "nn/network.h"
+
 namespace winofault {
 
 void FaultSession::apply(int prot_index, const ConvEngine& engine,
@@ -31,6 +33,52 @@ void FaultSession::apply(int prot_index, const ConvEngine& engine,
   }
   total_flips_ += static_cast<std::int64_t>(sites.size());
   engine.apply_faults(desc, data, sites, out);
+}
+
+FaultPlan FaultSession::plan(const Network& network, ConvPolicy policy) {
+  FaultPlan plan;
+  plan.layers.resize(static_cast<std::size_t>(network.num_protectable()));
+  // Per layer, this mirrors apply()'s draw sequence exactly (including its
+  // early-outs, which draw nothing); layers execute in ordinal order, so the
+  // RNG stream matches a scratch forward bit-for-bit.
+  for (int p = 0; p < network.num_protectable(); ++p) {
+    if (config_.ber <= 0.0) continue;
+    if (p == config_.fault_free_layer) continue;
+    FaultPlan::LayerFaults& faults = plan.layers[static_cast<std::size_t>(p)];
+
+    if (config_.mode == InjectionMode::kNeuronLevel) {
+      const int width = bit_width(network.dtype());
+      const std::int64_t numel = network.protectable_shape(p).numel();
+      if (numel == 0) continue;
+      const std::int64_t bit_space = numel * width;
+      const std::int64_t flips = rng_.binomial(bit_space, config_.ber);
+      faults.neurons.reserve(static_cast<std::size_t>(flips));
+      for (std::int64_t i = 0; i < flips; ++i) {
+        const std::uint64_t draw =
+            rng_.next_below(static_cast<std::uint64_t>(bit_space));
+        faults.neurons.push_back(
+            NeuronFault{static_cast<std::int64_t>(draw) / width,
+                        static_cast<int>(draw % width)});
+      }
+      total_flips_ += flips;
+    } else {
+      const OpSpace space = network.protectable_op_space(p, policy);
+      const ProtectionSet* protection = nullptr;
+      if (const auto it = config_.protection.find(p);
+          it != config_.protection.end()) {
+        protection = &it->second;
+      }
+      if (config_.only_kind.has_value()) {
+        faults.sites =
+            sampler_.sample_kind(space, *config_.only_kind, rng_, protection);
+      } else {
+        faults.sites = sampler_.sample(space, rng_, protection);
+      }
+      total_flips_ += static_cast<std::int64_t>(faults.sites.size());
+    }
+    if (faults.faulted() && plan.first_faulted < 0) plan.first_faulted = p;
+  }
+  return plan;
 }
 
 }  // namespace winofault

@@ -19,6 +19,8 @@
 
 namespace winofault {
 
+class Network;
+
 enum class InjectionMode { kOpLevel, kNeuronLevel };
 
 struct FaultConfig {
@@ -32,6 +34,27 @@ struct FaultConfig {
   std::unordered_map<int, ProtectionSet> protection;
 };
 
+// One neuron-level flip: bit `bit` of the activation at flat index `index`.
+struct NeuronFault {
+  std::int64_t index = 0;
+  int bit = 0;
+};
+
+// The faults of one trial, pre-sampled per protectable layer in execution
+// order — exactly the draws FaultSession::apply would make during a scratch
+// forward, so replaying a plan is bit-identical to scratch injection. The
+// incremental replay path (Network::forward_replay) uses `first_faulted` to
+// skip everything upstream of the earliest perturbed layer.
+struct FaultPlan {
+  struct LayerFaults {
+    std::vector<FaultSite> sites;      // operation-level injection
+    std::vector<NeuronFault> neurons;  // neuron-level injection
+    bool faulted() const { return !sites.empty() || !neurons.empty(); }
+  };
+  std::vector<LayerFaults> layers;  // indexed by protectable-layer ordinal
+  int first_faulted = -1;           // earliest faulted ordinal, or -1
+};
+
 class FaultSession {
  public:
   FaultSession(const FaultConfig& config, std::uint64_t seed)
@@ -41,6 +64,12 @@ class FaultSession {
   // in place according to the configuration.
   void apply(int prot_index, const ConvEngine& engine, const ConvDesc& desc,
              const ConvData& data, TensorI32& out);
+
+  // Pre-samples this trial's faults for every protectable layer of
+  // `network` under `policy`, consuming the session RNG in the same order a
+  // scratch forward would. A session backs ONE trial: use either apply()
+  // (during a scratch forward) or plan() (for cached replay), never both.
+  FaultPlan plan(const Network& network, ConvPolicy policy);
 
   std::int64_t total_flips() const { return total_flips_; }
   const FaultConfig& config() const { return config_; }

@@ -21,4 +21,12 @@ double Layer::calib_acc_absmax(std::span<const NodeOutput* const>) const {
 
 OpSpace Layer::op_space(DType, ConvPolicy) const { return {}; }
 
+TensorI32 Layer::forward_replay(std::span<const NodeOutput* const>,
+                                const QuantParams&, ConvPolicy,
+                                std::span<const FaultSite>,
+                                const TensorI32*) const {
+  WF_CHECK(false && "forward_replay is only defined for protectable layers");
+  return {};
+}
+
 }  // namespace winofault

@@ -59,6 +59,16 @@ class Layer {
   virtual TensorI32 forward(std::span<const NodeOutput* const> ins,
                             const QuantParams& out_quant, ExecContext& ctx,
                             int prot_index) const = 0;
+
+  // Replay execution with pre-sampled op-level fault sites (protectable
+  // layers only). When `golden` is non-null it must be this layer's
+  // fault-free output for these inputs; the engine then patches only the
+  // outputs the sites affect instead of recomputing the layer.
+  virtual TensorI32 forward_replay(std::span<const NodeOutput* const> ins,
+                                   const QuantParams& out_quant,
+                                   ConvPolicy policy,
+                                   std::span<const FaultSite> sites,
+                                   const TensorI32* golden) const;
 };
 
 }  // namespace winofault

@@ -1,8 +1,11 @@
 // Quantized 3x3/1x1/5x5 convolution layer: the protectable unit of the
 // fault study. Holds float master weights quantized at construction; the
 // engine (direct vs Winograd) is chosen per inference by the ConvPolicy.
+// Winograd filter banks (the offline transform of the static weights) are
+// computed once on first use and cached across forwards.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "conv/conv_desc.h"
@@ -25,6 +28,22 @@ class ConvLayer final : public Layer {
   TensorI32 forward(std::span<const NodeOutput* const> ins,
                     const QuantParams& out_quant, ExecContext& ctx,
                     int prot_index) const override;
+  TensorI32 forward_replay(std::span<const NodeOutput* const> ins,
+                           const QuantParams& out_quant, ConvPolicy policy,
+                           std::span<const FaultSite> sites,
+                           const TensorI32* golden) const override;
+
+  // Sparse incremental replay: `golden` is this layer's cached fault-free
+  // output for the *golden* input, and `in_changed` lists the flat indices
+  // where the current input differs from the golden input. Outputs whose
+  // receptive fields touch no changed element keep their cached values;
+  // only the affected region (direct: output positions, Winograd: tile
+  // columns) is recomputed, then `sites` are applied on top. Falls back to
+  // a dense recompute when the affected region is most of the layer.
+  TensorI32 replay_delta(const NodeOutput& in, const QuantParams& out_quant,
+                         ConvPolicy policy, std::span<const FaultSite> sites,
+                         const TensorI32& golden,
+                         std::span<const std::int64_t> in_changed) const;
 
   const ConvDesc& desc() const { return desc_; }
 
@@ -33,11 +52,19 @@ class ConvLayer final : public Layer {
   ConvData make_data(const NodeOutput& in, const QuantParams& out_quant,
                      std::vector<std::int64_t>& bias_acc) const;
 
+  // Cached Winograd filter bank for plan m (2 or 4); computed on first use.
+  const std::vector<std::int64_t>* wg_bank(int m) const;
+  // Points `data` at the cached bank when `engine` is a Winograd engine.
+  void attach_wg_bank(ConvData& data, const ConvEngine& engine) const;
+
   ConvDesc desc_;
   TensorI32 weights_q_;
   QuantParams w_quant_;
   std::vector<float> bias_real_;
   DType dtype_;
+
+  mutable std::once_flag wg_once_[2];
+  mutable std::vector<std::int64_t> wg_bank_[2];  // [0]: m=2, [1]: m=4
 };
 
 }  // namespace winofault

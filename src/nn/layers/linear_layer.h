@@ -25,6 +25,10 @@ class LinearLayer final : public Layer {
   TensorI32 forward(std::span<const NodeOutput* const> ins,
                     const QuantParams& out_quant, ExecContext& ctx,
                     int prot_index) const override;
+  TensorI32 forward_replay(std::span<const NodeOutput* const> ins,
+                           const QuantParams& out_quant, ConvPolicy policy,
+                           std::span<const FaultSite> sites,
+                           const TensorI32* golden) const override;
 
  private:
   std::int64_t in_features_;

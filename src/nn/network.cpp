@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "fault/bitflip.h"
+#include "nn/fault_session.h"
 #include "nn/layers/activation_layer.h"
 #include "nn/layers/conv_layer.h"
 #include "nn/layers/eltwise_layer.h"
@@ -10,6 +12,17 @@
 #include "nn/layers/pool_layer.h"
 
 namespace winofault {
+namespace {
+
+int argmax_logit(const TensorI32& logits) {
+  int best = 0;
+  for (std::int64_t i = 1; i < logits.numel(); ++i) {
+    if (logits[i] > logits[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace
 
 TensorF he_init_conv(std::int64_t out_c, std::int64_t in_c, std::int64_t k,
                      Rng& rng) {
@@ -240,22 +253,145 @@ TensorI32 Network::forward(const TensorF& image, ExecContext& ctx) const {
     acts[id].quant = node.quant;
   }
   TensorI32 out = std::move(acts[static_cast<std::size_t>(output_node_)].tensor);
-  if (out.numel() == static_cast<std::int64_t>(logit_offsets_.size())) {
-    for (std::int64_t c = 0; c < out.numel(); ++c) {
-      out[c] = clamp_to(dtype_, static_cast<std::int64_t>(out[c]) -
-                                    logit_offsets_[static_cast<std::size_t>(c)]);
-    }
-  }
+  apply_logit_centering(out);
   return out;
 }
 
-int Network::predict(const TensorF& image, ExecContext& ctx) const {
-  const TensorI32 logits = forward(image, ctx);
-  int best = 0;
-  for (std::int64_t i = 1; i < logits.numel(); ++i) {
-    if (logits[i] > logits[best]) best = static_cast<int>(i);
+void Network::apply_logit_centering(TensorI32& logits) const {
+  if (logits.numel() != static_cast<std::int64_t>(logit_offsets_.size()))
+    return;
+  for (std::int64_t c = 0; c < logits.numel(); ++c) {
+    logits[c] =
+        clamp_to(dtype_, static_cast<std::int64_t>(logits[c]) -
+                             logit_offsets_[static_cast<std::size_t>(c)]);
   }
-  return best;
+}
+
+int Network::predict(const TensorF& image, ExecContext& ctx) const {
+  return argmax_logit(forward(image, ctx));
+}
+
+GoldenCache Network::make_golden(const TensorF& image,
+                                 ConvPolicy policy) const {
+  WF_CHECK(calibrated_);
+  GoldenCache cache;
+  cache.policy_ = policy;
+  cache.acts_.resize(nodes_.size());
+  cache.acts_[0].tensor = quantize_input(image);
+  cache.acts_[0].quant = input_quant_;
+  ExecContext ctx;
+  ctx.policy = policy;
+  for (std::size_t id = 1; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    std::vector<const NodeOutput*> ins;
+    ins.reserve(node.inputs.size());
+    for (const int in : node.inputs)
+      ins.push_back(&cache.acts_[static_cast<std::size_t>(in)]);
+    cache.acts_[id].tensor =
+        node.layer->forward(ins, node.quant, ctx, node.prot_index);
+    cache.acts_[id].quant = node.quant;
+  }
+  cache.logits_ = cache.acts_[static_cast<std::size_t>(output_node_)].tensor;
+  apply_logit_centering(cache.logits_);
+  cache.prediction_ = argmax_logit(cache.logits_);
+  return cache;
+}
+
+TensorI32 Network::forward_replay(const GoldenCache& golden,
+                                  FaultSession& session) const {
+  WF_CHECK(calibrated_);
+  WF_CHECK(golden.valid());
+  WF_CHECK(golden.acts_.size() == nodes_.size());
+  const FaultPlan plan = session.plan(*this, golden.policy_);
+  if (plan.first_faulted < 0) return golden.logits_;
+
+  const int width = bit_width(dtype_);
+  const bool op_level = session.config().mode == InjectionMode::kOpLevel;
+  std::vector<NodeOutput> replay(nodes_.size());
+  // Flat indices where a dirty node's output differs from its golden
+  // activation; drives the sparse conv recompute and prunes the dirty cone
+  // when a perturbation requantizes away.
+  std::vector<std::vector<std::int64_t>> changed(nodes_.size());
+  std::vector<char> dirty(nodes_.size(), 0);
+  for (std::size_t id = 1; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    bool inputs_dirty = false;
+    for (const int in : node.inputs)
+      inputs_dirty |= dirty[static_cast<std::size_t>(in)] != 0;
+    const FaultPlan::LayerFaults* faults =
+        node.prot_index >= 0
+            ? &plan.layers[static_cast<std::size_t>(node.prot_index)]
+            : nullptr;
+    const bool faulted = faults != nullptr && faults->faulted();
+    // Clean inputs and no faults here: the cached activation stays valid.
+    if (!inputs_dirty && !faulted) continue;
+
+    std::vector<const NodeOutput*> ins;
+    ins.reserve(node.inputs.size());
+    for (const int in : node.inputs) {
+      const std::size_t i = static_cast<std::size_t>(in);
+      ins.push_back(dirty[i] ? &replay[i] : &golden.acts_[i]);
+    }
+    TensorI32 out;
+    if (op_level && node.prot_index >= 0) {
+      const std::span<const FaultSite> sites(faults->sites);
+      if (const auto* conv =
+              dynamic_cast<const ConvLayer*>(node.layer.get())) {
+        // Sparse incremental path: outputs outside the changed inputs'
+        // receptive fields keep their cached values; sites apply on top.
+        const std::size_t in_id = static_cast<std::size_t>(node.inputs[0]);
+        out = conv->replay_delta(
+            *ins[0], node.quant, golden.policy_, sites,
+            golden.acts_[id].tensor,
+            dirty[in_id] ? std::span<const std::int64_t>(changed[in_id])
+                         : std::span<const std::int64_t>());
+      } else {
+        // Linear classifier: dense recompute (or cached patch when clean).
+        const TensorI32* cached =
+            inputs_dirty ? nullptr : &golden.acts_[id].tensor;
+        out = node.layer->forward_replay(ins, node.quant, golden.policy_,
+                                         sites, cached);
+      }
+    } else {
+      if (!inputs_dirty && node.prot_index >= 0) {
+        out = golden.acts_[id].tensor;
+      } else {
+        ExecContext ctx;
+        ctx.policy = golden.policy_;
+        out = node.layer->forward(ins, node.quant, ctx, -1);
+      }
+      if (faults != nullptr) {
+        // Neuron-level flips land on the stored activations, in draw order
+        // (successive flips of one neuron compose, as in NeuronInjector).
+        for (const NeuronFault& f : faults->neurons) {
+          out[f.index] = static_cast<std::int32_t>(
+              flip_bit(out[f.index], f.bit, width));
+        }
+      }
+    }
+    // Diff against the golden activation: an empty diff means every
+    // perturbation requantized away and the node is clean after all.
+    const TensorI32& gold = golden.acts_[id].tensor;
+    std::vector<std::int64_t> delta;
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      if (out[i] != gold[i]) delta.push_back(i);
+    }
+    if (delta.empty()) continue;
+    replay[id] = NodeOutput{std::move(out), node.quant};
+    changed[id] = std::move(delta);
+    dirty[id] = 1;
+  }
+
+  const std::size_t out_id = static_cast<std::size_t>(output_node_);
+  if (!dirty[out_id]) return golden.logits_;
+  TensorI32 out = std::move(replay[out_id].tensor);
+  apply_logit_centering(out);
+  return out;
+}
+
+int Network::predict_replay(const GoldenCache& golden,
+                            FaultSession& session) const {
+  return argmax_logit(forward_replay(golden, session));
 }
 
 const Layer& Network::protectable_layer(int prot_index) const {
@@ -263,6 +399,15 @@ const Layer& Network::protectable_layer(int prot_index) const {
   return *nodes_[static_cast<std::size_t>(
                      protectable_[static_cast<std::size_t>(prot_index)])]
               .layer;
+}
+
+int Network::protectable_node(int prot_index) const {
+  WF_CHECK(prot_index >= 0 && prot_index < num_protectable());
+  return protectable_[static_cast<std::size_t>(prot_index)];
+}
+
+Shape Network::protectable_shape(int prot_index) const {
+  return nodes_[static_cast<std::size_t>(protectable_node(prot_index))].shape;
 }
 
 OpSpace Network::protectable_op_space(int prot_index,

@@ -12,9 +12,12 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/golden_cache.h"
 #include "nn/layer.h"
 
 namespace winofault {
+
+class FaultSession;
 
 class Network {
  public:
@@ -68,6 +71,19 @@ class Network {
   TensorI32 forward(const TensorF& image, ExecContext& ctx) const;
   int predict(const TensorF& image, ExecContext& ctx) const;
 
+  // ---- Golden cache + incremental fault replay ----
+  // Computes the fault-free activations of `image` under `policy`, shared
+  // read-only by all subsequent replay trials on this image.
+  GoldenCache make_golden(const TensorF& image, ConvPolicy policy) const;
+  // One injection trial against the cache: pre-samples the session's faults
+  // (consuming its RNG exactly as a scratch forward would), reuses cached
+  // activations upstream of the earliest faulted layer, and recomputes only
+  // the downstream cone. Bit-identical to forward()/predict() with the same
+  // session seed. The session must be fresh (one session per trial).
+  TensorI32 forward_replay(const GoldenCache& golden,
+                           FaultSession& session) const;
+  int predict_replay(const GoldenCache& golden, FaultSession& session) const;
+
   // ---- Introspection ----
   Shape input_shape() const { return input_shape_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
@@ -75,6 +91,9 @@ class Network {
   // FaultConfig::fault_free_layer and FaultConfig::protection.
   int num_protectable() const { return static_cast<int>(protectable_.size()); }
   const Layer& protectable_layer(int prot_index) const;
+  // Graph node id and output shape of a protectable layer.
+  int protectable_node(int prot_index) const;
+  Shape protectable_shape(int prot_index) const;
   OpSpace protectable_op_space(int prot_index, ConvPolicy policy) const;
   // Whole-network op space under a policy.
   OpSpace total_op_space(ConvPolicy policy) const;
@@ -91,6 +110,8 @@ class Network {
   };
 
   TensorI32 quantize_input(const TensorF& image) const;
+  // Subtracts the per-class calibration offsets from classifier logits.
+  void apply_logit_centering(TensorI32& logits) const;
 
   std::string name_;
   DType dtype_;
