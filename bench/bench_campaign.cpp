@@ -1,43 +1,93 @@
 // Fault-sweep campaign throughput: a fig1-style operation-level injection
-// campaign (BER sweep, many trials per image) timed end-to-end with the
-// golden-activation cache on and off. Emits BENCH_campaign.json so CI can
-// track the perf trajectory, plus the usual terminal/CSV table.
+// campaign (BER x policy grid) timed end-to-end in four modes:
+//   campaign        one CampaignSpec over the whole grid — goldens shared
+//                   per (image, policy) across every point, one schedule
+//   per_call_cache  point-by-point evaluate() (PR 1: golden cache per call)
+//   scratch         point-by-point, every trial recomputed from scratch
+//   seed_equivalent scratch on the seed revision's kernel algorithms
+// and in two regimes:
+//   deep    WINOFAULT_TRIALS trials per (image, point): the golden build
+//           amortizes across trials even per call, so this isolates the
+//           replay engine's throughput trajectory
+//   sweep   1 trial per (image, point), the regime every fig driver runs
+//           in: per-call execution pays one golden build per grid point
+//           while the campaign pays one per (image, policy)
+// Emits BENCH_campaign.json so CI can track the perf trajectory, plus the
+// usual terminal/CSV table. All modes must agree bit-exactly on the
+// accuracy checksum.
 //
 // Extra knobs on top of bench_util.h:
-//   WINOFAULT_TRIALS  injection trials per (image, BER) point (default 100)
+//   WINOFAULT_TRIALS  deep-regime trials per (image, BER) point (default 100)
 #include <chrono>
 #include <cstdio>
+#include <functional>
 
 #include "bench_util.h"
 #include "core/analysis/network_sweep.h"
+#include "core/campaign/campaign.h"
 
 using namespace winofault;
 using namespace winofault::bench;
 
 namespace {
 
-double run_campaign(const Network& net, const Dataset& data,
-                    const std::vector<double>& bers, int trials,
-                    std::uint64_t seed, bool reuse_golden,
-                    double* accuracy_checksum) {
-  const auto start = std::chrono::steady_clock::now();
-  double checksum = 0.0;
+constexpr ConvPolicy kPolicies[] = {ConvPolicy::kDirect,
+                                    ConvPolicy::kWinograd2};
+
+std::vector<CampaignPoint> campaign_points(const std::vector<double>& bers,
+                                           int trials, std::uint64_t seed,
+                                           bool reuse_golden) {
+  std::vector<CampaignPoint> points;
   for (const double ber : bers) {
-    for (const ConvPolicy policy :
-         {ConvPolicy::kDirect, ConvPolicy::kWinograd2}) {
-      EvalOptions options;
-      options.fault.ber = ber;
-      options.policy = policy;
-      options.seed = seed;
-      options.trials = trials;
-      options.reuse_golden = reuse_golden;
-      checksum += evaluate(net, data, options).accuracy;
+    for (const ConvPolicy policy : kPolicies) {
+      CampaignPoint point;
+      point.fault.ber = ber;
+      point.policy = policy;
+      point.seed = seed;
+      point.trials = trials;
+      point.reuse_golden = reuse_golden;
+      points.push_back(std::move(point));
     }
   }
+  return points;
+}
+
+double timed(const std::function<double()>& body, double* checksum) {
+  const auto start = std::chrono::steady_clock::now();
+  const double sum = body();
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
-  if (accuracy_checksum != nullptr) *accuracy_checksum = checksum;
+  if (checksum != nullptr) *checksum = sum;
   return elapsed.count();
+}
+
+// The whole grid as ONE campaign (cross-point golden sharing).
+double run_unified(const Network& net, const Dataset& data,
+                   const std::vector<CampaignPoint>& points,
+                   CampaignStats* stats) {
+  CampaignSpec spec;
+  spec.points = points;
+  const CampaignResult result = run_campaign(net, data, spec);
+  if (stats != nullptr) *stats = result.stats;
+  double checksum = 0.0;
+  for (const EvalResult& point : result.points) checksum += point.accuracy;
+  return checksum;
+}
+
+// Point-by-point evaluate() calls (the pre-campaign driver loop).
+double run_per_call(const Network& net, const Dataset& data,
+                    const std::vector<CampaignPoint>& points) {
+  double checksum = 0.0;
+  for (const CampaignPoint& point : points) {
+    EvalOptions options;
+    options.fault = point.fault;
+    options.policy = point.policy;
+    options.seed = point.seed;
+    options.trials = point.trials;
+    options.reuse_golden = point.reuse_golden;
+    checksum += evaluate(net, data, options).accuracy;
+  }
+  return checksum;
 }
 
 }  // namespace
@@ -47,74 +97,113 @@ int main() {
   const int trials = env_int("WINOFAULT_TRIALS", 100);
   ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
   const std::vector<double> bers = log_ber_grid(1e-9, 1e-7, 3);
+  const auto deep = campaign_points(bers, trials, env.seed, true);
+  const auto deep_scratch = campaign_points(bers, trials, env.seed, false);
+  const auto sweep = campaign_points(bers, 1, env.seed, true);
 
-  // Inference count per run: images * trials * bers * 2 policies.
+  // Deep-regime inference count: images * trials * bers * 2 policies.
   const double inferences = static_cast<double>(m.data.size()) * trials *
                             static_cast<double>(bers.size()) * 2.0;
+  const double sweep_inferences = static_cast<double>(m.data.size()) *
+                                  static_cast<double>(bers.size()) * 2.0;
 
-  double cached_checksum = 0.0, scratch_checksum = 0.0, seed_checksum = 0.0;
-  const double cached_s = run_campaign(m.net, m.data, bers, trials, env.seed,
-                                       /*reuse_golden=*/true,
-                                       &cached_checksum);
-  const double scratch_s = run_campaign(m.net, m.data, bers, trials, env.seed,
-                                        /*reuse_golden=*/false,
-                                        &scratch_checksum);
+  double campaign_sum = 0, percall_sum = 0, scratch_sum = 0, seed_sum = 0;
+  double sweep_campaign_sum = 0, sweep_percall_sum = 0;
+  CampaignStats stats;
+  const double campaign_s = timed(
+      [&] { return run_unified(m.net, m.data, deep, &stats); },
+      &campaign_sum);
+  const double percall_s =
+      timed([&] { return run_per_call(m.net, m.data, deep); }, &percall_sum);
+  const double scratch_s = timed(
+      [&] { return run_per_call(m.net, m.data, deep_scratch); },
+      &scratch_sum);
   // Seed-equivalent execution: scratch trials on the seed revision's
   // kernels (reference direct loop, per-forward Winograd filter transform).
   set_seed_equivalent_kernels(true);
-  const double seed_s = run_campaign(m.net, m.data, bers, trials, env.seed,
-                                     /*reuse_golden=*/false, &seed_checksum);
+  const double seed_s = timed(
+      [&] { return run_per_call(m.net, m.data, deep_scratch); }, &seed_sum);
   set_seed_equivalent_kernels(false);
+  // Sweep regime: the fig-driver shape (1 trial per grid point).
+  const double sweep_campaign_s = timed(
+      [&] { return run_unified(m.net, m.data, sweep, nullptr); },
+      &sweep_campaign_sum);
+  const double sweep_percall_s = timed(
+      [&] { return run_per_call(m.net, m.data, sweep); }, &sweep_percall_sum);
 
-  const double cached_ips = inferences / cached_s;
+  const double campaign_ips = inferences / campaign_s;
+  const double percall_ips = inferences / percall_s;
   const double scratch_ips = inferences / scratch_s;
   const double seed_ips = inferences / seed_s;
-  const double speedup_vs_scratch = scratch_s / cached_s;
-  const double speedup_vs_seed = seed_s / cached_s;
+  const double speedup_vs_percall = percall_s / campaign_s;
+  const double speedup_vs_scratch = scratch_s / campaign_s;
+  const double speedup_vs_seed = seed_s / campaign_s;
+  const double sweep_speedup = sweep_percall_s / sweep_campaign_s;
 
-  Table table({"mode", "wall_s", "inferences_per_s", "accuracy_checksum"});
-  table.add_row({"cached_replay", Table::fmt(cached_s, 3),
-                 Table::fmt(cached_ips, 1), Table::fmt(cached_checksum, 6)});
-  table.add_row({"scratch", Table::fmt(scratch_s, 3),
-                 Table::fmt(scratch_ips, 1), Table::fmt(scratch_checksum, 6)});
-  table.add_row({"seed_equivalent", Table::fmt(seed_s, 3),
-                 Table::fmt(seed_ips, 1), Table::fmt(seed_checksum, 6)});
-  emit(table, "Campaign throughput: golden cache vs scratch vs seed kernels "
-              "(VGG19 int16, op-level FI)",
+  Table table({"regime", "mode", "wall_s", "inferences_per_s",
+               "accuracy_checksum"});
+  table.add_row({"deep", "campaign", Table::fmt(campaign_s, 3),
+                 Table::fmt(campaign_ips, 1), Table::fmt(campaign_sum, 6)});
+  table.add_row({"deep", "per_call_cache", Table::fmt(percall_s, 3),
+                 Table::fmt(percall_ips, 1), Table::fmt(percall_sum, 6)});
+  table.add_row({"deep", "scratch", Table::fmt(scratch_s, 3),
+                 Table::fmt(scratch_ips, 1), Table::fmt(scratch_sum, 6)});
+  table.add_row({"deep", "seed_equivalent", Table::fmt(seed_s, 3),
+                 Table::fmt(seed_ips, 1), Table::fmt(seed_sum, 6)});
+  table.add_row({"sweep", "campaign", Table::fmt(sweep_campaign_s, 3),
+                 Table::fmt(sweep_inferences / sweep_campaign_s, 1),
+                 Table::fmt(sweep_campaign_sum, 6)});
+  table.add_row({"sweep", "per_call_cache", Table::fmt(sweep_percall_s, 3),
+                 Table::fmt(sweep_inferences / sweep_percall_s, 1),
+                 Table::fmt(sweep_percall_sum, 6)});
+  emit(table, "Campaign throughput: unified campaign vs per-call cache vs "
+              "scratch vs seed kernels (VGG19 int16, op-level FI)",
        "bench_campaign");
   std::printf(
-      "speedup: %.2fx vs scratch, %.2fx vs seed kernels "
-      "(%d trials/image, %zu images, %zu BER points)\n",
-      speedup_vs_scratch, speedup_vs_seed, trials, m.data.size(),
-      bers.size());
-  if (cached_checksum != scratch_checksum ||
-      cached_checksum != seed_checksum) {
+      "deep  (%d trials): %.2fx vs per-call cache, %.2fx vs scratch, %.2fx "
+      "vs seed kernels (%zu images, %zu BER points x 2 policies)\n",
+      trials, speedup_vs_percall, speedup_vs_scratch, speedup_vs_seed,
+      m.data.size(), bers.size());
+  std::printf(
+      "sweep (1 trial):   %.2fx vs per-call cache over %zu grid points\n",
+      sweep_speedup, sweep.size());
+  std::printf(
+      "golden builds: %lld (campaign) vs %lld (per-call), hits %lld, "
+      "evictions %lld\n",
+      static_cast<long long>(stats.golden_builds),
+      static_cast<long long>(m.data.size() * bers.size() * 2),
+      static_cast<long long>(stats.golden_hits),
+      static_cast<long long>(stats.golden_evictions));
+  if (campaign_sum != percall_sum || campaign_sum != scratch_sum ||
+      campaign_sum != seed_sum ||
+      sweep_campaign_sum != sweep_percall_sum) {
     std::printf("ERROR: campaign modes disagree\n");
     return 1;
   }
 
-  if (FILE* f = std::fopen("BENCH_campaign.json", "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"benchmark\": \"fi_campaign_vgg19_int16_oplevel\",\n"
-                 "  \"images\": %zu,\n"
-                 "  \"trials_per_image\": %d,\n"
-                 "  \"ber_points\": %zu,\n"
-                 "  \"inferences\": %.0f,\n"
-                 "  \"cached_wall_s\": %.4f,\n"
-                 "  \"scratch_wall_s\": %.4f,\n"
-                 "  \"seed_equiv_wall_s\": %.4f,\n"
-                 "  \"cached_inferences_per_s\": %.2f,\n"
-                 "  \"scratch_inferences_per_s\": %.2f,\n"
-                 "  \"seed_equiv_inferences_per_s\": %.2f,\n"
-                 "  \"speedup_vs_scratch\": %.3f,\n"
-                 "  \"speedup_vs_seed\": %.3f\n"
-                 "}\n",
-                 m.data.size(), trials, bers.size(), inferences, cached_s,
-                 scratch_s, seed_s, cached_ips, scratch_ips, seed_ips,
-                 speedup_vs_scratch, speedup_vs_seed);
-    std::fclose(f);
-    std::printf("[json] BENCH_campaign.json\n");
-  }
+  JsonObject json;
+  json.field("benchmark", std::string("fi_campaign_vgg19_int16_oplevel"))
+      .field("images", static_cast<std::int64_t>(m.data.size()))
+      .field("trials_per_image", static_cast<std::int64_t>(trials))
+      .field("ber_points", static_cast<std::int64_t>(bers.size()))
+      .field("sweep_points", static_cast<std::int64_t>(deep.size()))
+      .field("inferences", inferences, 0)
+      .field("campaign_wall_s", campaign_s)
+      .field("cached_wall_s", percall_s)
+      .field("scratch_wall_s", scratch_s)
+      .field("seed_equiv_wall_s", seed_s)
+      .field("campaign_inferences_per_s", campaign_ips, 2)
+      .field("cached_inferences_per_s", percall_ips, 2)
+      .field("scratch_inferences_per_s", scratch_ips, 2)
+      .field("seed_equiv_inferences_per_s", seed_ips, 2)
+      .field("sweep_campaign_wall_s", sweep_campaign_s)
+      .field("sweep_percall_wall_s", sweep_percall_s)
+      .field("golden_builds", stats.golden_builds)
+      .field("golden_hits", stats.golden_hits)
+      .field("speedup_vs_percall", speedup_vs_percall, 3)
+      .field("speedup_vs_scratch", speedup_vs_scratch, 3)
+      .field("speedup_vs_seed", speedup_vs_seed, 3)
+      .field("sweep_speedup_vs_percall", sweep_speedup, 3);
+  json.write("BENCH_campaign.json");
   return 0;
 }

@@ -1,5 +1,7 @@
 // Shared scaffolding for the figure benches: environment-tunable run sizes,
-// model/dataset construction, and table emission (terminal + CSV).
+// model/dataset construction, per-figure seed streams, and table/JSON
+// emission (terminal + CSV + perf-trajectory JSON). Every fig driver is a
+// thin client of this header plus the core CampaignSpec builders.
 //
 // Knobs (environment variables):
 //   WINOFAULT_IMAGES  evaluation images per point   (default 10, full 40)
@@ -14,10 +16,14 @@
 #pragma once
 
 #include <cstdio>
+#include <iterator>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/env.h"
+#include "common/logging.h"
 #include "nn/dataset.h"
 #include "nn/models/zoo.h"
 
@@ -38,6 +44,26 @@ inline BenchEnv bench_env() {
   env.width_override = env_double("WINOFAULT_WIDTH", 0.0);
   return env;
 }
+
+// Per-figure context: the bench environment plus that figure's seed
+// streams. Each figure historically drew from its own offset of the master
+// seed so curves never share fault streams across figures; the offsets are
+// preserved here so tables stay reproducible across revisions (fig 5 uses
+// two streams: the vulnerability analysis and the planner).
+struct FigureCtx {
+  BenchEnv env;
+  int figure = 0;
+
+  std::uint64_t seed(int stream = 0) const {
+    static constexpr int kBaseOffset[] = {0, 1, 2, 3, 4, 5, 7, 8};
+    WF_CHECK(figure >= 1 &&
+             figure < static_cast<int>(std::size(kBaseOffset)));
+    return env.seed + static_cast<std::uint64_t>(kBaseOffset[figure]) +
+           static_cast<std::uint64_t>(stream);
+  }
+};
+
+inline FigureCtx figure_ctx(int figure) { return FigureCtx{bench_env(), figure}; }
 
 // Builds a zoo model plus its teacher-labeled dataset sized for this run.
 struct ModelUnderTest {
@@ -69,5 +95,44 @@ inline void emit(const Table& table, const std::string& title,
   }
   std::fflush(stdout);
 }
+
+// Flat JSON-object emitter for perf-trajectory files (BENCH_*.json): CI
+// diffs these between runs, so field values are raw numbers, not strings.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& name, const std::string& literal) {
+    fields_.emplace_back(name, "\"" + literal + "\"");
+    return *this;
+  }
+  JsonObject& field(const std::string& name, double value,
+                    int precision = 4) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    fields_.emplace_back(name, buf);
+    return *this;
+  }
+  JsonObject& field(const std::string& name, std::int64_t value) {
+    fields_.emplace_back(name, std::to_string(value));
+    return *this;
+  }
+
+  bool write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("[json] %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace winofault::bench

@@ -4,6 +4,10 @@
 // Expected shape: under neuron-level FI the ST-Conv and WG-Conv curves are
 // indistinguishable (both flip bits of identical activation tensors); under
 // operation-level FI Winograd holds visibly higher accuracy.
+//
+// All four (policy, mode) curves run as ONE campaign: per image, the two
+// op-level and two neuron-level configurations of each policy share a
+// single golden build.
 #include "bench_util.h"
 #include "core/analysis/network_sweep.h"
 
@@ -11,34 +15,29 @@ using namespace winofault;
 using namespace winofault::bench;
 
 int main() {
-  const BenchEnv env = bench_env();
-  ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
+  const FigureCtx ctx = figure_ctx(1);
+  ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
 
   const std::vector<double> bers =
-      log_ber_grid(1e-9, 1e-6, env.full ? 9 : 6);
+      log_ber_grid(1e-9, 1e-6, ctx.env.full ? 9 : 6);
+
+  std::vector<SweepOptions> configs;
+  for (const auto& [policy, mode] :
+       {std::pair{ConvPolicy::kDirect, InjectionMode::kOpLevel},
+        std::pair{ConvPolicy::kWinograd2, InjectionMode::kOpLevel},
+        std::pair{ConvPolicy::kDirect, InjectionMode::kNeuronLevel},
+        std::pair{ConvPolicy::kWinograd2, InjectionMode::kNeuronLevel}}) {
+    SweepOptions options;
+    options.bers = bers;
+    options.policy = policy;
+    options.mode = mode;
+    options.seed = ctx.seed();
+    configs.push_back(std::move(options));
+  }
+  const auto curves = accuracy_sweeps(m.net, m.data, configs);
 
   Table table({"ber", "exp_flips", "st_op_level", "wg_op_level",
                "st_neuron_level", "wg_neuron_level"});
-  struct Config {
-    ConvPolicy policy;
-    InjectionMode mode;
-  };
-  const Config configs[] = {
-      {ConvPolicy::kDirect, InjectionMode::kOpLevel},
-      {ConvPolicy::kWinograd2, InjectionMode::kOpLevel},
-      {ConvPolicy::kDirect, InjectionMode::kNeuronLevel},
-      {ConvPolicy::kWinograd2, InjectionMode::kNeuronLevel},
-  };
-  std::vector<std::vector<SweepPoint>> curves;
-  for (const Config& config : configs) {
-    SweepOptions options;
-    options.bers = bers;
-    options.policy = config.policy;
-    options.mode = config.mode;
-    options.seed = env.seed + 1;
-    curves.push_back(accuracy_sweep(m.net, m.data, options));
-  }
-  const FaultModel flips_model{1.0};
   const OpSpace st_space = m.net.total_op_space(ConvPolicy::kDirect);
   for (std::size_t i = 0; i < bers.size(); ++i) {
     table.add_row({Table::fmt_sci(bers[i]),

@@ -5,6 +5,8 @@
 // Expected shape: WG >= ST everywhere; improvements peak in the knee (the
 // paper reports up to ~35 pp); int16 is more vulnerable than int8 at equal
 // BER; DenseNet drops sharply while ResNet degrades smoothly.
+//
+// Per (network, dtype), the ST and WG sweeps run as one campaign.
 #include "bench_util.h"
 #include "core/analysis/network_sweep.h"
 
@@ -12,22 +14,24 @@ using namespace winofault;
 using namespace winofault::bench;
 
 int main() {
-  const BenchEnv env = bench_env();
+  const FigureCtx ctx = figure_ctx(2);
   const std::vector<double> bers =
-      log_ber_grid(1e-9, 1e-6, env.full ? 8 : 5);
+      log_ber_grid(1e-9, 1e-6, ctx.env.full ? 8 : 5);
 
   Table table({"network", "dtype", "ber", "st_acc", "wg_acc", "improvement"});
   double max_improvement = 0;
   for (const ZooEntry& entry : model_zoo()) {
     for (const DType dtype : {DType::kInt8, DType::kInt16}) {
-      ModelUnderTest m = make_model(entry.name, dtype, env);
+      ModelUnderTest m = make_model(entry.name, dtype, ctx.env);
       SweepOptions st;
       st.bers = bers;
-      st.seed = env.seed + 2;
+      st.seed = ctx.seed();
       SweepOptions wg = st;
       wg.policy = ConvPolicy::kWinograd2;
-      const auto st_curve = accuracy_sweep(m.net, m.data, st);
-      const auto wg_curve = accuracy_sweep(m.net, m.data, wg);
+      const auto curves =
+          accuracy_sweeps(m.net, m.data, std::vector{st, wg});
+      const auto& st_curve = curves[0];
+      const auto& wg_curve = curves[1];
       for (std::size_t i = 0; i < bers.size(); ++i) {
         const double improvement =
             wg_curve[i].accuracy - st_curve[i].accuracy;

@@ -13,14 +13,14 @@ using namespace winofault;
 using namespace winofault::bench;
 
 int main() {
-  const BenchEnv env = bench_env();
-  ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
+  const FigureCtx ctx = figure_ctx(3);
+  ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
   // Scaled analogue of the paper's 3e-10 (see bench_util.h BER note).
   const double ber = env_double("WINOFAULT_BER", 3e-8);
 
   LayerwiseOptions st;
   st.ber = ber;
-  st.seed = env.seed + 3;
+  st.seed = ctx.seed();
   LayerwiseOptions wg = st;
   wg.policy = ConvPolicy::kWinograd2;
   const LayerwiseResult st_result = layer_vulnerability(m.net, m.data, st);

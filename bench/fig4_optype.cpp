@@ -13,14 +13,14 @@ using namespace winofault;
 using namespace winofault::bench;
 
 int main() {
-  const BenchEnv env = bench_env();
+  const FigureCtx ctx = figure_ctx(4);
 
   Table table({"network", "dtype", "ber", "impl", "all_faulty",
                "mul_fault_free", "add_fault_free"});
   double min_mul_advantage = 1.0;
   for (const ZooEntry& entry : model_zoo()) {
     for (const DType dtype : {DType::kInt8, DType::kInt16}) {
-      ModelUnderTest m = make_model(entry.name, dtype, env);
+      ModelUnderTest m = make_model(entry.name, dtype, ctx.env);
       // Per-network BER near its knee: scale with total op bits so every
       // model is stressed comparably (the paper likewise picks per-network
       // rates between 1e-11 and 9e-8).
@@ -31,7 +31,7 @@ int main() {
         OpTypeOptions options;
         options.ber = ber;
         options.policy = policy;
-        options.seed = env.seed + 4;
+        options.seed = ctx.seed();
         const OpTypeResult r = op_type_sensitivity(m.net, m.data, options);
         min_mul_advantage =
             std::min(min_mul_advantage,

@@ -12,23 +12,24 @@ using namespace winofault;
 using namespace winofault::bench;
 
 int main() {
-  const BenchEnv env = bench_env();
-  ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
+  const FigureCtx ctx = figure_ctx(5);
+  ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
   const double ber = env_double("WINOFAULT_BER", 3e-8);
   const double clean = m.entry->clean_accuracy;
 
   // Accuracy goals spanning the paper's 45%..70% band (relative to the
   // 72.6% clean accuracy).
   std::vector<double> goals;
-  const int goal_count = env.full ? 6 : 5;
+  const int goal_count = ctx.env.full ? 6 : 5;
   for (int i = 0; i < goal_count; ++i) {
     goals.push_back(0.45 + (clean - 0.03 - 0.45) * i / (goal_count - 1));
   }
 
-  // Shared vulnerability rankings (measured once per analysis engine).
+  // Shared vulnerability rankings (measured once per analysis engine; each
+  // analysis is one campaign across the N+1 layer configurations).
   LayerwiseOptions st_lw;
   st_lw.ber = ber;
-  st_lw.seed = env.seed + 5;
+  st_lw.seed = ctx.seed(0);
   const auto st_order =
       vulnerability_order(layer_vulnerability(m.net, m.data, st_lw));
   LayerwiseOptions wg_lw = st_lw;
@@ -47,9 +48,9 @@ int main() {
     TmrPlanOptions st_opts;
     st_opts.ber = ber;
     st_opts.accuracy_goal = goal;
-    st_opts.seed = env.seed + 6;
+    st_opts.seed = ctx.seed(1);
     st_opts.layer_order = &st_order;
-    st_opts.step_fraction = env.full ? 0.05 : 0.15;
+    st_opts.step_fraction = ctx.env.full ? 0.05 : 0.15;
     st_opts.initial_protection = &st_warm;
     const TmrPlan st_plan = plan_tmr(m.net, m.data, st_opts);
     st_warm = st_plan.protection;

@@ -11,8 +11,8 @@ using namespace winofault;
 using namespace winofault::bench;
 
 int main() {
-  const BenchEnv env = bench_env();
-  ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
+  const FigureCtx ctx = figure_ctx(6);
+  ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
 
   VoltageModel volt;
   // The reduced VGG19 executes ~30x fewer ops than the paper's, so its
@@ -20,13 +20,13 @@ int main() {
   // (same slope) so the cliff lands inside the plotted voltage window.
   volt.log10_ber_anchor = env_double("WINOFAULT_VOLT_ANCHOR", -10.0);
 
-  const auto grid = voltage_grid(0.82, 0.74, env.full ? 13 : 9);
-  const auto st = accuracy_vs_voltage(m.net, m.data, volt,
-                                      ConvPolicy::kDirect, grid,
-                                      env.seed + 7);
-  const auto wg = accuracy_vs_voltage(m.net, m.data, volt,
-                                      ConvPolicy::kWinograd2, grid,
-                                      env.seed + 7);
+  const auto grid = voltage_grid(0.82, 0.74, ctx.env.full ? 13 : 9);
+  // Both policies' curves as one campaign over the whole grid.
+  const ConvPolicy policies[] = {ConvPolicy::kDirect, ConvPolicy::kWinograd2};
+  const auto curves = accuracy_vs_voltage_multi(m.net, m.data, volt,
+                                                policies, grid, ctx.seed());
+  const auto& st = curves[0];
+  const auto& wg = curves[1];
 
   Table table({"voltage_v", "ber", "st_acc", "wg_acc"});
   for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -13,8 +13,8 @@ using namespace winofault;
 using namespace winofault::bench;
 
 int main() {
-  const BenchEnv env = bench_env();
-  ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
+  const FigureCtx ctx = figure_ctx(7);
+  ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
 
   EnergyModel model;
   model.voltage.log10_ber_anchor =
@@ -22,8 +22,8 @@ int main() {
 
   ExplorerOptions base;
   base.loss_budgets = {0.01, 0.03, 0.05, 0.10};
-  base.voltage_grid = voltage_grid(0.86, 0.72, env.full ? 15 : 8);
-  base.seed = env.seed + 8;
+  base.voltage_grid = voltage_grid(0.86, 0.72, ctx.env.full ? 15 : 8);
+  base.seed = ctx.seed();
 
   ExplorerOptions st = base;  // direct decisions, direct execution
   ExplorerOptions wo = base;  // direct decisions, Winograd execution
@@ -31,9 +31,17 @@ int main() {
   ExplorerOptions wa = wo;    // Winograd decisions, Winograd execution
   wa.curve_policy = ConvPolicy::kWinograd2;
 
-  const auto st_points = explore_voltage_scaling(m.net, m.data, model, st);
-  const auto wo_points = explore_voltage_scaling(m.net, m.data, model, wo);
-  const auto wa_points = explore_voltage_scaling(m.net, m.data, model, wa);
+  // Each decision curve is measured once (one campaign per policy); ST-Conv
+  // and WG-Conv-W/O-AFT share the direct curve.
+  const VoltageCurve st_curve = measure_voltage_curve(
+      m.net, m.data, model.voltage, ConvPolicy::kDirect, base.voltage_grid,
+      base.seed);
+  const VoltageCurve wg_curve = measure_voltage_curve(
+      m.net, m.data, model.voltage, ConvPolicy::kWinograd2, base.voltage_grid,
+      base.seed);
+  const auto st_points = pick_voltages(m.net, model, st, st_curve);
+  const auto wo_points = pick_voltages(m.net, model, wo, st_curve);
+  const auto wa_points = pick_voltages(m.net, model, wa, wg_curve);
 
   Table table({"loss_budget", "st_energy", "st_volt", "wo_aft_energy",
                "wo_aft_volt", "w_aft_energy", "w_aft_volt"});

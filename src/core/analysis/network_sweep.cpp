@@ -6,22 +6,48 @@
 
 namespace winofault {
 
+CampaignSpec sweep_campaign(std::span<const SweepOptions> options) {
+  CampaignSpec spec;
+  if (!options.empty()) spec.threads = options.front().threads;
+  for (const SweepOptions& sweep : options) {
+    for (const double ber : sweep.bers) {
+      CampaignPoint point;
+      point.fault.ber = ber;
+      point.fault.mode = sweep.mode;
+      point.policy = sweep.policy;
+      point.seed = sweep.seed;
+      point.trials = sweep.trials;
+      point.tag = "sweep";
+      spec.points.push_back(std::move(point));
+    }
+  }
+  return spec;
+}
+
+std::vector<std::vector<SweepPoint>> accuracy_sweeps(
+    const Network& network, const Dataset& dataset,
+    std::span<const SweepOptions> options) {
+  const CampaignResult result =
+      run_campaign(network, dataset, sweep_campaign(options));
+  std::vector<std::vector<SweepPoint>> curves;
+  curves.reserve(options.size());
+  std::size_t next = 0;
+  for (const SweepOptions& sweep : options) {
+    std::vector<SweepPoint> curve;
+    curve.reserve(sweep.bers.size());
+    for (const double ber : sweep.bers) {
+      const EvalResult& eval = result.points[next++];
+      curve.push_back(SweepPoint{ber, eval.accuracy, eval.avg_flips});
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
 std::vector<SweepPoint> accuracy_sweep(const Network& network,
                                        const Dataset& dataset,
                                        const SweepOptions& options) {
-  std::vector<SweepPoint> points;
-  points.reserve(options.bers.size());
-  for (const double ber : options.bers) {
-    EvalOptions eval;
-    eval.fault.ber = ber;
-    eval.fault.mode = options.mode;
-    eval.policy = options.policy;
-    eval.seed = options.seed;
-    eval.threads = options.threads;
-    const EvalResult result = evaluate(network, dataset, eval);
-    points.push_back(SweepPoint{ber, result.accuracy, result.avg_flips});
-  }
-  return points;
+  return accuracy_sweeps(network, dataset, std::span(&options, 1)).front();
 }
 
 std::vector<double> log_ber_grid(double lo, double hi, int points) {

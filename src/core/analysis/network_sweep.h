@@ -1,10 +1,14 @@
 // Network-wise fault-tolerance evaluation (paper Sec 3.2.2, Figs 1 and 2):
 // accuracy of a network across a bit-error-rate sweep under a given conv
-// policy and injection mode.
+// policy and injection mode. A sweep is a thin CampaignSpec builder: all
+// BER points (and, with accuracy_sweeps, all policy/mode configurations)
+// run as one campaign sharing per-(image, policy) golden activations.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "core/campaign/campaign.h"
 #include "nn/evaluator.h"
 
 namespace winofault {
@@ -21,11 +25,26 @@ struct SweepOptions {
   InjectionMode mode = InjectionMode::kOpLevel;
   std::uint64_t seed = 1;
   int threads = 0;
+  int trials = 1;  // injection trials per (image, BER) point
 };
 
 std::vector<SweepPoint> accuracy_sweep(const Network& network,
                                        const Dataset& dataset,
                                        const SweepOptions& options);
+
+// Several sweep configurations over one (network, dataset) executed as a
+// single campaign — e.g. Fig 1's four (policy, mode) curves or Fig 2's
+// ST/WG pair. Goldens are shared across every configuration with the same
+// policy, and the whole grid feeds the pool at once. Campaign-level knobs
+// (threads) come from the first configuration.
+std::vector<std::vector<SweepPoint>> accuracy_sweeps(
+    const Network& network, const Dataset& dataset,
+    std::span<const SweepOptions> options);
+
+// The CampaignSpec a set of sweep configurations expands to (points ordered
+// configuration-major, then BER) — exposed for callers that want to merge
+// sweeps into a larger campaign.
+CampaignSpec sweep_campaign(std::span<const SweepOptions> options);
 
 // Log-spaced BER grid [lo, hi] with `points` entries (both ends included).
 std::vector<double> log_ber_grid(double lo, double hi, int points);

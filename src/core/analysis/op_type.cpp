@@ -5,24 +5,30 @@ namespace winofault {
 OpTypeResult op_type_sensitivity(const Network& network,
                                  const Dataset& dataset,
                                  const OpTypeOptions& options) {
-  OpTypeResult result;
-  EvalOptions eval;
-  eval.fault.ber = options.ber;
-  eval.policy = options.policy;
-  eval.seed = options.seed;
-  eval.threads = options.threads;
+  CampaignPoint all;
+  all.fault.ber = options.ber;
+  all.policy = options.policy;
+  all.seed = options.seed;
+  all.trials = options.trials;
+  all.tag = "optype-all";
 
-  result.accuracy_all_faulty = evaluate(network, dataset, eval).accuracy;
-
-  EvalOptions add_only = eval;  // muls fault-free
+  CampaignPoint add_only = all;  // muls fault-free
   add_only.fault.only_kind = OpKind::kAdd;
-  result.accuracy_mul_fault_free =
-      evaluate(network, dataset, add_only).accuracy;
+  add_only.tag = "optype-add-only";
 
-  EvalOptions mul_only = eval;  // adds fault-free
+  CampaignPoint mul_only = all;  // adds fault-free
   mul_only.fault.only_kind = OpKind::kMul;
-  result.accuracy_add_fault_free =
-      evaluate(network, dataset, mul_only).accuracy;
+  mul_only.tag = "optype-mul-only";
+
+  CampaignSpec spec;
+  spec.threads = options.threads;
+  spec.points = {all, add_only, mul_only};
+  const CampaignResult campaign = run_campaign(network, dataset, spec);
+
+  OpTypeResult result;
+  result.accuracy_all_faulty = campaign.points[0].accuracy;
+  result.accuracy_mul_fault_free = campaign.points[1].accuracy;
+  result.accuracy_add_fault_free = campaign.points[2].accuracy;
   return result;
 }
 

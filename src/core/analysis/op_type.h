@@ -2,8 +2,12 @@
 // accuracy when one op kind is kept fault-free. High "mul fault-free"
 // accuracy means multiplications are the vulnerable operations and should
 // be protected first — the priority rule of the TMR planner.
+//
+// The three configurations (all faulty, add-only, mul-only) share a policy
+// and therefore run as one campaign over a single set of goldens.
 #pragma once
 
+#include "core/campaign/campaign.h"
 #include "nn/evaluator.h"
 
 namespace winofault {
@@ -13,6 +17,7 @@ struct OpTypeOptions {
   ConvPolicy policy = ConvPolicy::kDirect;
   std::uint64_t seed = 1;
   int threads = 0;
+  int trials = 1;  // injection trials per (image, configuration) point
 };
 
 struct OpTypeResult {

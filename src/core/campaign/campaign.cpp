@@ -1,0 +1,249 @@
+#include "core/campaign/campaign.h"
+
+#include <optional>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "fault/fault_model.h"
+
+namespace winofault {
+
+// Trial 0 keeps the historical per-image derivation (odd, distinct per
+// image) so single-trial runs are bit-compatible with earlier revisions;
+// later trials re-mix through SplitMix64-style constants so streams never
+// collide across images.
+std::uint64_t fault_stream_seed(std::uint64_t seed, std::int64_t image,
+                                int trial) {
+  std::uint64_t base = seed * 0x9e3779b97f4a7c15ULL +
+                       static_cast<std::uint64_t>(image) * 2 + 1;
+  if (trial > 0) {
+    base ^= (static_cast<std::uint64_t>(trial) + 1) * 0xbf58476d1ce4e5b9ULL;
+    base *= 0x94d049bb133111ebULL;
+    base |= 1;  // keep the stream odd like the trial-0 derivation
+  }
+  return base;
+}
+
+namespace {
+
+// When the expected op-level flips per inference would reduce the output to
+// noise, the point reports chance accuracy directly instead of simulating
+// hundreds of thousands of replays (see EvalOptions::max_expected_flips).
+// Only applies to unrestricted op-level injection.
+std::optional<EvalResult> destruction_short_circuit(
+    const Network& network, const Dataset& dataset,
+    const CampaignPoint& point) {
+  if (point.fault.mode != InjectionMode::kOpLevel ||
+      !point.fault.protection.empty() || point.fault.fault_free_layer >= 0 ||
+      point.fault.only_kind.has_value() || dataset.num_classes <= 1) {
+    return std::nullopt;
+  }
+  const FaultModel model{point.fault.ber};
+  const double expected =
+      model.expected_flips(network.total_op_space(point.policy));
+  if (expected <= point.max_expected_flips) return std::nullopt;
+  EvalResult result;
+  result.images = static_cast<int>(dataset.images.size());
+  result.accuracy = 1.0 / static_cast<double>(dataset.num_classes);
+  result.avg_flips = expected;
+  return result;
+}
+
+}  // namespace
+
+GoldenLru::Ptr GoldenLru::get_or_build(
+    std::int64_t image, ConvPolicy policy,
+    const std::function<GoldenCache()>& build) {
+  const Key key = (static_cast<std::uint64_t>(image) << 8) |
+                  static_cast<std::uint64_t>(policy);
+  std::promise<Ptr> promise;
+  std::shared_future<Ptr> future;
+  std::uint64_t owner = 0;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = map_.find(key); it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      future = it->second.future;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      builder = true;
+      owner = ++next_owner_;
+      builds_.fetch_add(1, std::memory_order_relaxed);
+      future = promise.get_future().share();
+      lru_.push_front(key);
+      map_.emplace(key, Entry{future, lru_.begin(), owner});
+      // Evict least-recently-used entries over capacity. In-flight users of
+      // an evicted entry hold their own future/shared_ptr, so eviction only
+      // costs a potential rebuild, never correctness.
+      while (map_.size() > capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!builder) return future.get();
+  try {
+    Ptr ptr = std::make_shared<const GoldenCache>(build());
+    promise.set_value(ptr);
+    return ptr;
+  } catch (...) {
+    // Propagate the real error to concurrent waiters and drop the entry so
+    // later lookups retry instead of replaying a broken promise. The owner
+    // check keeps a healthy entry alive if this one was already evicted and
+    // the key re-inserted by another builder.
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = map_.find(key);
+        it != map_.end() && it->second.owner == owner) {
+      lru_.erase(it->second.lru_it);
+      map_.erase(it);
+    }
+    throw;
+  }
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
+  WF_CHECK(network_.calibrated());
+  WF_CHECK(!dataset_.images.empty());
+  for (const CampaignPoint& point : spec.points) WF_CHECK(point.trials >= 1);
+  const int threads =
+      spec.threads > 0 ? spec.threads : default_thread_count();
+  const std::int64_t images =
+      static_cast<std::int64_t>(dataset_.images.size());
+
+  CampaignResult result;
+  result.points.resize(spec.points.size());
+
+  // Resolve destruction short-circuits up front; only surviving points are
+  // scheduled.
+  std::vector<std::size_t> active;
+  active.reserve(spec.points.size());
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    if (const auto sc =
+            destruction_short_circuit(network_, dataset_, spec.points[p])) {
+      result.points[p] = *sc;
+      ++result.stats.short_circuited_points;
+    } else {
+      active.push_back(p);
+    }
+  }
+  if (active.empty()) return result;
+
+  // Distinct policies among the scheduled reuse-golden points: the number
+  // of golden builds one image can need at once.
+  std::int64_t npol = 0;
+  {
+    bool seen[3] = {false, false, false};
+    for (const std::size_t p : active) {
+      const CampaignPoint& point = spec.points[p];
+      if (point.reuse_golden && !seen[static_cast<int>(point.policy)]) {
+        seen[static_cast<int>(point.policy)] = true;
+        ++npol;
+      }
+    }
+  }
+
+  // Wave width: how many images are "live" at once. Concurrent shards land
+  // on distinct images of the wave, so golden builds parallelize across
+  // the pool instead of serializing on one image's key.
+  const std::int64_t wave_width =
+      std::min<std::int64_t>(images, std::max(threads, 1));
+
+  // Default golden capacity: the wave's working set (one entry per live
+  // (image, policy)) plus slack for shards straddling a wave boundary.
+  const std::size_t capacity =
+      spec.golden_capacity > 0
+          ? spec.golden_capacity
+          : std::max<std::size_t>(
+                static_cast<std::size_t>(wave_width * std::max<std::int64_t>(
+                                                          npol, 1) +
+                                         threads),
+                2);
+  GoldenLru lru(capacity);
+
+  // Per-active-point tallies; integer sums make the result independent of
+  // the schedule.
+  std::vector<std::atomic<std::int64_t>> correct(active.size());
+  std::vector<std::atomic<std::int64_t>> flips(active.size());
+
+  // One unit = (image, point). Units are ordered in image waves of
+  // `wave_width`, point-major inside a wave (image varies fastest): the
+  // pool streams through bounded image windows — the access pattern the
+  // LRU retains — while neighbouring units touch different images, so the
+  // expensive golden builds spread across workers instead of funnelling
+  // through one in-flight future. Every point of a wave image that shares
+  // a policy reuses a single golden build.
+  const std::int64_t pts = static_cast<std::int64_t>(active.size());
+  const std::int64_t full_waves = images / wave_width;
+  const std::int64_t full_units = full_waves * wave_width * pts;
+  parallel_for(images * pts, threads, [&](std::int64_t flat) {
+    std::int64_t i;
+    std::size_t a;
+    if (flat < full_units) {
+      const std::int64_t wave = flat / (wave_width * pts);
+      const std::int64_t r = flat % (wave_width * pts);
+      i = wave * wave_width + r % wave_width;
+      a = static_cast<std::size_t>(r / wave_width);
+    } else {  // tail wave, narrower than wave_width
+      const std::int64_t tail = images - full_waves * wave_width;
+      const std::int64_t r = flat - full_units;
+      i = full_waves * wave_width + r % tail;
+      a = static_cast<std::size_t>(r / tail);
+    }
+    const CampaignPoint& point = spec.points[active[a]];
+    const TensorF& image = dataset_.images[static_cast<std::size_t>(i)];
+    const int label = dataset_.labels[static_cast<std::size_t>(i)];
+    // Every (point, image, trial) derives its own fault stream, so the
+    // result is independent of the thread schedule, of reuse_golden, and of
+    // cache eviction/rebuild.
+    std::int64_t local_correct = 0;
+    std::int64_t local_flips = 0;
+    if (point.reuse_golden) {
+      const GoldenLru::Ptr golden = lru.get_or_build(i, point.policy, [&] {
+        return network_.make_golden(image, point.policy);
+      });
+      for (int t = 0; t < point.trials; ++t) {
+        FaultSession session(point.fault,
+                             fault_stream_seed(point.seed, i, t));
+        local_correct += network_.predict_replay(*golden, session) == label;
+        local_flips += session.total_flips();
+      }
+    } else {
+      for (int t = 0; t < point.trials; ++t) {
+        FaultSession session(point.fault,
+                             fault_stream_seed(point.seed, i, t));
+        ExecContext ctx;
+        ctx.policy = point.policy;
+        ctx.session = &session;
+        local_correct += network_.predict(image, ctx) == label;
+        local_flips += session.total_flips();
+      }
+    }
+    correct[a].fetch_add(local_correct, std::memory_order_relaxed);
+    flips[a].fetch_add(local_flips, std::memory_order_relaxed);
+  });
+
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const CampaignPoint& point = spec.points[active[a]];
+    const double inferences = static_cast<double>(images) *
+                              static_cast<double>(point.trials);
+    EvalResult& r = result.points[active[a]];
+    r.images = static_cast<int>(images);
+    r.accuracy = static_cast<double>(correct[a].load()) / inferences;
+    r.avg_flips = static_cast<double>(flips[a].load()) / inferences;
+    result.stats.inferences += images * point.trials;
+  }
+  result.stats.golden_builds = lru.builds();
+  result.stats.golden_hits = lru.hits();
+  result.stats.golden_evictions = lru.evictions();
+  return result;
+}
+
+CampaignResult run_campaign(const Network& network, const Dataset& dataset,
+                            const CampaignSpec& spec) {
+  return CampaignRunner(network, dataset).run(spec);
+}
+
+}  // namespace winofault

@@ -1,0 +1,148 @@
+// Campaign engine: every paper figure is a *campaign* — one (network,
+// dataset) evaluated across a grid of configurations (BER x policy x
+// injection mode x protection set x voltage-derived BER). Running each grid
+// point through evaluate() independently rebuilds the fault-free golden
+// activations per point and feeds the thread pool one point at a time; the
+// campaign engine instead executes the full (image x config x trial)
+// cross-product as a single scheduled unit:
+//
+//   * Golden activations are policy-keyed and campaign-scoped: fault-free
+//     execution is bit-identical across BERs, injection modes, and
+//     protection sets, so one GoldenCache per (image, ConvPolicy) serves
+//     every configuration point that uses that policy. A bounded-memory LRU
+//     (GoldenLru) lets arbitrarily large datasets stream.
+//   * Scheduling is campaign-granular: the flattened (image, point) grid is
+//     one parallel_for, so small datasets still saturate the pool when the
+//     grid is wide (images x points units instead of images per call).
+//
+// Results are bit-identical to point-by-point evaluate() calls: every
+// (point, image, trial) derives its fault stream from (point.seed, image,
+// trial) alone, and accuracy/flip tallies are integer sums, so neither the
+// schedule nor cache eviction can change any number (proved in
+// tests/campaign_test.cpp). evaluate() itself is a single-point campaign.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/evaluator.h"
+
+namespace winofault {
+
+// One configuration point of a campaign: EvalOptions minus the execution
+// knobs that are campaign-level (threads) plus an optional tag for builders.
+struct CampaignPoint {
+  FaultConfig fault;
+  ConvPolicy policy = ConvPolicy::kDirect;
+  std::uint64_t seed = 1;
+  int trials = 1;
+  bool reuse_golden = true;
+  double max_expected_flips = 20000.0;  // see EvalOptions
+  std::string tag;                      // builder label, for debugging
+
+  CampaignPoint() = default;
+  // Adopts everything point-scoped from EvalOptions (threads stays with the
+  // campaign spec).
+  explicit CampaignPoint(const EvalOptions& options)
+      : fault(options.fault),
+        policy(options.policy),
+        seed(options.seed),
+        trials(options.trials),
+        reuse_golden(options.reuse_golden),
+        max_expected_flips(options.max_expected_flips) {}
+};
+
+struct CampaignSpec {
+  std::vector<CampaignPoint> points;
+  int threads = 0;  // 0 => hardware concurrency
+  // Max live GoldenCache entries — one entry is the full activation set of
+  // one (image, policy). 0 => auto: the wave working set, wave width
+  // (min(images, threads)) x live policies, plus one-per-worker slack for
+  // shards straddling a wave boundary — enough for the wave schedule to
+  // hit while large datasets stream.
+  std::size_t golden_capacity = 0;
+};
+
+struct CampaignStats {
+  std::int64_t golden_builds = 0;     // make_golden executions
+  std::int64_t golden_hits = 0;       // cache hits (incl. waits on in-flight)
+  std::int64_t golden_evictions = 0;  // capacity evictions
+  std::int64_t short_circuited_points = 0;  // destruction short-circuit
+  std::int64_t inferences = 0;              // simulated (image, trial) runs
+};
+
+struct CampaignResult {
+  std::vector<EvalResult> points;  // parallel to CampaignSpec::points
+  CampaignStats stats;
+};
+
+// Bounded shared cache of golden activations keyed by (image index, policy).
+// Concurrent requests for the same key block on the first builder's future
+// instead of duplicating the build; eviction only drops the cache's
+// reference, so in-flight users keep their entries alive.
+class GoldenLru {
+ public:
+  using Ptr = std::shared_ptr<const GoldenCache>;
+
+  explicit GoldenLru(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Returns the cached golden for (image, policy), building it via `build`
+  // on a miss. Thread-safe; deterministic because make_golden is a pure
+  // function of (image, policy).
+  Ptr get_or_build(std::int64_t image, ConvPolicy policy,
+                   const std::function<GoldenCache()>& build);
+
+  std::int64_t builds() const { return builds_.load(); }
+  std::int64_t hits() const { return hits_.load(); }
+  std::int64_t evictions() const { return evictions_.load(); }
+
+ private:
+  using Key = std::uint64_t;  // (image << 8) | policy
+  struct Entry {
+    std::shared_future<Ptr> future;
+    std::list<Key>::iterator lru_it;
+    std::uint64_t owner = 0;  // build id, distinguishes re-inserted entries
+  };
+
+  std::size_t capacity_;
+  std::mutex mu_;
+  std::list<Key> lru_;  // front = most recently used
+  std::unordered_map<Key, Entry> map_;
+  std::uint64_t next_owner_ = 0;
+  std::atomic<std::int64_t> builds_{0};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+// Executes a campaign spec against one (network, dataset).
+class CampaignRunner {
+ public:
+  CampaignRunner(const Network& network, const Dataset& dataset)
+      : network_(network), dataset_(dataset) {}
+
+  CampaignResult run(const CampaignSpec& spec) const;
+
+ private:
+  const Network& network_;
+  const Dataset& dataset_;
+};
+
+// Convenience wrapper over CampaignRunner.
+CampaignResult run_campaign(const Network& network, const Dataset& dataset,
+                            const CampaignSpec& spec);
+
+// Fault-stream seed of trial `trial` on image `image` under a point seeded
+// `seed` — the contract shared by scratch evaluation, cached replay, and
+// campaign scheduling (trial 0 reproduces the historical per-image stream).
+std::uint64_t fault_stream_seed(std::uint64_t seed, std::int64_t image,
+                                int trial);
+
+}  // namespace winofault

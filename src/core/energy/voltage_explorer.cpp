@@ -5,42 +5,103 @@
 #include "common/logging.h"
 
 namespace winofault {
+namespace {
+
+// One campaign point per voltage: the fault rate is the model's timing-error
+// BER at that supply level; everything else is shared.
+CampaignPoint voltage_point(const VoltageModel& model, double voltage,
+                            ConvPolicy policy, std::uint64_t seed,
+                            int trials) {
+  CampaignPoint point;
+  point.fault.ber = model.ber_at(voltage);
+  point.policy = policy;
+  point.seed = seed;
+  point.trials = trials;
+  point.tag = "voltage";
+  return point;
+}
+
+}  // namespace
+
+std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
+    const Network& network, const Dataset& dataset, const VoltageModel& model,
+    std::span<const ConvPolicy> policies, std::span<const double> voltages,
+    std::uint64_t seed, int threads, int trials) {
+  CampaignSpec spec;
+  spec.threads = threads;
+  for (const ConvPolicy policy : policies) {
+    for (const double v : voltages) {
+      spec.points.push_back(voltage_point(model, v, policy, seed, trials));
+    }
+  }
+  const CampaignResult campaign = run_campaign(network, dataset, spec);
+
+  std::vector<std::vector<VoltagePoint>> curves;
+  curves.reserve(policies.size());
+  std::size_t next = 0;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::vector<VoltagePoint> curve;
+    curve.reserve(voltages.size());
+    for (const double v : voltages) {
+      curve.push_back(VoltagePoint{v, spec.points[next].fault.ber,
+                                   campaign.points[next].accuracy});
+      ++next;
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
 
 std::vector<VoltagePoint> accuracy_vs_voltage(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     ConvPolicy policy, std::span<const double> voltages, std::uint64_t seed,
-    int threads) {
-  std::vector<VoltagePoint> points;
-  points.reserve(voltages.size());
-  for (const double v : voltages) {
-    EvalOptions eval;
-    eval.fault.ber = model.ber_at(v);
-    eval.policy = policy;
-    eval.seed = seed;
-    eval.threads = threads;
-    const EvalResult result = evaluate(network, dataset, eval);
-    points.push_back(VoltagePoint{v, eval.fault.ber, result.accuracy});
-  }
-  return points;
+    int threads, int trials) {
+  return accuracy_vs_voltage_multi(network, dataset, model,
+                                   std::span(&policy, 1), voltages, seed,
+                                   threads, trials)
+      .front();
 }
 
-std::vector<EnergyPoint> explore_voltage_scaling(
-    const Network& network, const Dataset& dataset, const EnergyModel& model,
-    const ExplorerOptions& options) {
-  WF_CHECK(!options.voltage_grid.empty());
+VoltageCurve measure_voltage_curve(const Network& network,
+                                   const Dataset& dataset,
+                                   const VoltageModel& model,
+                                   ConvPolicy policy,
+                                   std::span<const double> voltages,
+                                   std::uint64_t seed, int threads,
+                                   int trials) {
+  // One campaign measures the clean (fault-free) loss reference and the
+  // whole decision curve: point 0 is clean, point 1+i is voltage i.
+  CampaignSpec spec;
+  spec.threads = threads;
+  CampaignPoint clean;
+  clean.policy = policy;
+  clean.seed = seed;
+  // Fault-free trials are bit-identical, so one per image suffices
+  // regardless of the curve's trial count.
+  clean.trials = 1;
+  clean.tag = "voltage-clean";
+  spec.points.push_back(std::move(clean));
+  for (const double v : voltages) {
+    spec.points.push_back(voltage_point(model, v, policy, seed, trials));
+  }
+  const CampaignResult campaign = run_campaign(network, dataset, spec);
+
+  VoltageCurve curve;
+  curve.clean_accuracy = campaign.points.front().accuracy;
+  curve.points.reserve(voltages.size());
+  for (std::size_t i = 0; i < voltages.size(); ++i) {
+    curve.points.push_back(VoltagePoint{voltages[i],
+                                        spec.points[i + 1].fault.ber,
+                                        campaign.points[i + 1].accuracy});
+  }
+  return curve;
+}
+
+std::vector<EnergyPoint> pick_voltages(const Network& network,
+                                       const EnergyModel& model,
+                                       const ExplorerOptions& options,
+                                       const VoltageCurve& curve) {
   const std::vector<ConvDesc> descs = network.conv_descs();
-
-  // Clean accuracy (fault-free) as the loss reference.
-  EvalOptions clean;
-  clean.policy = options.curve_policy;
-  clean.seed = options.seed;
-  clean.threads = options.threads;
-  const double clean_accuracy = evaluate(network, dataset, clean).accuracy;
-
-  // Accuracy curve along the decision grid, measured once.
-  const std::vector<VoltagePoint> curve = accuracy_vs_voltage(
-      network, dataset, model.voltage, options.curve_policy,
-      options.voltage_grid, options.seed, options.threads);
 
   // Baseline: direct execution at nominal voltage.
   const double base_energy = model.inference_energy_j(
@@ -49,14 +110,14 @@ std::vector<EnergyPoint> explore_voltage_scaling(
   std::vector<EnergyPoint> points;
   points.reserve(options.loss_budgets.size());
   for (const double budget : options.loss_budgets) {
-    const double floor = clean_accuracy - budget;
+    const double floor = curve.clean_accuracy - budget;
     // Lowest grid voltage whose measured accuracy stays above the floor
     // (grid is descending; stop at the first violation).
     EnergyPoint point;
     point.loss_budget = budget;
     point.chosen_voltage = model.voltage.v_nom;
-    point.accuracy = clean_accuracy;
-    for (const VoltagePoint& vp : curve) {
+    point.accuracy = curve.clean_accuracy;
+    for (const VoltagePoint& vp : curve.points) {
       if (vp.accuracy + 1e-12 >= floor) {
         if (vp.voltage < point.chosen_voltage) {
           point.chosen_voltage = vp.voltage;
@@ -73,6 +134,16 @@ std::vector<EnergyPoint> explore_voltage_scaling(
     points.push_back(point);
   }
   return points;
+}
+
+std::vector<EnergyPoint> explore_voltage_scaling(
+    const Network& network, const Dataset& dataset, const EnergyModel& model,
+    const ExplorerOptions& options) {
+  WF_CHECK(!options.voltage_grid.empty());
+  const VoltageCurve curve = measure_voltage_curve(
+      network, dataset, model.voltage, options.curve_policy,
+      options.voltage_grid, options.seed, options.threads, options.trials);
+  return pick_voltages(network, model, options, curve);
 }
 
 std::vector<double> voltage_grid(double v_hi, double v_lo, int points) {

@@ -10,11 +10,16 @@
 //   WG-Conv-W/AFT:   selects the voltage with Winograd's own curve —
 //                    scaling deeper for extra savings.
 // Energy is normalized to direct-conv execution at nominal voltage.
+//
+// The accuracy measurements (the clean reference plus the whole decision
+// curve) share one ConvPolicy, so an exploration is a thin CampaignSpec
+// builder: one campaign, one golden build per image.
 #pragma once
 
 #include <vector>
 
 #include "accel/energy_model.h"
+#include "core/campaign/campaign.h"
 #include "nn/evaluator.h"
 
 namespace winofault {
@@ -25,11 +30,20 @@ struct VoltagePoint {
   double accuracy = 0.0;
 };
 
-// Accuracy of the network along a voltage grid (Fig 6 curves).
+// Accuracy of the network along a voltage grid (Fig 6 curves), measured as
+// one campaign.
 std::vector<VoltagePoint> accuracy_vs_voltage(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     ConvPolicy policy, std::span<const double> voltages, std::uint64_t seed,
-    int threads = 0);
+    int threads = 0, int trials = 1);
+
+// Several policies' curves over one grid as a SINGLE campaign (fig6's
+// ST/WG pair): the whole (image x policy x voltage) grid feeds the pool at
+// once. Returns one curve per policy, in order.
+std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
+    const Network& network, const Dataset& dataset, const VoltageModel& model,
+    std::span<const ConvPolicy> policies, std::span<const double> voltages,
+    std::uint64_t seed, int threads = 0, int trials = 1);
 
 struct EnergyPoint {
   double loss_budget = 0.0;      // allowed accuracy drop (absolute)
@@ -45,8 +59,35 @@ struct ExplorerOptions {
   ConvPolicy curve_policy = ConvPolicy::kDirect;   // accuracy-curve engine
   std::uint64_t seed = 1;
   int threads = 0;
+  int trials = 1;  // injection trials per (image, voltage) point
 };
 
+// A measured decision curve: the clean (fault-free) loss reference plus
+// accuracy along the voltage grid, all from one campaign. Measuring it
+// once and reusing it across configurations that share a curve_policy
+// (fig7: ST-Conv and WG-Conv-W/O-AFT both decide on the direct curve)
+// halves the evaluation work.
+struct VoltageCurve {
+  double clean_accuracy = 0.0;
+  std::vector<VoltagePoint> points;  // along the decision grid, descending
+};
+
+VoltageCurve measure_voltage_curve(const Network& network,
+                                   const Dataset& dataset,
+                                   const VoltageModel& model,
+                                   ConvPolicy policy,
+                                   std::span<const double> voltages,
+                                   std::uint64_t seed, int threads = 0,
+                                   int trials = 1);
+
+// Budget search over a pre-measured curve: pure selection + energy
+// accounting, no evaluation.
+std::vector<EnergyPoint> pick_voltages(const Network& network,
+                                       const EnergyModel& model,
+                                       const ExplorerOptions& options,
+                                       const VoltageCurve& curve);
+
+// measure_voltage_curve + pick_voltages in one call.
 std::vector<EnergyPoint> explore_voltage_scaling(const Network& network,
                                                  const Dataset& dataset,
                                                  const EnergyModel& model,

@@ -3,21 +3,28 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/campaign/campaign.h"
 
 namespace winofault {
 namespace {
 
+// The planner is sequential-adaptive (each iteration's protection depends
+// on the previous accuracy check), so every check is a single-point
+// campaign; golden reuse still amortizes across the point's trials.
 double evaluate_with_protection(
     const Network& network, const Dataset& dataset,
     const std::unordered_map<int, ProtectionSet>& protection,
     ConvPolicy policy, double ber, std::uint64_t seed, int threads) {
-  EvalOptions eval;
-  eval.fault.ber = ber;
-  eval.fault.protection = protection;
-  eval.policy = policy;
-  eval.seed = seed;
-  eval.threads = threads;
-  return evaluate(network, dataset, eval).accuracy;
+  CampaignPoint point;
+  point.fault.ber = ber;
+  point.fault.protection = protection;
+  point.policy = policy;
+  point.seed = seed;
+  point.tag = "tmr-check";
+  CampaignSpec spec;
+  spec.points.push_back(std::move(point));
+  spec.threads = threads;
+  return run_campaign(network, dataset, spec).points.front().accuracy;
 }
 
 }  // namespace

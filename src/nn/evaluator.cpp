@@ -1,115 +1,19 @@
 #include "nn/evaluator.h"
 
-#include <atomic>
-#include <optional>
-
-#include "common/logging.h"
-#include "common/parallel.h"
+#include "core/campaign/campaign.h"
 
 namespace winofault {
-namespace {
 
-// The op-level soft-error model the destruction short-circuit reasons with.
-FaultModel destruction_fault_model(const EvalOptions& options) {
-  return FaultModel{options.fault.ber};
-}
-
-// Fault-stream seed for (image, trial). Trial 0 keeps the historical
-// per-image derivation (odd, distinct per image) so single-trial runs are
-// bit-compatible with earlier revisions; later trials re-mix through
-// SplitMix64-style constants so streams never collide across images.
-std::uint64_t fault_stream_seed(std::uint64_t seed, std::int64_t image,
-                                int trial) {
-  std::uint64_t base = seed * 0x9e3779b97f4a7c15ULL +
-                       static_cast<std::uint64_t>(image) * 2 + 1;
-  if (trial > 0) {
-    base ^= (static_cast<std::uint64_t>(trial) + 1) * 0xbf58476d1ce4e5b9ULL;
-    base *= 0x94d049bb133111ebULL;
-    base |= 1;  // keep the stream odd like the trial-0 derivation
-  }
-  return base;
-}
-
-// When the expected flips per inference would reduce the output to noise,
-// report chance accuracy directly instead of simulating it (see
-// EvalOptions::max_expected_flips).
-std::optional<EvalResult> destruction_short_circuit(
-    const Network& network, const Dataset& dataset,
-    const EvalOptions& options) {
-  if (options.fault.mode != InjectionMode::kOpLevel ||
-      !options.fault.protection.empty() ||
-      options.fault.fault_free_layer >= 0 ||
-      options.fault.only_kind.has_value() || dataset.num_classes <= 1) {
-    return std::nullopt;
-  }
-  const FaultModel model = destruction_fault_model(options);
-  const double expected =
-      model.expected_flips(network.total_op_space(options.policy));
-  if (expected <= options.max_expected_flips) return std::nullopt;
-  EvalResult result;
-  result.images = static_cast<int>(dataset.images.size());
-  result.accuracy = 1.0 / static_cast<double>(dataset.num_classes);
-  result.avg_flips = expected;
-  return result;
-}
-
-}  // namespace
-
+// evaluate() is the degenerate campaign: one configuration point over the
+// dataset. All scheduling, golden caching, destruction short-circuiting,
+// and fault-stream seeding live in the campaign engine, so single-point
+// calls and multi-point campaigns are bit-identical by construction.
 EvalResult evaluate(const Network& network, const Dataset& dataset,
                     const EvalOptions& options) {
-  WF_CHECK(network.calibrated());
-  WF_CHECK(!dataset.images.empty());
-  WF_CHECK(options.trials >= 1);
-  const int threads =
-      options.threads > 0 ? options.threads : default_thread_count();
-
-  if (const auto result =
-          destruction_short_circuit(network, dataset, options)) {
-    return *result;
-  }
-
-  std::atomic<std::int64_t> correct{0};
-  std::atomic<std::int64_t> flips{0};
-  parallel_for(
-      static_cast<std::int64_t>(dataset.images.size()), threads,
-      [&](std::int64_t i) {
-        const TensorF& image = dataset.images[static_cast<std::size_t>(i)];
-        const int label = dataset.labels[static_cast<std::size_t>(i)];
-        // Every (image, trial) derives its own fault stream, so the result
-        // is independent of the thread schedule and of reuse_golden.
-        std::int64_t local_correct = 0;
-        std::int64_t local_flips = 0;
-        if (options.reuse_golden) {
-          const GoldenCache golden =
-              network.make_golden(image, options.policy);
-          for (int t = 0; t < options.trials; ++t) {
-            FaultSession session(options.fault,
-                                 fault_stream_seed(options.seed, i, t));
-            local_correct += network.predict_replay(golden, session) == label;
-            local_flips += session.total_flips();
-          }
-        } else {
-          for (int t = 0; t < options.trials; ++t) {
-            FaultSession session(options.fault,
-                                 fault_stream_seed(options.seed, i, t));
-            ExecContext ctx;
-            ctx.policy = options.policy;
-            ctx.session = &session;
-            local_correct += network.predict(image, ctx) == label;
-            local_flips += session.total_flips();
-          }
-        }
-        correct.fetch_add(local_correct, std::memory_order_relaxed);
-        flips.fetch_add(local_flips, std::memory_order_relaxed);
-      });
-
-  const double inferences = static_cast<double>(dataset.images.size()) *
-                            static_cast<double>(options.trials);
-  EvalResult result;
-  result.images = static_cast<int>(dataset.images.size());
-  result.accuracy = static_cast<double>(correct.load()) / inferences;
-  result.avg_flips = static_cast<double>(flips.load()) / inferences;
-  return result;
+  CampaignSpec spec;
+  spec.points.emplace_back(options);
+  spec.threads = options.threads;
+  return run_campaign(network, dataset, spec).points.front();
 }
 
 }  // namespace winofault

@@ -1,5 +1,5 @@
-// Accuracy evaluation under fault injection: the measurement loop behind
-// every figure. Runs the dataset through the network with fresh
+// Accuracy evaluation under fault injection: the measurement primitive
+// behind every figure. Runs the dataset through the network with fresh
 // FaultSessions per image (seeded deterministically from (seed, image,
 // trial)), in parallel, and reports top-1 accuracy plus fault statistics.
 //
@@ -7,6 +7,11 @@
 // computed once into a GoldenCache and every trial replays incrementally
 // against it (see golden_cache.h) — bit-identical to scratch execution but
 // skipping the redundant golden recompute, which dominates campaign time.
+//
+// evaluate() executes as a single-point campaign (core/campaign): sweeps
+// over many configurations should build one CampaignSpec instead of looping
+// over evaluate(), which shares golden activations across every point with
+// the same ConvPolicy and schedules the whole grid as one unit.
 #pragma once
 
 #include "nn/dataset.h"

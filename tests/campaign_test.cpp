@@ -1,0 +1,277 @@
+// Campaign-engine guarantees:
+//   (a) a multi-point campaign (shared goldens, one schedule) is
+//       bit-identical to point-by-point evaluate() calls, for op-level,
+//       neuron-level, protected, and scratch points;
+//   (b) the golden LRU shares exactly one build per (image, policy) and
+//       stays bit-exact at any capacity, including a capacity of one;
+//   (c) results are independent of the thread count;
+//   (d) the destruction short-circuit triggers strictly above
+//       max_expected_flips and simulates at or below it;
+//   (e) `trials` plumbs through the sweep/layerwise/explorer spec builders.
+#include <gtest/gtest.h>
+
+#include "core/analysis/layer_vulnerability.h"
+#include "core/analysis/network_sweep.h"
+#include "core/campaign/campaign.h"
+#include "core/energy/voltage_explorer.h"
+#include "fault/fault_model.h"
+#include "nn/models/zoo.h"
+
+namespace winofault {
+namespace {
+
+struct Fixture {
+  Network net;
+  Dataset data;
+};
+
+Fixture make_fixture(int images = 12) {
+  Network net("campaign", DType::kInt16);
+  Rng rng(83);
+  int x = net.add_input(Shape{1, 3, 12, 12});
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 12, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 5, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 3, 19));
+  Dataset data = make_teacher_dataset(net, images, 5, 0.9, 27);
+  return Fixture{std::move(net), std::move(data)};
+}
+
+// A Fig-2-style grid plus protected / neuron-level / scratch points, so the
+// campaign crosses every execution path evaluate() has.
+std::vector<CampaignPoint> mixed_grid() {
+  std::vector<CampaignPoint> points;
+  for (const double ber : {1e-7, 3e-6}) {
+    for (const ConvPolicy policy :
+         {ConvPolicy::kDirect, ConvPolicy::kWinograd2}) {
+      CampaignPoint point;
+      point.fault.ber = ber;
+      point.policy = policy;
+      point.seed = 7;
+      point.trials = 3;
+      points.push_back(std::move(point));
+    }
+  }
+  CampaignPoint neuron;
+  neuron.fault.ber = 1e-5;
+  neuron.fault.mode = InjectionMode::kNeuronLevel;
+  neuron.seed = 7;
+  neuron.trials = 2;
+  points.push_back(std::move(neuron));
+
+  CampaignPoint protect;
+  protect.fault.ber = 3e-6;
+  protect.fault.protection[0] = ProtectionSet(1.0, 0.5);
+  protect.seed = 9;
+  protect.trials = 2;
+  points.push_back(std::move(protect));
+
+  CampaignPoint excl;
+  excl.fault.ber = 3e-6;
+  excl.fault.fault_free_layer = 1;
+  excl.seed = 9;
+  points.push_back(std::move(excl));
+
+  CampaignPoint scratch;
+  scratch.fault.ber = 1e-6;
+  scratch.reuse_golden = false;
+  scratch.seed = 11;
+  scratch.trials = 2;
+  points.push_back(std::move(scratch));
+  return points;
+}
+
+EvalOptions to_eval_options(const CampaignPoint& point) {
+  EvalOptions options;
+  options.fault = point.fault;
+  options.policy = point.policy;
+  options.seed = point.seed;
+  options.trials = point.trials;
+  options.reuse_golden = point.reuse_golden;
+  options.max_expected_flips = point.max_expected_flips;
+  return options;
+}
+
+TEST(Campaign, MultiPointGridMatchesPointByPointEvaluate) {
+  const Fixture f = make_fixture();
+  CampaignSpec spec;
+  spec.points = mixed_grid();
+  const CampaignResult campaign = run_campaign(f.net, f.data, spec);
+  ASSERT_EQ(campaign.points.size(), spec.points.size());
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    const EvalResult single =
+        evaluate(f.net, f.data, to_eval_options(spec.points[p]));
+    EXPECT_DOUBLE_EQ(campaign.points[p].accuracy, single.accuracy)
+        << "point " << p;
+    EXPECT_DOUBLE_EQ(campaign.points[p].avg_flips, single.avg_flips)
+        << "point " << p;
+    EXPECT_EQ(campaign.points[p].images, single.images) << "point " << p;
+  }
+}
+
+TEST(Campaign, GoldenBuildsSharedPerImagePolicy) {
+  const Fixture f = make_fixture(6);
+  CampaignSpec spec;
+  spec.points = mixed_grid();
+  spec.threads = 1;  // deterministic hit/miss accounting
+  spec.golden_capacity = 64;
+  const CampaignResult campaign = run_campaign(f.net, f.data, spec);
+  // 7 reuse_golden points over 2 policies: one build per (image, policy).
+  EXPECT_EQ(campaign.stats.golden_builds,
+            static_cast<std::int64_t>(f.data.size()) * 2);
+  // Every other (image, reuse-point) lookup is a hit.
+  EXPECT_EQ(campaign.stats.golden_hits,
+            static_cast<std::int64_t>(f.data.size()) * 7 -
+                campaign.stats.golden_builds);
+  EXPECT_EQ(campaign.stats.golden_evictions, 0);
+  EXPECT_EQ(campaign.stats.short_circuited_points, 0);
+}
+
+TEST(Campaign, TinyLruCapacityStaysBitExact) {
+  const Fixture f = make_fixture(8);
+  CampaignSpec big;
+  big.points = mixed_grid();
+  big.golden_capacity = 64;
+  CampaignSpec tiny = big;
+  tiny.golden_capacity = 1;  // worst case: every other lookup rebuilds
+  const CampaignResult a = run_campaign(f.net, f.data, big);
+  const CampaignResult b = run_campaign(f.net, f.data, tiny);
+  EXPECT_GT(b.stats.golden_evictions, 0);
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    EXPECT_DOUBLE_EQ(a.points[p].accuracy, b.points[p].accuracy);
+    EXPECT_DOUBLE_EQ(a.points[p].avg_flips, b.points[p].avg_flips);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const Fixture f = make_fixture();
+  CampaignSpec spec;
+  spec.points = mixed_grid();
+  spec.threads = 1;
+  const CampaignResult serial = run_campaign(f.net, f.data, spec);
+  spec.threads = 5;
+  const CampaignResult parallel = run_campaign(f.net, f.data, spec);
+  for (std::size_t p = 0; p < serial.points.size(); ++p) {
+    EXPECT_DOUBLE_EQ(serial.points[p].accuracy, parallel.points[p].accuracy);
+    EXPECT_DOUBLE_EQ(serial.points[p].avg_flips,
+                     parallel.points[p].avg_flips);
+  }
+}
+
+// ---- (d) destruction short-circuit boundary ----
+
+TEST(Campaign, DestructionShortCircuitBoundary) {
+  const Fixture f = make_fixture(6);
+  const double ber = 1e-4;
+  const double expected =
+      FaultModel{ber}.expected_flips(f.net.total_op_space(ConvPolicy::kDirect));
+  ASSERT_GT(expected, 0.0);
+
+  EvalOptions options;
+  options.fault.ber = ber;
+  options.seed = 3;
+
+  // Threshold just below the expected flips: the evaluator must report
+  // chance accuracy and the analytic flip expectation without simulating.
+  options.max_expected_flips = expected * (1.0 - 1e-9);
+  const EvalResult shorted = evaluate(f.net, f.data, options);
+  EXPECT_DOUBLE_EQ(shorted.accuracy, 1.0 / f.data.num_classes);
+  EXPECT_DOUBLE_EQ(shorted.avg_flips, expected);
+
+  // Threshold exactly at the expected flips: expected <= threshold, so the
+  // run is simulated (avg_flips is a sampled value, almost surely not the
+  // analytic expectation; accuracy comes from real replays).
+  options.max_expected_flips = expected;
+  const EvalResult at = evaluate(f.net, f.data, options);
+  // Threshold just above: also simulated, and identical to the
+  // effectively-unbounded run.
+  options.max_expected_flips = expected * (1.0 + 1e-9);
+  const EvalResult above = evaluate(f.net, f.data, options);
+  options.max_expected_flips = 1e300;
+  const EvalResult unbounded = evaluate(f.net, f.data, options);
+  EXPECT_DOUBLE_EQ(at.accuracy, unbounded.accuracy);
+  EXPECT_DOUBLE_EQ(at.avg_flips, unbounded.avg_flips);
+  EXPECT_DOUBLE_EQ(above.accuracy, unbounded.accuracy);
+  EXPECT_DOUBLE_EQ(above.avg_flips, unbounded.avg_flips);
+
+  // A campaign mixing a short-circuited and a simulated point resolves
+  // each independently.
+  CampaignPoint hot;
+  hot.fault.ber = ber;
+  hot.seed = 3;
+  hot.max_expected_flips = expected / 2;
+  CampaignPoint sim = hot;
+  sim.max_expected_flips = expected * 2;
+  CampaignSpec spec;
+  spec.points = {hot, sim};
+  const CampaignResult campaign = run_campaign(f.net, f.data, spec);
+  EXPECT_EQ(campaign.stats.short_circuited_points, 1);
+  EXPECT_DOUBLE_EQ(campaign.points[0].accuracy, shorted.accuracy);
+  EXPECT_DOUBLE_EQ(campaign.points[0].avg_flips, shorted.avg_flips);
+  EXPECT_DOUBLE_EQ(campaign.points[1].accuracy, unbounded.accuracy);
+  EXPECT_DOUBLE_EQ(campaign.points[1].avg_flips, unbounded.avg_flips);
+}
+
+// ---- (e) trials plumb through the spec builders ----
+
+TEST(Campaign, TrialsPlumbThroughSweepBuilder) {
+  const Fixture f = make_fixture(8);
+  SweepOptions options;
+  options.bers = {1e-6, 1e-5};
+  options.seed = 17;
+  options.trials = 3;
+  const auto curve = accuracy_sweep(f.net, f.data, options);
+
+  EvalOptions eval;
+  eval.seed = 17;
+  eval.trials = 3;
+  for (std::size_t i = 0; i < options.bers.size(); ++i) {
+    eval.fault.ber = options.bers[i];
+    const EvalResult expected = evaluate(f.net, f.data, eval);
+    EXPECT_DOUBLE_EQ(curve[i].accuracy, expected.accuracy);
+    EXPECT_DOUBLE_EQ(curve[i].avg_flips, expected.avg_flips);
+  }
+}
+
+TEST(Campaign, TrialsPlumbThroughLayerwiseAndExplorerBuilders) {
+  const Fixture f = make_fixture(6);
+  LayerwiseOptions lw;
+  lw.ber = 3e-6;
+  lw.seed = 29;
+  lw.trials = 2;
+  const LayerwiseResult layerwise = layer_vulnerability(f.net, f.data, lw);
+
+  EvalOptions base;
+  base.fault.ber = lw.ber;
+  base.seed = lw.seed;
+  base.trials = lw.trials;
+  EXPECT_DOUBLE_EQ(layerwise.base_accuracy,
+                   evaluate(f.net, f.data, base).accuracy);
+  EvalOptions one = base;
+  one.fault.fault_free_layer = 0;
+  EXPECT_DOUBLE_EQ(layerwise.layers[0].accuracy_fault_free,
+                   evaluate(f.net, f.data, one).accuracy);
+
+  // The explorer's curve at `trials` matches direct evaluation of the
+  // model's BER at that voltage.
+  VoltageModel volt;
+  volt.log10_ber_anchor = -7.0;
+  const std::vector<double> grid = {0.80, 0.78};
+  const auto curve = accuracy_vs_voltage(f.net, f.data, volt,
+                                         ConvPolicy::kDirect, grid,
+                                         /*seed=*/31, /*threads=*/0,
+                                         /*trials=*/2);
+  EvalOptions at_v;
+  at_v.fault.ber = volt.ber_at(grid[1]);
+  at_v.seed = 31;
+  at_v.trials = 2;
+  EXPECT_DOUBLE_EQ(curve[1].accuracy, evaluate(f.net, f.data, at_v).accuracy);
+}
+
+}  // namespace
+}  // namespace winofault
