@@ -27,7 +27,9 @@ std::int64_t corrupted_values(const TensorI32& a, const TensorI32& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  note_store_unused(parse_cli(argc, argv),
+                    "single-layer kernel study, no campaign to persist");
   const BenchEnv env = bench_env();
   // A mid-network VGG19 layer (64->64 at 8x8 under default width 0.25...
   // use the real shape scaled): 32 channels, 16x16.

@@ -12,7 +12,8 @@
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_cli(argc, argv);
   const BenchEnv env = bench_env();
   ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
 
@@ -41,6 +42,7 @@ int main() {
     options.bers = bers;
     options.policy = policy;
     options.seed = env.seed + 9;
+    options.store = store_options(cli.store_dir);
     curves.push_back(accuracy_sweep(m.net, m.data, options));
   }
   for (std::size_t i = 0; i < bers.size(); ++i) {

@@ -8,6 +8,16 @@
 //   WINOFAULT_FULL=1  paper-scale sweeps (denser grids, more images)
 //   WINOFAULT_WIDTH   override model channel width multiplier
 //   WINOFAULT_SEED    master experiment seed        (default 2024)
+//   WINOFAULT_STORE   persistent campaign store directory (see
+//                     core/store); also --store-dir
+//   WINOFAULT_CELL_BUDGET  execute at most N pending cells, then defer the
+//                     rest to the next resume (store runs only)
+//
+// Command line (shared by every fig/bench binary via parse_cli):
+//   --out-dir DIR     write CSV/JSON outputs under DIR (default: cwd)
+//   --store-dir DIR   persistent campaign store directory
+// Unknown flags print a usage message and exit(2) instead of being
+// silently ignored.
 //
 // BER axis note (DESIGN.md substitution #2): the reduced models execute
 // ~10-40x fewer operations per inference than the paper's full-size
@@ -16,6 +26,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <iterator>
 #include <string>
 #include <utility>
@@ -24,10 +37,118 @@
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "core/store/store.h"
 #include "nn/dataset.h"
 #include "nn/models/zoo.h"
 
 namespace winofault::bench {
+
+// Process-wide output directory for CSV/JSON emission, set by parse_cli
+// (empty = cwd, the historical behaviour).
+inline std::string& output_dir_ref() {
+  static std::string dir;
+  return dir;
+}
+
+inline std::string out_path(const std::string& name) {
+  const std::string& dir = output_dir_ref();
+  return dir.empty() ? name : dir + "/" + name;
+}
+
+// Command-line surface shared by all fig/bench drivers.
+struct CliOptions {
+  std::string out_dir;
+  std::string store_dir;
+};
+
+inline void print_usage(const char* prog, std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: %s [--out-dir DIR] [--store-dir DIR]\n"
+      "  --out-dir DIR    write CSV/JSON outputs under DIR (default: cwd)\n"
+      "  --store-dir DIR  persistent campaign store: checkpoint/resume\n"
+      "                   journal + golden spill-to-disk (also via the\n"
+      "                   WINOFAULT_STORE environment variable)\n"
+      "env knobs: WINOFAULT_IMAGES, WINOFAULT_FULL, WINOFAULT_SEED,\n"
+      "           WINOFAULT_WIDTH, WINOFAULT_STORE, WINOFAULT_CELL_BUDGET\n",
+      prog);
+}
+
+// Parses the shared flags; unknown arguments are an error (usage + exit 2)
+// so a typo can never silently fall back to defaults. Also applies
+// `--out-dir` to the process-wide output directory.
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  const auto flag_value = [&](const char* flag, int& i,
+                              std::string* out) -> bool {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0) return false;
+    if (argv[i][len] == '=') {
+      *out = argv[i] + len + 1;
+      return true;
+    }
+    if (argv[i][len] == '\0') {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", prog, flag);
+        print_usage(prog, stderr);
+        std::exit(2);
+      }
+      *out = argv[++i];
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(prog, stdout);
+      std::exit(0);
+    }
+    if (flag_value("--out-dir", i, &cli.out_dir)) continue;
+    if (flag_value("--store-dir", i, &cli.store_dir)) continue;
+    std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, argv[i]);
+    print_usage(prog, stderr);
+    std::exit(2);
+  }
+  if (cli.store_dir.empty()) {
+    cli.store_dir = env_string("WINOFAULT_STORE", "");
+  }
+  if (!cli.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.out_dir, ec);
+    if (ec) {
+      // Fail loudly: otherwise every CSV/JSON write fails silently and the
+      // run exits 0 having produced nothing.
+      std::fprintf(stderr, "%s: cannot create --out-dir '%s': %s\n", prog,
+                   cli.out_dir.c_str(), ec.message().c_str());
+      std::exit(2);
+    }
+    output_dir_ref() = cli.out_dir;
+  }
+  return cli;
+}
+
+// StoreOptions from the shared CLI/env surface: the store directory plus
+// the WINOFAULT_CELL_BUDGET checkpoint knob. Every store-enabled driver
+// builds its options here so the knobs behave identically everywhere.
+inline StoreOptions store_options(const std::string& store_dir) {
+  StoreOptions options;
+  options.dir = store_dir;
+  options.cell_budget =
+      static_cast<std::int64_t>(env_int("WINOFAULT_CELL_BUDGET", 0));
+  return options;
+}
+
+// For drivers with nothing to persist (raw-kernel ablations, A/B benches
+// that manage their own scratch stores): acknowledge an explicit store
+// request instead of silently ignoring it.
+inline void note_store_unused(const CliOptions& cli, const char* why) {
+  if (!cli.store_dir.empty()) {
+    std::fprintf(stderr, "note: --store-dir/WINOFAULT_STORE ignored: %s\n",
+                 why);
+  }
+}
 
 struct BenchEnv {
   int images = 10;
@@ -53,6 +174,7 @@ inline BenchEnv bench_env() {
 struct FigureCtx {
   BenchEnv env;
   int figure = 0;
+  std::string store_dir;  // "" => persistence disabled
 
   std::uint64_t seed(int stream = 0) const {
     static constexpr int kBaseOffset[] = {0, 1, 2, 3, 4, 5, 7, 8};
@@ -61,9 +183,19 @@ struct FigureCtx {
     return env.seed + static_cast<std::uint64_t>(kBaseOffset[figure]) +
            static_cast<std::uint64_t>(stream);
   }
+
+  // Store options for this figure's campaigns: journal + golden spill
+  // under store_dir (no-op when unset).
+  StoreOptions store() const { return store_options(store_dir); }
 };
 
-inline FigureCtx figure_ctx(int figure) { return FigureCtx{bench_env(), figure}; }
+// argc/argv are mandatory: every fig driver must parse the shared CLI, or
+// --out-dir/--store-dir and the unknown-flag rejection would silently not
+// apply to it.
+inline FigureCtx figure_ctx(int figure, int argc, char** argv) {
+  const CliOptions cli = parse_cli(argc, argv);
+  return FigureCtx{bench_env(), figure, cli.store_dir};
+}
 
 // Builds a zoo model plus its teacher-labeled dataset sized for this run.
 struct ModelUnderTest {
@@ -89,7 +221,7 @@ inline ModelUnderTest make_model(const std::string& name, DType dtype,
 inline void emit(const Table& table, const std::string& title,
                  const std::string& csv_name) {
   std::printf("\n== %s ==\n%s", title.c_str(), table.to_aligned().c_str());
-  const std::string path = csv_name + ".csv";
+  const std::string path = out_path(csv_name + ".csv");
   if (table.write_csv(path)) {
     std::printf("[csv] %s\n", path.c_str());
   }
@@ -98,10 +230,40 @@ inline void emit(const Table& table, const std::string& title,
 
 // Flat JSON-object emitter for perf-trajectory files (BENCH_*.json): CI
 // diffs these between runs, so field values are raw numbers, not strings.
+// String values (tags, paths) are escaped, so no input can emit a file
+// json parsers reject.
 class JsonObject {
  public:
+  // JSON string escaping: quotes, backslashes, and every control
+  // character (named escapes where JSON has them, \u00XX otherwise).
+  static std::string escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
   JsonObject& field(const std::string& name, const std::string& literal) {
-    fields_.emplace_back(name, "\"" + literal + "\"");
+    fields_.emplace_back(name, "\"" + escape(literal) + "\"");
     return *this;
   }
   JsonObject& field(const std::string& name, double value,
@@ -116,12 +278,13 @@ class JsonObject {
     return *this;
   }
 
-  bool write(const std::string& path) const {
+  bool write(const std::string& name) const {
+    const std::string path = out_path(name);
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\n");
     for (std::size_t i = 0; i < fields_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+      std::fprintf(f, "  \"%s\": %s%s\n", escape(fields_[i].first).c_str(),
                    fields_[i].second.c_str(),
                    i + 1 < fields_.size() ? "," : "");
     }

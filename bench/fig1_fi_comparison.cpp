@@ -7,15 +7,17 @@
 //
 // All four (policy, mode) curves run as ONE campaign: per image, the two
 // op-level and two neuron-level configurations of each policy share a
-// single golden build.
+// single golden build. With --store-dir (or WINOFAULT_STORE) the campaign
+// checkpoints finished cells and resumes after a kill; an unchanged rerun
+// regenerates the figure from the journal without executing anything.
 #include "bench_util.h"
 #include "core/analysis/network_sweep.h"
 
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
-  const FigureCtx ctx = figure_ctx(1);
+int main(int argc, char** argv) {
+  const FigureCtx ctx = figure_ctx(1, argc, argv);
   ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
 
   const std::vector<double> bers =
@@ -32,6 +34,7 @@ int main() {
     options.policy = policy;
     options.mode = mode;
     options.seed = ctx.seed();
+    options.store = ctx.store();
     configs.push_back(std::move(options));
   }
   const auto curves = accuracy_sweeps(m.net, m.data, configs);

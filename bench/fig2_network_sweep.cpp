@@ -6,15 +6,18 @@
 // paper reports up to ~35 pp); int16 is more vulnerable than int8 at equal
 // BER; DenseNet drops sharply while ResNet degrades smoothly.
 //
-// Per (network, dtype), the ST and WG sweeps run as one campaign.
+// Per (network, dtype), the ST and WG sweeps run as one campaign. Each
+// (network, dtype) campaign keys its own slice of the persistent store
+// (--store-dir / WINOFAULT_STORE), so an interrupted 8-model grid resumes
+// at the first unfinished cell.
 #include "bench_util.h"
 #include "core/analysis/network_sweep.h"
 
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
-  const FigureCtx ctx = figure_ctx(2);
+int main(int argc, char** argv) {
+  const FigureCtx ctx = figure_ctx(2, argc, argv);
   const std::vector<double> bers =
       log_ber_grid(1e-9, 1e-6, ctx.env.full ? 8 : 5);
 
@@ -26,6 +29,7 @@ int main() {
       SweepOptions st;
       st.bers = bers;
       st.seed = ctx.seed();
+      st.store = ctx.store();
       SweepOptions wg = st;
       wg.policy = ConvPolicy::kWinograd2;
       const auto curves =

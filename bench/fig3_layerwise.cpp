@@ -12,8 +12,8 @@
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
-  const FigureCtx ctx = figure_ctx(3);
+int main(int argc, char** argv) {
+  const FigureCtx ctx = figure_ctx(3, argc, argv);
   ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
   // Scaled analogue of the paper's 3e-10 (see bench_util.h BER note).
   const double ber = env_double("WINOFAULT_BER", 3e-8);
@@ -21,6 +21,7 @@ int main() {
   LayerwiseOptions st;
   st.ber = ber;
   st.seed = ctx.seed();
+  st.store = ctx.store();
   LayerwiseOptions wg = st;
   wg.policy = ConvPolicy::kWinograd2;
   const LayerwiseResult st_result = layer_vulnerability(m.net, m.data, st);

@@ -12,8 +12,8 @@
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
-  const FigureCtx ctx = figure_ctx(4);
+int main(int argc, char** argv) {
+  const FigureCtx ctx = figure_ctx(4, argc, argv);
 
   Table table({"network", "dtype", "ber", "impl", "all_faulty",
                "mul_fault_free", "add_fault_free"});
@@ -32,6 +32,7 @@ int main() {
         options.ber = ber;
         options.policy = policy;
         options.seed = ctx.seed();
+        options.store = ctx.store();
         const OpTypeResult r = op_type_sensitivity(m.net, m.data, options);
         min_mul_advantage =
             std::min(min_mul_advantage,

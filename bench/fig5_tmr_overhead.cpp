@@ -11,8 +11,8 @@
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
-  const FigureCtx ctx = figure_ctx(5);
+int main(int argc, char** argv) {
+  const FigureCtx ctx = figure_ctx(5, argc, argv);
   ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
   const double ber = env_double("WINOFAULT_BER", 3e-8);
   const double clean = m.entry->clean_accuracy;
@@ -30,6 +30,12 @@ int main() {
   LayerwiseOptions st_lw;
   st_lw.ber = ber;
   st_lw.seed = ctx.seed(0);
+  st_lw.store = ctx.store();
+  // This analysis steers the planner (vulnerability_order below), so a
+  // budget-truncated PARTIAL ranking would corrupt every plan — the same
+  // reason plan_tmr zeroes the budget for its own accuracy checks. Cells
+  // still journal, so a killed run resumes regardless.
+  st_lw.store.cell_budget = 0;
   const auto st_order =
       vulnerability_order(layer_vulnerability(m.net, m.data, st_lw));
   LayerwiseOptions wg_lw = st_lw;
@@ -49,6 +55,7 @@ int main() {
     st_opts.ber = ber;
     st_opts.accuracy_goal = goal;
     st_opts.seed = ctx.seed(1);
+    st_opts.store = ctx.store();
     st_opts.layer_order = &st_order;
     st_opts.step_fraction = ctx.env.full ? 0.05 : 0.15;
     st_opts.initial_protection = &st_warm;

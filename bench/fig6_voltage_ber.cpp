@@ -10,8 +10,8 @@
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
-  const FigureCtx ctx = figure_ctx(6);
+int main(int argc, char** argv) {
+  const FigureCtx ctx = figure_ctx(6, argc, argv);
   ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
 
   VoltageModel volt;
@@ -23,8 +23,9 @@ int main() {
   const auto grid = voltage_grid(0.82, 0.74, ctx.env.full ? 13 : 9);
   // Both policies' curves as one campaign over the whole grid.
   const ConvPolicy policies[] = {ConvPolicy::kDirect, ConvPolicy::kWinograd2};
-  const auto curves = accuracy_vs_voltage_multi(m.net, m.data, volt,
-                                                policies, grid, ctx.seed());
+  const auto curves = accuracy_vs_voltage_multi(
+      m.net, m.data, volt, policies, grid, ctx.seed(), /*threads=*/0,
+      /*trials=*/1, ctx.store());
   const auto& st = curves[0];
   const auto& wg = curves[1];
 

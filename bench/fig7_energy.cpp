@@ -12,8 +12,8 @@
 using namespace winofault;
 using namespace winofault::bench;
 
-int main() {
-  const FigureCtx ctx = figure_ctx(7);
+int main(int argc, char** argv) {
+  const FigureCtx ctx = figure_ctx(7, argc, argv);
   ModelUnderTest m = make_model("vgg19", DType::kInt16, ctx.env);
 
   EnergyModel model;
@@ -35,10 +35,10 @@ int main() {
   // and WG-Conv-W/O-AFT share the direct curve.
   const VoltageCurve st_curve = measure_voltage_curve(
       m.net, m.data, model.voltage, ConvPolicy::kDirect, base.voltage_grid,
-      base.seed);
+      base.seed, /*threads=*/0, /*trials=*/1, ctx.store());
   const VoltageCurve wg_curve = measure_voltage_curve(
       m.net, m.data, model.voltage, ConvPolicy::kWinograd2, base.voltage_grid,
-      base.seed);
+      base.seed, /*threads=*/0, /*trials=*/1, ctx.store());
   const auto st_points = pick_voltages(m.net, model, st, st_curve);
   const auto wo_points = pick_voltages(m.net, model, wo, st_curve);
   const auto wa_points = pick_voltages(m.net, model, wa, wg_curve);

@@ -1,0 +1,46 @@
+// Streaming FNV-1a 64-bit hasher: the content-identity primitive of the
+// persistent campaign store (core/store). Not cryptographic — it guards
+// against accidental mismatches (changed specs, torn journal records,
+// corrupt golden shards), not adversaries. Doubles are hashed by bit
+// pattern, so identity is exact, never tolerance-based.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace winofault {
+
+class Fnv64 {
+ public:
+  Fnv64& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+  Fnv64& u8(std::uint8_t v) { return bytes(&v, sizeof(v)); }
+  Fnv64& u32(std::uint32_t v) { return bytes(&v, sizeof(v)); }
+  Fnv64& u64(std::uint64_t v) { return bytes(&v, sizeof(v)); }
+  Fnv64& i32(std::int32_t v) { return bytes(&v, sizeof(v)); }
+  Fnv64& i64(std::int64_t v) { return bytes(&v, sizeof(v)); }
+  Fnv64& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+  Fnv64& str(std::string_view s) {
+    u64(s.size());  // length-prefixed so "ab"+"c" != "a"+"bc"
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+inline std::uint64_t fnv64(const void* data, std::size_t size) {
+  return Fnv64().bytes(data, size).digest();
+}
+
+}  // namespace winofault

@@ -8,7 +8,10 @@ namespace winofault {
 
 CampaignSpec sweep_campaign(std::span<const SweepOptions> options) {
   CampaignSpec spec;
-  if (!options.empty()) spec.threads = options.front().threads;
+  if (!options.empty()) {
+    spec.threads = options.front().threads;
+    spec.store = options.front().store;
+  }
   for (const SweepOptions& sweep : options) {
     for (const double ber : sweep.bers) {
       CampaignPoint point;

@@ -26,6 +26,9 @@ struct SweepOptions {
   std::uint64_t seed = 1;
   int threads = 0;
   int trials = 1;  // injection trials per (image, BER) point
+  // Persistent campaign store; campaign-level like `threads` (the merged
+  // campaign takes it from the first configuration).
+  StoreOptions store;
 };
 
 std::vector<SweepPoint> accuracy_sweep(const Network& network,

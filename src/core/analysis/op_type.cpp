@@ -22,6 +22,7 @@ OpTypeResult op_type_sensitivity(const Network& network,
 
   CampaignSpec spec;
   spec.threads = options.threads;
+  spec.store = options.store;
   spec.points = {all, add_only, mul_only};
   const CampaignResult campaign = run_campaign(network, dataset, spec);
 

@@ -18,6 +18,7 @@ struct OpTypeOptions {
   std::uint64_t seed = 1;
   int threads = 0;
   int trials = 1;  // injection trials per (image, configuration) point
+  StoreOptions store;  // persistent campaign store (campaign-level)
 };
 
 struct OpTypeResult {

@@ -1,9 +1,14 @@
 #include "core/campaign/campaign.h"
 
+#include <chrono>
 #include <optional>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "core/store/golden_store.h"
+#include "core/store/hash.h"
+#include "core/store/journal.h"
 #include "fault/fault_model.h"
 
 namespace winofault {
@@ -49,17 +54,42 @@ std::optional<EvalResult> destruction_short_circuit(
   return result;
 }
 
+// GoldenLru key layout: image index over 8 policy bits. Packing and
+// unpacking live side by side so they cannot diverge — a mismatched decode
+// would spill evicted goldens under the wrong shard name.
+constexpr std::uint64_t pack_golden_key(std::int64_t image,
+                                        ConvPolicy policy) {
+  return (static_cast<std::uint64_t>(image) << 8) |
+         static_cast<std::uint64_t>(policy);
+}
+constexpr std::int64_t golden_key_image(std::uint64_t key) {
+  return static_cast<std::int64_t>(key >> 8);
+}
+constexpr ConvPolicy golden_key_policy(std::uint64_t key) {
+  return static_cast<ConvPolicy>(key & 0xff);
+}
+
 }  // namespace
 
 GoldenLru::Ptr GoldenLru::get_or_build(
     std::int64_t image, ConvPolicy policy,
     const std::function<GoldenCache()>& build) {
-  const Key key = (static_cast<std::uint64_t>(image) << 8) |
-                  static_cast<std::uint64_t>(policy);
+  const Key key = pack_golden_key(image, policy);
   std::promise<Ptr> promise;
   std::shared_future<Ptr> future;
   std::uint64_t owner = 0;
   bool builder = false;
+  // Ready entries evicted below spill to the tier-2 store as soon as the
+  // lock is released: until a victim's shard lands on disk it exists in
+  // neither tier, so a concurrent miss on it would pay a full rebuild.
+  std::vector<std::pair<Key, Ptr>> spill;
+  const auto flush_spill = [&] {
+    for (auto& [victim, ready] : spill) {
+      store_->save(golden_key_image(victim), golden_key_policy(victim),
+                   *ready);
+    }
+    spill.clear();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = map_.find(key); it != map_.end()) {
@@ -69,39 +99,83 @@ GoldenLru::Ptr GoldenLru::get_or_build(
     } else {
       builder = true;
       owner = ++next_owner_;
-      builds_.fetch_add(1, std::memory_order_relaxed);
       future = promise.get_future().share();
       lru_.push_front(key);
       map_.emplace(key, Entry{future, lru_.begin(), owner});
       // Evict least-recently-used entries over capacity. In-flight users of
       // an evicted entry hold their own future/shared_ptr, so eviction only
-      // costs a potential rebuild, never correctness.
+      // costs a potential rebuild (or a disk restore), never correctness.
       while (map_.size() > capacity_) {
-        map_.erase(lru_.back());
+        const Key victim = lru_.back();
+        const auto vit = map_.find(victim);
+        if (store_ != nullptr &&
+            vit->second.future.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+          try {
+            if (Ptr ready = vit->second.future.get()) {
+              spill.emplace_back(victim, std::move(ready));
+            }
+          } catch (...) {
+            // failed build: nothing to spill
+          }
+        }
+        map_.erase(vit);
         lru_.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
   if (!builder) return future.get();
+  // Spill the victims BEFORE the (much more expensive) restore/build:
+  // GoldenStore::save never throws, and the ~ms of shard I/O closes the
+  // window in which an evicted-but-unspilled golden could be rebuilt from
+  // scratch by another worker.
+  flush_spill();
+  // The try block ends BEFORE promise.set_value: the catch below calls
+  // promise.set_exception, which would itself throw (and escape into the
+  // worker pool) if the promise were already satisfied.
+  Ptr ptr;
   try {
-    Ptr ptr = std::make_shared<const GoldenCache>(build());
-    promise.set_value(ptr);
-    return ptr;
+    if (store_ != nullptr) {
+      if (std::optional<GoldenCache> restored = store_->load(image, policy)) {
+        ptr = std::make_shared<const GoldenCache>(std::move(*restored));
+      }
+    }
+    if (ptr == nullptr) {
+      builds_.fetch_add(1, std::memory_order_relaxed);
+      ptr = std::make_shared<const GoldenCache>(build());
+    }
   } catch (...) {
     // Propagate the real error to concurrent waiters and drop the entry so
     // later lookups retry instead of replaying a broken promise. The owner
     // check keeps a healthy entry alive if this one was already evicted and
     // the key re-inserted by another builder.
     promise.set_exception(std::current_exception());
-    std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = map_.find(key);
-        it != map_.end() && it->second.owner == owner) {
-      lru_.erase(it->second.lru_it);
-      map_.erase(it);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const auto it = map_.find(key);
+          it != map_.end() && it->second.owner == owner) {
+        lru_.erase(it->second.lru_it);
+        map_.erase(it);
+      }
     }
     throw;
   }
+  promise.set_value(ptr);
+  // If this entry was evicted while the build was in flight, the evictor
+  // found an unready future and could not spill it — spill the finished
+  // result here so the work is not lost to both tiers (save never
+  // throws).
+  if (store_ != nullptr) {
+    bool still_cached;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(key);
+      still_cached = it != map_.end() && it->second.owner == owner;
+    }
+    if (!still_cached) store_->save(image, policy, *ptr);
+  }
+  return ptr;
 }
 
 CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
@@ -115,6 +189,26 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
 
   CampaignResult result;
   result.points.resize(spec.points.size());
+
+  // Persistent store (core/store): both tiers are keyed by content hashes
+  // of the (network, dataset) environment and of each point, so recovered
+  // journal cells and restored goldens can never come from different
+  // state than this campaign would compute.
+  std::optional<ResultJournal> journal;
+  std::optional<GoldenStore> golden_store;
+  std::vector<std::uint64_t> point_hashes;
+  if (spec.store.enabled()) {
+    const std::uint64_t env = campaign_env_hash(network_, dataset_);
+    point_hashes.resize(spec.points.size());
+    for (std::size_t p = 0; p < spec.points.size(); ++p) {
+      point_hashes[p] = campaign_point_hash(spec.points[p]);
+    }
+    if (spec.store.journal) journal.emplace(spec.store.dir, env);
+    if (spec.store.spill_goldens) {
+      golden_store.emplace(spec.store.dir, env,
+                           spec.store.golden_disk_budget);
+    }
+  }
 
   // Resolve destruction short-circuits up front; only surviving points are
   // scheduled.
@@ -161,7 +255,8 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
                                                           npol, 1) +
                                          threads),
                 2);
-  GoldenLru lru(capacity);
+  GoldenLru lru(capacity,
+                golden_store.has_value() ? &*golden_store : nullptr);
 
   // Per-active-point tallies; integer sums make the result independent of
   // the schedule.
@@ -175,23 +270,57 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   // expensive golden builds spread across workers instead of funnelling
   // through one in-flight future. Every point of a wave image that shares
   // a policy reuses a single golden build.
-  const std::int64_t pts = static_cast<std::int64_t>(active.size());
-  const std::int64_t full_waves = images / wave_width;
-  const std::int64_t full_units = full_waves * wave_width * pts;
-  parallel_for(images * pts, threads, [&](std::int64_t flat) {
-    std::int64_t i;
-    std::size_t a;
-    if (flat < full_units) {
-      const std::int64_t wave = flat / (wave_width * pts);
-      const std::int64_t r = flat % (wave_width * pts);
-      i = wave * wave_width + r % wave_width;
-      a = static_cast<std::size_t>(r / wave_width);
-    } else {  // tail wave, narrower than wave_width
-      const std::int64_t tail = images - full_waves * wave_width;
-      const std::int64_t r = flat - full_units;
-      i = full_waves * wave_width + r % tail;
-      a = static_cast<std::size_t>(r / tail);
+  //
+  // Cells already journaled by a previous run seed the tallies directly;
+  // only the remainder is scheduled. Because every cell is a pure function
+  // of (point, image) within this environment, the resumed totals are
+  // bit-identical to an uninterrupted run (proved in store_test).
+  struct Unit {
+    std::int64_t image;
+    std::uint32_t a;  // index into `active`
+  };
+  std::vector<Unit> units;
+  units.reserve(static_cast<std::size_t>(images) * active.size());
+  for (std::int64_t wave = 0; wave < images; wave += wave_width) {
+    const std::int64_t wave_end = std::min(images, wave + wave_width);
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      for (std::int64_t i = wave; i < wave_end; ++i) {
+        if (journal.has_value()) {
+          JournalCell cell;
+          if (journal->lookup(point_hashes[active[a]], i, &cell)) {
+            correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
+            flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
+            ++result.stats.journal_cells_loaded;
+            continue;
+          }
+        }
+        units.push_back(Unit{i, static_cast<std::uint32_t>(a)});
+      }
     }
+  }
+  // The budget only applies when an appendable journal exists to pick up
+  // the deferred cells: without one (store disabled, or the journal file
+  // unwritable) a truncated run could never be resumed, so the budget
+  // would silently lose cells instead of checkpointing them.
+  if (journal.has_value() && journal->can_append() &&
+      spec.store.cell_budget > 0 &&
+      static_cast<std::int64_t>(units.size()) > spec.store.cell_budget) {
+    result.stats.cells_deferred =
+        static_cast<std::int64_t>(units.size()) - spec.store.cell_budget;
+    units.resize(static_cast<std::size_t>(spec.store.cell_budget));
+    // Partial tallies flow into the returned accuracies, so no consumer
+    // may mistake a budgeted checkpoint run for finished results.
+    WF_WARN << "campaign: cell budget deferred "
+            << result.stats.cells_deferred << " of "
+            << result.stats.cells_deferred + spec.store.cell_budget
+            << " pending cells; reported point results are PARTIAL until a "
+               "resume finishes them";
+  }
+
+  parallel_for(static_cast<std::int64_t>(units.size()), threads,
+               [&](std::int64_t u) {
+    const std::int64_t i = units[static_cast<std::size_t>(u)].image;
+    const std::size_t a = units[static_cast<std::size_t>(u)].a;
     const CampaignPoint& point = spec.points[active[a]];
     const TensorF& image = dataset_.images[static_cast<std::size_t>(i)];
     const int label = dataset_.labels[static_cast<std::size_t>(i)];
@@ -221,6 +350,10 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
         local_flips += session.total_flips();
       }
     }
+    if (journal.has_value()) {
+      journal->append(
+          JournalCell{point_hashes[active[a]], i, local_correct, local_flips});
+    }
     correct[a].fetch_add(local_correct, std::memory_order_relaxed);
     flips[a].fetch_add(local_flips, std::memory_order_relaxed);
   });
@@ -233,11 +366,20 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
     r.images = static_cast<int>(images);
     r.accuracy = static_cast<double>(correct[a].load()) / inferences;
     r.avg_flips = static_cast<double>(flips[a].load()) / inferences;
-    result.stats.inferences += images * point.trials;
+  }
+  for (const Unit& unit : units) {
+    result.stats.inferences += spec.points[active[unit.a]].trials;
   }
   result.stats.golden_builds = lru.builds();
   result.stats.golden_hits = lru.hits();
   result.stats.golden_evictions = lru.evictions();
+  if (journal.has_value()) {
+    result.stats.journal_cells_written = journal->appended_cells();
+  }
+  if (golden_store.has_value()) {
+    result.stats.golden_spills = golden_store->spills();
+    result.stats.golden_restores = golden_store->restores();
+  }
   return result;
 }
 

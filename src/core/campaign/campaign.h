@@ -20,6 +20,11 @@
 // trial) alone, and accuracy/flip tallies are integer sums, so neither the
 // schedule nor cache eviction can change any number (proved in
 // tests/campaign_test.cpp). evaluate() itself is a single-point campaign.
+//
+// With CampaignSpec::store set, campaign state persists across processes
+// (core/store): finished cells journal to disk for kill-anywhere resume
+// and incremental regeneration, and evicted goldens spill to checksummed
+// shards restored on miss — still bit-identical (tests/store_test.cpp).
 #pragma once
 
 #include <atomic>
@@ -32,12 +37,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/store/store.h"
 #include "nn/evaluator.h"
 
 namespace winofault {
 
+class GoldenStore;
+
 // One configuration point of a campaign: EvalOptions minus the execution
 // knobs that are campaign-level (threads) plus an optional tag for builders.
+// NOTE: a new field that can change results must join campaign_point_hash
+// (core/store/hash.cpp), or persisted journals will replay stale cells for
+// points that differ only in that field.
 struct CampaignPoint {
   FaultConfig fault;
   ConvPolicy policy = ConvPolicy::kDirect;
@@ -68,6 +79,11 @@ struct CampaignSpec {
   // shards straddling a wave boundary — enough for the wave schedule to
   // hit while large datasets stream.
   std::size_t golden_capacity = 0;
+  // Persistent campaign store (core/store): result journal for
+  // checkpoint/resume + incremental regeneration, and disk spill for
+  // evicted goldens. Disabled unless `store.dir` is set; results are
+  // bit-identical either way (proved in tests/store_test.cpp).
+  StoreOptions store;
 };
 
 struct CampaignStats {
@@ -75,7 +91,13 @@ struct CampaignStats {
   std::int64_t golden_hits = 0;       // cache hits (incl. waits on in-flight)
   std::int64_t golden_evictions = 0;  // capacity evictions
   std::int64_t short_circuited_points = 0;  // destruction short-circuit
-  std::int64_t inferences = 0;              // simulated (image, trial) runs
+  std::int64_t inferences = 0;  // (image, trial) runs simulated THIS run
+  // Persistent-store activity (all zero when the store is disabled):
+  std::int64_t journal_cells_loaded = 0;   // cells reused from the journal
+  std::int64_t journal_cells_written = 0;  // cells appended this run
+  std::int64_t cells_deferred = 0;         // pending cells past cell_budget
+  std::int64_t golden_spills = 0;          // goldens serialized to disk
+  std::int64_t golden_restores = 0;        // disk restores instead of builds
 };
 
 struct CampaignResult {
@@ -86,17 +108,20 @@ struct CampaignResult {
 // Bounded shared cache of golden activations keyed by (image index, policy).
 // Concurrent requests for the same key block on the first builder's future
 // instead of duplicating the build; eviction only drops the cache's
-// reference, so in-flight users keep their entries alive.
+// reference, so in-flight users keep their entries alive. With a tier-2
+// GoldenStore attached, ready entries spill to disk on eviction and misses
+// try a disk restore before rebuilding.
 class GoldenLru {
  public:
   using Ptr = std::shared_ptr<const GoldenCache>;
 
-  explicit GoldenLru(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit GoldenLru(std::size_t capacity, GoldenStore* store = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity), store_(store) {}
 
   // Returns the cached golden for (image, policy), building it via `build`
-  // on a miss. Thread-safe; deterministic because make_golden is a pure
-  // function of (image, policy).
+  // on a miss (after trying the tier-2 store, when attached). Thread-safe;
+  // deterministic because make_golden is a pure function of (image,
+  // policy) and disk restores are byte-exact.
   Ptr get_or_build(std::int64_t image, ConvPolicy policy,
                    const std::function<GoldenCache()>& build);
 
@@ -113,6 +138,7 @@ class GoldenLru {
   };
 
   std::size_t capacity_;
+  GoldenStore* store_;  // optional tier-2 spill target, not owned
   std::mutex mu_;
   std::list<Key> lru_;  // front = most recently used
   std::unordered_map<Key, Entry> map_;

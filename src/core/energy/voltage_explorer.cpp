@@ -26,9 +26,10 @@ CampaignPoint voltage_point(const VoltageModel& model, double voltage,
 std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     std::span<const ConvPolicy> policies, std::span<const double> voltages,
-    std::uint64_t seed, int threads, int trials) {
+    std::uint64_t seed, int threads, int trials, const StoreOptions& store) {
   CampaignSpec spec;
   spec.threads = threads;
+  spec.store = store;
   for (const ConvPolicy policy : policies) {
     for (const double v : voltages) {
       spec.points.push_back(voltage_point(model, v, policy, seed, trials));
@@ -55,10 +56,10 @@ std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
 std::vector<VoltagePoint> accuracy_vs_voltage(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     ConvPolicy policy, std::span<const double> voltages, std::uint64_t seed,
-    int threads, int trials) {
+    int threads, int trials, const StoreOptions& store) {
   return accuracy_vs_voltage_multi(network, dataset, model,
                                    std::span(&policy, 1), voltages, seed,
-                                   threads, trials)
+                                   threads, trials, store)
       .front();
 }
 
@@ -68,11 +69,12 @@ VoltageCurve measure_voltage_curve(const Network& network,
                                    ConvPolicy policy,
                                    std::span<const double> voltages,
                                    std::uint64_t seed, int threads,
-                                   int trials) {
+                                   int trials, const StoreOptions& store) {
   // One campaign measures the clean (fault-free) loss reference and the
   // whole decision curve: point 0 is clean, point 1+i is voltage i.
   CampaignSpec spec;
   spec.threads = threads;
+  spec.store = store;
   CampaignPoint clean;
   clean.policy = policy;
   clean.seed = seed;
@@ -142,7 +144,8 @@ std::vector<EnergyPoint> explore_voltage_scaling(
   WF_CHECK(!options.voltage_grid.empty());
   const VoltageCurve curve = measure_voltage_curve(
       network, dataset, model.voltage, options.curve_policy,
-      options.voltage_grid, options.seed, options.threads, options.trials);
+      options.voltage_grid, options.seed, options.threads, options.trials,
+      options.store);
   return pick_voltages(network, model, options, curve);
 }
 

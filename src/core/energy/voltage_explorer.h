@@ -35,7 +35,7 @@ struct VoltagePoint {
 std::vector<VoltagePoint> accuracy_vs_voltage(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     ConvPolicy policy, std::span<const double> voltages, std::uint64_t seed,
-    int threads = 0, int trials = 1);
+    int threads = 0, int trials = 1, const StoreOptions& store = {});
 
 // Several policies' curves over one grid as a SINGLE campaign (fig6's
 // ST/WG pair): the whole (image x policy x voltage) grid feeds the pool at
@@ -43,7 +43,8 @@ std::vector<VoltagePoint> accuracy_vs_voltage(
 std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     std::span<const ConvPolicy> policies, std::span<const double> voltages,
-    std::uint64_t seed, int threads = 0, int trials = 1);
+    std::uint64_t seed, int threads = 0, int trials = 1,
+    const StoreOptions& store = {});
 
 struct EnergyPoint {
   double loss_budget = 0.0;      // allowed accuracy drop (absolute)
@@ -60,6 +61,7 @@ struct ExplorerOptions {
   std::uint64_t seed = 1;
   int threads = 0;
   int trials = 1;  // injection trials per (image, voltage) point
+  StoreOptions store;  // persistent campaign store (campaign-level)
 };
 
 // A measured decision curve: the clean (fault-free) loss reference plus
@@ -78,7 +80,8 @@ VoltageCurve measure_voltage_curve(const Network& network,
                                    ConvPolicy policy,
                                    std::span<const double> voltages,
                                    std::uint64_t seed, int threads = 0,
-                                   int trials = 1);
+                                   int trials = 1,
+                                   const StoreOptions& store = {});
 
 // Budget search over a pre-measured curve: pure selection + energy
 // accounting, no evaluation.

@@ -14,16 +14,17 @@ namespace {
 double evaluate_with_protection(
     const Network& network, const Dataset& dataset,
     const std::unordered_map<int, ProtectionSet>& protection,
-    ConvPolicy policy, double ber, std::uint64_t seed, int threads) {
+    ConvPolicy policy, const TmrPlanOptions& options) {
   CampaignPoint point;
-  point.fault.ber = ber;
+  point.fault.ber = options.ber;
   point.fault.protection = protection;
   point.policy = policy;
-  point.seed = seed;
+  point.seed = options.seed;
   point.tag = "tmr-check";
   CampaignSpec spec;
   spec.points.push_back(std::move(point));
-  spec.threads = threads;
+  spec.threads = options.threads;
+  spec.store = options.store;
   return run_campaign(network, dataset, spec).points.front().accuracy;
 }
 
@@ -40,7 +41,14 @@ std::vector<int> vulnerability_order(const LayerwiseResult& analysis) {
 }
 
 TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
-                 const TmrPlanOptions& options) {
+                 const TmrPlanOptions& options_in) {
+  // A budget-truncated campaign reports PARTIAL tallies; in this
+  // sequential-adaptive loop a biased-low accuracy check would steer the
+  // plan itself (protecting until exhaustion), not just under-report a
+  // point. The planner therefore ignores cell_budget — its checks still
+  // journal, so a killed sweep resumes at cell granularity regardless.
+  TmrPlanOptions options = options_in;
+  options.store.cell_budget = 0;
   TmrPlan plan;
 
   // 1. Layer-wise vulnerability ranking under the analysis engine.
@@ -53,6 +61,7 @@ TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
     lw.policy = options.analysis_policy;
     lw.seed = options.seed;
     lw.threads = options.threads;
+    lw.store = options.store;
     order = vulnerability_order(layer_vulnerability(network, dataset, lw));
   }
 
@@ -63,8 +72,7 @@ TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
   // 2. Iterative protection: muls of the most vulnerable layers first,
   // then adds, a `step_fraction` slice per iteration.
   double accuracy = evaluate_with_protection(
-      network, dataset, plan.protection, options.analysis_policy, options.ber,
-      options.seed, options.threads);
+      network, dataset, plan.protection, options.analysis_policy, options);
   if (accuracy >= options.accuracy_goal) {
     plan.achieved_accuracy = accuracy;
     plan.goal_met = true;
@@ -87,7 +95,7 @@ TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
         ++plan.iterations;
         accuracy = evaluate_with_protection(
             network, dataset, plan.protection, options.analysis_policy,
-            options.ber, options.seed, options.threads);
+            options);
         if (accuracy >= options.accuracy_goal) {
           plan.achieved_accuracy = accuracy;
           plan.goal_met = true;
@@ -121,8 +129,12 @@ double full_tmr_ops(const Network& network, ConvPolicy policy) {
 double plan_accuracy(const Network& network, const Dataset& dataset,
                      const TmrPlan& plan, ConvPolicy policy, double ber,
                      std::uint64_t seed, int threads) {
+  TmrPlanOptions options;
+  options.ber = ber;
+  options.seed = seed;
+  options.threads = threads;
   return evaluate_with_protection(network, dataset, plan.protection, policy,
-                                  ber, seed, threads);
+                                  options);
 }
 
 }  // namespace winofault

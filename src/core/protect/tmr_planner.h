@@ -41,6 +41,9 @@ struct TmrPlanOptions {
   // goal. Protection sets grow monotonically with the goal, so ascending
   // goal sweeps (Fig 5) resume instead of replanning from scratch.
   const std::unordered_map<int, ProtectionSet>* initial_protection = nullptr;
+  // Persistent campaign store: every accuracy check journals its cells, so
+  // a killed planning sweep resumes its already-checked iterations.
+  StoreOptions store;
 };
 
 // Vulnerability ranking helper (most vulnerable first) for reuse across

@@ -1,0 +1,357 @@
+#include "core/store/golden_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace winofault {
+namespace {
+
+constexpr std::uint32_t kCodecVersion = 1;
+constexpr std::uint64_t kShardMagic = 0x5747534600000001ULL;  // "WGSF" v1
+
+// Shard header: six native-endian u64 words ahead of the codec payload.
+struct ShardHeader {
+  std::uint64_t magic;
+  std::uint64_t env_hash;
+  std::uint64_t image;
+  std::uint64_t policy;
+  std::uint64_t payload_size;
+  std::uint64_t payload_crc;
+};
+static_assert(sizeof(ShardHeader) == 48);
+
+void put_bytes(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+template <typename T>
+void put(std::string& out, T value) {
+  put_bytes(out, &value, sizeof(value));
+}
+
+// Sequential reader over the payload; any over-read marks failure.
+struct Reader {
+  const std::string& buf;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool read_bytes(void* data, std::size_t size) {
+    if (!ok || buf.size() - pos < size) return ok = false;
+    std::memcpy(data, buf.data() + pos, size);
+    pos += size;
+    return true;
+  }
+  template <typename T>
+  T get() {
+    T value{};
+    read_bytes(&value, sizeof(value));
+    return value;
+  }
+};
+
+void encode_tensor(std::string& out, const TensorI32& t) {
+  const Shape& s = t.shape();
+  put(out, s.n);
+  put(out, s.c);
+  put(out, s.h);
+  put(out, s.w);
+  put_bytes(out, t.data(),
+            static_cast<std::size_t>(t.numel()) * sizeof(std::int32_t));
+}
+
+bool decode_tensor(Reader& r, TensorI32* out) {
+  Shape s;
+  s.n = r.get<std::int64_t>();
+  s.c = r.get<std::int64_t>();
+  s.h = r.get<std::int64_t>();
+  s.w = r.get<std::int64_t>();
+  if (!r.ok || s.n < 0 || s.c < 0 || s.h < 0 || s.w < 0) return false;
+  // Dims are disk-sourced: bound the element count stepwise against the
+  // remaining payload BEFORE multiplying, so crafted dims can neither
+  // overflow the int64 product (UB) nor drive a huge allocation.
+  const std::int64_t max_elems = static_cast<std::int64_t>(
+      (r.buf.size() - r.pos) / sizeof(std::int32_t));
+  std::int64_t numel = 1;
+  for (const std::int64_t dim : {s.n, s.c, s.h, s.w}) {
+    if (dim == 0) {
+      numel = 0;
+      break;
+    }
+    if (numel > max_elems / dim) return false;
+    numel *= dim;
+  }
+  TensorI32 t(s);
+  if (numel > 0 &&
+      !r.read_bytes(t.data(),
+                    static_cast<std::size_t>(numel) * sizeof(std::int32_t))) {
+    return false;
+  }
+  *out = std::move(t);
+  return true;
+}
+
+}  // namespace
+
+std::string GoldenCodec::encode(const GoldenCache& golden) {
+  std::string out;
+  put(out, kCodecVersion);
+  put(out, static_cast<std::uint8_t>(golden.policy_));
+  put(out, golden.prediction_);
+  put(out, static_cast<std::uint64_t>(golden.acts_.size()));
+  for (const NodeOutput& node : golden.acts_) {
+    encode_tensor(out, node.tensor);
+    put(out, node.quant.scale);
+    put(out, static_cast<std::uint8_t>(node.quant.dtype));
+  }
+  encode_tensor(out, golden.logits_);
+  return out;
+}
+
+std::optional<GoldenCache> GoldenCodec::decode(const std::string& payload) {
+  Reader r{payload};
+  if (r.get<std::uint32_t>() != kCodecVersion) return std::nullopt;
+  GoldenCache golden;
+  golden.policy_ = static_cast<ConvPolicy>(r.get<std::uint8_t>());
+  golden.prediction_ = r.get<std::int32_t>();
+  const std::uint64_t nodes = r.get<std::uint64_t>();
+  // Every node costs at least shape (32) + scale (8) + dtype (1) payload
+  // bytes; bounding the count by that keeps a crafted header from driving
+  // a huge acts_ allocation (bad_alloc) before the first decode failure.
+  constexpr std::uint64_t kMinNodeBytes = 41;
+  if (!r.ok || nodes > payload.size() / kMinNodeBytes) return std::nullopt;
+  golden.acts_.resize(static_cast<std::size_t>(nodes));
+  for (NodeOutput& node : golden.acts_) {
+    if (!decode_tensor(r, &node.tensor)) return std::nullopt;
+    node.quant.scale = r.get<double>();
+    node.quant.dtype = static_cast<DType>(r.get<std::uint8_t>());
+  }
+  if (!decode_tensor(r, &golden.logits_)) return std::nullopt;
+  if (!r.ok || r.pos != payload.size()) return std::nullopt;
+  return golden;
+}
+
+GoldenStore::GoldenStore(std::string dir, std::uint64_t env_hash,
+                         std::uint64_t byte_budget)
+    : dir_(std::move(dir)), env_hash_(env_hash), byte_budget_(byte_budget) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    WF_WARN << "golden store: cannot create " << dir_
+            << "; goldens will not spill (" << ec.message() << ")";
+  }
+  // Index every existing shard in the directory — all environments, not
+  // just this one — oldest first. The byte budget is a property of the
+  // directory: without cross-env accounting, a store dir shared by many
+  // campaigns (fig2: 8 models) would hold budget x environments bytes, and
+  // shards orphaned by a network/dataset change would never be reclaimed.
+  std::vector<std::pair<std::filesystem::file_time_type, ShardRef>> found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("golden_")) continue;
+    if (name.ends_with(".tmp")) {  // kill mid-spill: reclaim the leftovers
+      std::filesystem::remove(entry.path(), ec);
+      continue;
+    }
+    if (!name.ends_with(".shard")) continue;
+    const auto mtime = entry.last_write_time(ec);
+    if (ec) continue;  // vanished/unstattable: never credit junk to bytes_
+    const std::uintmax_t size = entry.file_size(ec);
+    if (ec) continue;
+    found.emplace_back(
+        mtime,
+        ShardRef{entry.path().string(), static_cast<std::uint64_t>(size)});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [mtime, shard] : found) {
+    bytes_ += shard.bytes;
+    index_.push_back(std::move(shard));
+  }
+}
+
+std::string GoldenStore::shard_path(std::int64_t image,
+                                    ConvPolicy policy) const {
+  char name[80];
+  std::snprintf(name, sizeof(name), "golden_%016llx_%lld_%d.shard",
+                static_cast<unsigned long long>(env_hash_),
+                static_cast<long long>(image), static_cast<int>(policy));
+  return dir_ + "/" + name;
+}
+
+void GoldenStore::save(std::int64_t image, ConvPolicy policy,
+                       const GoldenCache& golden) noexcept {
+  // The whole body is exception-guarded: callers (GoldenLru spill paths)
+  // rely on save never throwing, and even the path strings / in-flight
+  // set below allocate. A failed spill only costs a later rebuild.
+  try {
+    save_impl(image, policy, golden);
+  } catch (...) {
+    WF_WARN << "golden store: spill failed; the entry will rebuild instead";
+  }
+}
+
+void GoldenStore::save_impl(std::int64_t image, ConvPolicy policy,
+                            const GoldenCache& golden) {
+  const std::string path = shard_path(image, policy);
+  std::error_code ec;
+
+  // Short-circuit BEFORE encoding: re-evictions of an already-spilled
+  // golden are the common case in the streaming regime, and serializing a
+  // multi-MB payload just to discover the shard exists would waste that
+  // much CPU on every revisit. The checks also make concurrent spills of
+  // the same key skip instead of duplicating the index entry or piling a
+  // second budget reservation on top.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::filesystem::exists(path, ec)) return;  // deterministic content
+    if (!in_flight_.insert(path).second) return;    // same-key in flight
+  }
+
+  // From here on, every exit must release the in-flight entry and any
+  // budget reservation — and a spill must degrade to a warning, never an
+  // exception escaping into the worker pool (encode can throw bad_alloc
+  // on a paper-scale golden under memory pressure).
+  std::uint64_t reserved = 0;
+  std::string tmp;
+  bool published = false;
+  try {
+    const std::string payload = GoldenCodec::encode(golden);
+    ShardHeader header{kShardMagic,
+                       env_hash_,
+                       static_cast<std::uint64_t>(image),
+                       static_cast<std::uint64_t>(policy),
+                       payload.size(),
+                       fnv64(payload.data(), payload.size())};
+    const std::uint64_t total = sizeof(header) + payload.size();
+    if (total <= byte_budget_) {  // a shard over budget alone never fits
+      // Reserve budget under the lock, but keep the (potentially
+      // multi-MB) file write outside it so concurrent spills from the
+      // worker pool don't serialize on each other's disk I/O.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        while (bytes_ + total > byte_budget_ && !index_.empty()) {
+          const ShardRef oldest = index_.front();
+          index_.erase(index_.begin());
+          bytes_ -= std::min(bytes_.load(), oldest.bytes);
+          std::filesystem::remove(oldest.path, ec);
+          budget_evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        bytes_ += total;
+        reserved = total;
+      }
+
+      // Write via a unique temp name + rename: a kill mid-spill leaves no
+      // half-shard under the final name (the CRC would reject one
+      // regardless), and concurrent same-key writers never clobber each
+      // other's temp.
+      static std::atomic<std::uint64_t> tmp_serial{0};
+      tmp = path + "." + std::to_string(tmp_serial.fetch_add(1) + 1) +
+            ".tmp";
+      std::FILE* f = std::fopen(tmp.c_str(), "wb");
+      bool wrote = f != nullptr;
+      if (wrote) {
+        wrote = std::fwrite(&header, sizeof(header), 1, f) == 1 &&
+                (payload.empty() ||
+                 std::fwrite(payload.data(), payload.size(), 1, f) == 1);
+        // fclose flushes the stdio buffer; on ENOSPC the failure surfaces
+        // here, and a truncated temp must never be renamed into place.
+        wrote = (std::fclose(f) == 0) && wrote;
+      }
+
+      std::lock_guard<std::mutex> lock(mu_);
+      if (wrote && !std::filesystem::exists(path, ec)) {
+        std::filesystem::rename(tmp, path, ec);
+        if (!ec) {
+          index_.push_back(ShardRef{path, total});
+          spills_.fetch_add(1, std::memory_order_relaxed);
+          in_flight_.erase(path);
+          published = true;
+        }
+      }
+    }
+  } catch (...) {
+    WF_WARN << "golden store: spill of " << path
+            << " failed; the entry will rebuild instead";
+  }
+  if (published) return;
+  if (!tmp.empty()) std::filesystem::remove(tmp, ec);
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_.erase(path);
+  bytes_ -= std::min(bytes_.load(), reserved);
+}
+
+std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
+                                             ConvPolicy policy) {
+  const std::string path = shard_path(image, policy);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;  // absent: plain miss, no reject
+
+  ShardHeader header{};
+  std::string payload;
+  bool ok = std::fread(&header, sizeof(header), 1, f) == 1 &&
+            header.magic == kShardMagic && header.env_hash == env_hash_ &&
+            header.image == static_cast<std::uint64_t>(image) &&
+            header.policy == static_cast<std::uint64_t>(policy);
+  if (ok) {
+    // The header carries no CRC over itself, so payload_size is untrusted:
+    // bound it by the actual file size before allocating (a corrupted size
+    // field must reject the shard, not throw). The exact-size check also
+    // rejects truncated and trailing-garbage shards.
+    std::fseek(f, 0, SEEK_END);
+    const long file_size = std::ftell(f);
+    std::fseek(f, static_cast<long>(sizeof(header)), SEEK_SET);
+    ok = file_size >= 0 &&
+         header.payload_size ==
+             static_cast<std::uint64_t>(file_size) - sizeof(header);
+  }
+  // Allocation sizes below are bounded only by the (possibly corrupt)
+  // file itself, so bad_alloc is a corruption symptom like a CRC
+  // mismatch: catch it and fall through to the reject-and-delete path
+  // instead of letting it escape into the worker pool.
+  if (ok) {
+    try {
+      payload.resize(static_cast<std::size_t>(header.payload_size));
+      ok = payload.empty() ||
+           std::fread(payload.data(), payload.size(), 1, f) == 1;
+      ok = ok && fnv64(payload.data(), payload.size()) == header.payload_crc;
+    } catch (...) {
+      ok = false;
+    }
+  }
+  std::fclose(f);
+
+  std::optional<GoldenCache> golden;
+  if (ok) {
+    try {
+      golden = GoldenCodec::decode(payload);
+    } catch (...) {
+      golden.reset();
+    }
+  }
+  if (!golden.has_value()) {
+    // Corrupt/stale shard: delete it so the entry rebuilds (and respills)
+    // cleanly instead of failing every future restore.
+    WF_WARN << "golden store: rejecting corrupt shard " << path;
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    const auto it = std::find_if(
+        index_.begin(), index_.end(),
+        [&](const ShardRef& shard) { return shard.path == path; });
+    if (it != index_.end()) {
+      bytes_ -= std::min(bytes_.load(), it->bytes);
+      index_.erase(it);
+    }
+    return std::nullopt;
+  }
+  restores_.fetch_add(1, std::memory_order_relaxed);
+  return golden;
+}
+
+}  // namespace winofault

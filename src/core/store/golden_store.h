@@ -1,0 +1,87 @@
+// Tier-2 disk backing for campaign golden activations. The in-RAM
+// GoldenLru (core/campaign) spills evicted GoldenCache entries here as
+// per-(image, policy) shard files and restores them on miss instead of
+// rebuilding — on paper-scale datasets a golden forward costs orders of
+// magnitude more than reading its activations back.
+//
+// Every shard carries a checksummed header binding it to one campaign
+// environment (campaign_env_hash): a header mismatch, size mismatch, or
+// payload CRC failure rejects the shard (it is deleted so the entry
+// rebuilds cleanly) — a corrupt or stale shard can never flow into a
+// campaign. Restored entries are byte-exact (integer tensors plus
+// bit-pattern doubles), so disk-backed campaigns are bit-identical to
+// in-RAM runs (proved in tests/store_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "nn/golden_cache.h"
+
+namespace winofault {
+
+// Byte-exact (de)serialization of a GoldenCache (friend access to its
+// internals). encode/decode round-trip exactly; decode returns nullopt on
+// any framing violation.
+class GoldenCodec {
+ public:
+  static std::string encode(const GoldenCache& golden);
+  static std::optional<GoldenCache> decode(const std::string& payload);
+};
+
+class GoldenStore {
+ public:
+  // Shards live directly under `dir`, namespaced by `env_hash`. All
+  // existing shards in the directory — every environment's — are indexed
+  // oldest-first, so the byte budget bounds the directory as a whole
+  // across runs and reclaims shards orphaned by network/dataset changes.
+  GoldenStore(std::string dir, std::uint64_t env_hash,
+              std::uint64_t byte_budget);
+
+  // Serializes `golden` to its shard file unless one already exists (shard
+  // content is deterministic) or the budget cannot fit it; oldest shards
+  // are dropped to make room. Thread-safe and never throws — a failed
+  // spill degrades to a warning and a later rebuild.
+  void save(std::int64_t image, ConvPolicy policy,
+            const GoldenCache& golden) noexcept;
+
+  // Restores the (image, policy) shard; nullopt when absent or rejected
+  // (rejected shards are deleted so the caller's rebuild self-heals).
+  std::optional<GoldenCache> load(std::int64_t image, ConvPolicy policy);
+
+  std::string shard_path(std::int64_t image, ConvPolicy policy) const;
+
+  std::int64_t spills() const { return spills_.load(); }
+  std::int64_t restores() const { return restores_.load(); }
+  std::int64_t rejects() const { return rejects_.load(); }
+  std::int64_t budget_evictions() const { return budget_evictions_.load(); }
+  std::uint64_t bytes_on_disk() const { return bytes_.load(); }
+
+ private:
+  struct ShardRef {
+    std::string path;
+    std::uint64_t bytes = 0;
+  };
+
+  void save_impl(std::int64_t image, ConvPolicy policy,
+                 const GoldenCache& golden);
+
+  std::string dir_;
+  std::uint64_t env_hash_;
+  std::uint64_t byte_budget_;
+  std::mutex mu_;                // guards index_ and budget transitions
+  std::vector<ShardRef> index_;  // oldest first
+  std::unordered_set<std::string> in_flight_;  // saves between lock regions
+  std::atomic<std::uint64_t> bytes_{0};  // atomic: read by stats getters
+  std::atomic<std::int64_t> spills_{0};
+  std::atomic<std::int64_t> restores_{0};
+  std::atomic<std::int64_t> rejects_{0};
+  std::atomic<std::int64_t> budget_evictions_{0};
+};
+
+}  // namespace winofault

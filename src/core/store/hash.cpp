@@ -1,0 +1,70 @@
+#include "core/store/hash.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/campaign/campaign.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+
+namespace winofault {
+namespace {
+
+void hash_shape(Fnv64& h, const Shape& s) {
+  h.i64(s.n).i64(s.c).i64(s.h).i64(s.w);
+}
+
+}  // namespace
+
+std::uint64_t campaign_point_hash(const CampaignPoint& point) {
+  Fnv64 h;
+  h.u64(0x57465054ULL);  // "WFPT" domain tag
+  h.f64(point.fault.ber);
+  h.u8(static_cast<std::uint8_t>(point.fault.mode));
+  h.u8(point.fault.only_kind.has_value() ? 1 : 0);
+  if (point.fault.only_kind.has_value()) {
+    h.u8(static_cast<std::uint8_t>(*point.fault.only_kind));
+  }
+  h.i32(point.fault.fault_free_layer);
+  // The protection map is unordered; hash it in sorted-key order so the
+  // hash is a function of content, not insertion history.
+  std::vector<std::pair<int, const ProtectionSet*>> prot;
+  prot.reserve(point.fault.protection.size());
+  for (const auto& [layer, set] : point.fault.protection) {
+    prot.emplace_back(layer, &set);
+  }
+  std::sort(prot.begin(), prot.end());
+  h.u64(prot.size());
+  for (const auto& [layer, set] : prot) {
+    h.i32(layer)
+        .f64(set->mul_fraction())
+        .f64(set->add_fraction())
+        .u64(set->salt());
+  }
+  h.u8(static_cast<std::uint8_t>(point.policy));
+  h.u64(point.seed);
+  h.i32(point.trials);
+  return h.digest();
+}
+
+std::uint64_t campaign_env_hash(const Network& network,
+                                const Dataset& dataset) {
+  Fnv64 h;
+  h.u64(0x5746454eULL);  // "WFEN" domain tag
+  h.u32(kCampaignSemanticsVersion);
+  h.u64(network.fingerprint());
+  h.i32(dataset.num_classes);
+  h.u64(dataset.images.size());
+  for (std::size_t i = 0; i < dataset.images.size(); ++i) {
+    const TensorF& image = dataset.images[i];
+    hash_shape(h, image.shape());
+    h.bytes(image.data(), static_cast<std::size_t>(image.numel()) *
+                              sizeof(float));
+    h.i32(dataset.labels[i]);
+  }
+  return h.digest();
+}
+
+}  // namespace winofault

@@ -1,0 +1,178 @@
+#include "core/store/journal.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace winofault {
+namespace {
+
+constexpr std::uint64_t kJournalMagic = 0x574a4c4600000001ULL;  // "WJLF" v1
+
+// On-disk record: five native-endian u64 words, no padding.
+struct RawRecord {
+  std::uint64_t point_hash;
+  std::uint64_t image;
+  std::uint64_t correct;
+  std::uint64_t flips;
+  std::uint64_t crc;
+};
+static_assert(sizeof(RawRecord) == 40);
+
+struct RawHeader {
+  std::uint64_t magic;
+  std::uint64_t env_hash;
+};
+static_assert(sizeof(RawHeader) == 16);
+
+std::uint64_t record_crc(const RawRecord& r, std::uint64_t env_hash) {
+  return Fnv64()
+      .u64(env_hash)
+      .u64(r.point_hash)
+      .u64(r.image)
+      .u64(r.correct)
+      .u64(r.flips)
+      .digest();
+}
+
+std::uint64_t cell_key(std::uint64_t point_hash, std::int64_t image) {
+  return Fnv64().u64(point_hash).i64(image).digest();
+}
+
+}  // namespace
+
+std::string ResultJournal::journal_path(const std::string& dir,
+                                        std::uint64_t env_hash) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "campaign_%016llx.journal",
+                static_cast<unsigned long long>(env_hash));
+  return dir + "/" + name;
+}
+
+ResultJournal::ResultJournal(const std::string& dir, std::uint64_t env_hash)
+    : path_(journal_path(dir, env_hash)), env_hash_(env_hash) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  recover_and_open();
+}
+
+ResultJournal::~ResultJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ResultJournal::recover_and_open() {
+  // A kill during a previous recovery rewrite can leave its temp file
+  // behind; it was never renamed, so its contents are dead.
+  {
+    std::error_code ec;
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  // Pass 1: read every intact record of an existing file.
+  bool rewrite = false;
+  if (std::FILE* f = std::fopen(path_.c_str(), "rb")) {
+    RawHeader header{};
+    if (std::fread(&header, sizeof(header), 1, f) == 1 &&
+        header.magic == kJournalMagic && header.env_hash == env_hash_) {
+      RawRecord r{};
+      long records_read = 0;
+      while (std::fread(&r, sizeof(r), 1, f) == 1) {
+        if (r.crc != record_crc(r, env_hash_)) break;  // torn/corrupt tail
+        ++records_read;
+        JournalCell cell;
+        cell.point_hash = r.point_hash;
+        cell.image = static_cast<std::int64_t>(r.image);
+        cell.correct = static_cast<std::int64_t>(r.correct);
+        cell.flips = static_cast<std::int64_t>(r.flips);
+        cells_[cell_key(cell.point_hash, cell.image)] = cell;
+      }
+      // Anything left past the last intact record must be dropped before
+      // appending, or the torn bytes would corrupt the record framing.
+      const long read_end =
+          static_cast<long>(sizeof(RawHeader)) +
+          records_read * static_cast<long>(sizeof(RawRecord));
+      std::fseek(f, 0, SEEK_END);
+      rewrite = std::ftell(f) != read_end;
+    } else {
+      rewrite = true;  // foreign or garbage file: replace wholesale
+    }
+    std::fclose(f);
+  } else {
+    rewrite = true;  // no journal yet
+  }
+
+  // Pass 2: open for appending — via a rewrite of header + every recovered
+  // record when the existing file is absent, torn, or foreign. The rewrite
+  // goes through a temp file + rename so a kill during recovery can never
+  // destroy the intact records of the original journal.
+  if (rewrite) {
+    const std::string tmp = path_ + ".tmp";
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) {
+      WF_WARN << "journal: cannot open " << tmp
+              << " for writing; cells will not persist";
+      return;
+    }
+    const RawHeader header{kJournalMagic, env_hash_};
+    std::fwrite(&header, sizeof(header), 1, out);
+    for (const auto& [key, cell] : cells_) {
+      RawRecord r{cell.point_hash, static_cast<std::uint64_t>(cell.image),
+                  static_cast<std::uint64_t>(cell.correct),
+                  static_cast<std::uint64_t>(cell.flips), 0};
+      r.crc = record_crc(r, env_hash_);
+      std::fwrite(&r, sizeof(r), 1, out);
+    }
+    const bool flushed = std::fflush(out) == 0;
+    std::fclose(out);
+    std::error_code ec;
+    if (flushed) std::filesystem::rename(tmp, path_, ec);
+    if (!flushed || ec) {
+      WF_WARN << "journal: cannot replace " << path_
+              << "; cells will not persist";
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    WF_WARN << "journal: cannot append to " << path_
+            << "; cells will not persist";
+  }
+}
+
+bool ResultJournal::lookup(std::uint64_t point_hash, std::int64_t image,
+                           JournalCell* cell) const {
+  const auto it = cells_.find(cell_key(point_hash, image));
+  if (it == cells_.end() || it->second.point_hash != point_hash ||
+      it->second.image != image) {
+    return false;
+  }
+  if (cell != nullptr) *cell = it->second;
+  return true;
+}
+
+void ResultJournal::append(const JournalCell& cell) {
+  RawRecord r{cell.point_hash, static_cast<std::uint64_t>(cell.image),
+              static_cast<std::uint64_t>(cell.correct),
+              static_cast<std::uint64_t>(cell.flips), 0};
+  r.crc = record_crc(r, env_hash_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  // A failed write (e.g. disk full) may leave a torn record that recovery
+  // will truncate — along with everything appended after it. Stop claiming
+  // durability at the first failure instead of silently losing every
+  // later checkpoint.
+  if (std::fwrite(&r, sizeof(r), 1, file_) != 1 ||
+      std::fflush(file_) != 0) {
+    WF_WARN << "journal: write to " << path_
+            << " failed; further cells will not persist";
+    std::fclose(file_);
+    file_ = nullptr;
+    return;
+  }
+  // A kill after this point loses nothing.
+  ++appended_;
+}
+
+}  // namespace winofault

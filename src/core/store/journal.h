@@ -1,0 +1,75 @@
+// Append-only binary journal of finished campaign cells. One cell is the
+// integer tallies of one (point, image) unit over all of that point's
+// trials — the unit of work CampaignRunner schedules — keyed by
+// (campaign_point_hash, image index). Because every (point, image, trial)
+// derives its fault stream from (point.seed, image, trial) alone, the
+// tallies are a pure function of the key within one environment, so cells
+// recovered from a previous (possibly killed) process are bit-identical to
+// re-executing them.
+//
+// Durability model: each cell is one fixed-size record (CRC'd over its
+// fields plus the environment hash) appended and flushed as the cell
+// finishes. A process killed mid-write leaves at most one torn trailing
+// record, which recovery detects (short read or CRC mismatch) and truncates
+// away; every earlier record is intact. A file whose header doesn't match
+// the environment is discarded wholesale — stale state is never served.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace winofault {
+
+struct JournalCell {
+  std::uint64_t point_hash = 0;
+  std::int64_t image = 0;
+  std::int64_t correct = 0;  // correct predictions over the point's trials
+  std::int64_t flips = 0;    // injected bit flips over the point's trials
+};
+
+class ResultJournal {
+ public:
+  // Opens (creating or recovering) the journal for environment `env_hash`
+  // under `dir`. Recovery loads every intact record; a corrupt header or
+  // torn tail is repaired in place.
+  ResultJournal(const std::string& dir, std::uint64_t env_hash);
+  ~ResultJournal();
+  ResultJournal(const ResultJournal&) = delete;
+  ResultJournal& operator=(const ResultJournal&) = delete;
+
+  // Finished cell for (point_hash, image) from a previous run, if any.
+  bool lookup(std::uint64_t point_hash, std::int64_t image,
+              JournalCell* cell = nullptr) const;
+
+  // Appends a finished cell and flushes it (thread-safe).
+  void append(const JournalCell& cell);
+
+  // False when the journal file could not be opened for appending (or a
+  // write failed): recovered cells are still served, but new cells will
+  // not persist — callers should not defer work expecting a resume.
+  bool can_append() const { return file_ != nullptr; }
+
+  std::int64_t recovered_cells() const {
+    return static_cast<std::int64_t>(cells_.size());
+  }
+  std::int64_t appended_cells() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  static std::string journal_path(const std::string& dir,
+                                  std::uint64_t env_hash);
+
+ private:
+  void recover_and_open();
+
+  std::string path_;
+  std::uint64_t env_hash_;
+  std::unordered_map<std::uint64_t, JournalCell> cells_;  // recovered
+  std::FILE* file_ = nullptr;                             // append handle
+  std::mutex mu_;
+  std::int64_t appended_ = 0;
+};
+
+}  // namespace winofault

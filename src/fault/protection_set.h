@@ -20,6 +20,7 @@ class ProtectionSet {
 
   double mul_fraction() const { return mul_fraction_; }
   double add_fraction() const { return add_fraction_; }
+  std::uint64_t salt() const { return salt_; }
   void set_mul_fraction(double f);
   void set_add_fraction(double f);
 

@@ -23,6 +23,11 @@ class Network;
 
 enum class InjectionMode { kOpLevel, kNeuronLevel };
 
+// NOTE: every field here is result-determining, so each is part of
+// campaign_point_hash (core/store/hash.cpp). Adding a field means updating
+// that hash — and bumping kCampaignSemanticsVersion if the field's default
+// changes existing behaviour — or persisted journals will silently replay
+// stale cells for configurations that differ only in the new field.
 struct FaultConfig {
   double ber = 0.0;
   InjectionMode mode = InjectionMode::kOpLevel;

@@ -33,7 +33,8 @@ class GoldenCache {
   }
 
  private:
-  friend class Network;  // filled by Network::make_golden
+  friend class Network;      // filled by Network::make_golden
+  friend class GoldenCodec;  // byte-exact (de)serialization (core/store)
 
   ConvPolicy policy_ = ConvPolicy::kDirect;
   std::vector<NodeOutput> acts_;  // per graph node, fault-free

@@ -16,6 +16,7 @@
 namespace winofault {
 
 class FaultSession;
+class Fnv64;
 
 // A produced activation: quantized values + their scale.
 struct NodeOutput {
@@ -40,6 +41,13 @@ class Layer {
   // True for layers carrying a convolution op space (conv / linear): the
   // targets of operation-level fault injection and TMR protection.
   virtual bool protectable() const { return false; }
+
+  // Folds the layer's learned parameters (quantized weights, bias) into
+  // `h` — Network::fingerprint support for the persistent campaign store.
+  // Weight content must be hashed directly: two networks can agree on
+  // every calibration scale and clean prediction yet diverge under fault
+  // injection. Parameterless layers contribute nothing.
+  virtual void hash_params(Fnv64& h) const {}
 
   // Output quantization for non-calibrated layers, derived from the input
   // params (e.g. ReLU keeps scale; Add covers the sum of ranges).

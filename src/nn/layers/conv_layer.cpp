@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "conv/direct_conv.h"
 #include "conv/fault_hook.h"
@@ -250,6 +251,19 @@ TensorI32 ConvLayer::replay_delta(const NodeOutput& in,
   }
   engine.apply_faults(desc_, data, sites, out);
   return out;
+}
+
+void ConvLayer::hash_params(Fnv64& h) const {
+  // Structural hyperparameters first: kernel/stride/pad are not derivable
+  // from node shapes (different (k, pad) pairs can give the same output
+  // size), so omitting them would let distinct networks hash identically.
+  h.i64(desc_.kh).i64(desc_.kw).i64(desc_.stride).i64(desc_.pad);
+  h.bytes(weights_q_.data(),
+          static_cast<std::size_t>(weights_q_.numel()) *
+              sizeof(std::int32_t));
+  h.f64(w_quant_.scale);
+  h.u64(bias_real_.size());
+  h.bytes(bias_real_.data(), bias_real_.size() * sizeof(float));
 }
 
 }  // namespace winofault

@@ -47,6 +47,8 @@ class ConvLayer final : public Layer {
 
   const ConvDesc& desc() const { return desc_; }
 
+  void hash_params(Fnv64& h) const override;
+
  private:
   // Assembles the engine-facing view for a given input activation.
   ConvData make_data(const NodeOutput& in, const QuantParams& out_quant,

@@ -30,6 +30,8 @@ class LinearLayer final : public Layer {
                            std::span<const FaultSite> sites,
                            const TensorI32* golden) const override;
 
+  void hash_params(Fnv64& h) const override { impl_->hash_params(h); }
+
  private:
   std::int64_t in_features_;
   std::int64_t out_features_;

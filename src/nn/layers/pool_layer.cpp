@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace winofault {
@@ -86,6 +87,10 @@ TensorI32 GlobalAvgPoolLayer::forward(std::span<const NodeOutput* const> ins,
         sum >= 0 ? (sum + count / 2) / count : -((-sum + count / 2) / count));
   }
   return out;
+}
+
+void PoolLayer::hash_params(Fnv64& h) const {
+  h.i64(kernel_).i64(stride_).i64(pad_);
 }
 
 }  // namespace winofault

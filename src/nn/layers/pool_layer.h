@@ -24,6 +24,11 @@ class PoolLayer final : public Layer {
                     const QuantParams& out_quant, ExecContext& ctx,
                     int prot_index) const override;
 
+  // Window hyperparameters are not derivable from node shapes (different
+  // (kernel, pad) pairs can give the same output size); the mode is
+  // already covered by kind().
+  void hash_params(Fnv64& h) const override;
+
  private:
   PoolMode mode_;
   std::int64_t kernel_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "fault/bitflip.h"
 #include "nn/fault_session.h"
@@ -420,6 +421,30 @@ OpSpace Network::total_op_space(ConvPolicy policy) const {
   for (int p = 0; p < num_protectable(); ++p)
     total += protectable_op_space(p, policy);
   return total;
+}
+
+std::uint64_t Network::fingerprint() const {
+  Fnv64 h;
+  h.str(name_).u8(static_cast<std::uint8_t>(dtype_));
+  h.i64(input_shape_.n)
+      .i64(input_shape_.c)
+      .i64(input_shape_.h)
+      .i64(input_shape_.w);
+  h.f64(input_quant_.scale);
+  h.i32(output_node_);
+  h.u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    h.str(node.layer ? node.layer->kind() : "input");
+    h.u64(node.inputs.size());
+    for (const int in : node.inputs) h.i32(in);
+    h.i64(node.shape.n).i64(node.shape.c).i64(node.shape.h).i64(node.shape.w);
+    h.f64(node.quant.scale).u8(static_cast<std::uint8_t>(node.quant.dtype));
+    h.i32(node.prot_index);
+    if (node.layer != nullptr) node.layer->hash_params(h);
+  }
+  h.u64(logit_offsets_.size());
+  for (const std::int32_t offset : logit_offsets_) h.i32(offset);
+  return h.digest();
 }
 
 std::vector<ConvDesc> Network::conv_descs() const {

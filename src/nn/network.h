@@ -85,6 +85,14 @@ class Network {
   int predict_replay(const GoldenCache& golden, FaultSession& session) const;
 
   // ---- Introspection ----
+  // Content fingerprint of the calibrated network: name, dtype, topology
+  // (per-node kind, fan-in, shape), every layer's learned parameters
+  // (quantized weights + bias, via Layer::hash_params), and the
+  // calibration signature (quantization scales, logit-centering offsets).
+  // Identity key of the persistent campaign store (core/store). Weights
+  // are hashed directly because clean-execution equivalence does not
+  // imply fault-injection equivalence.
+  std::uint64_t fingerprint() const;
   Shape input_shape() const { return input_shape_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   // Protectable (conv/linear) layers in execution order: the index space of

@@ -10,6 +10,9 @@
 //   (e) `trials` plumbs through the sweep/layerwise/explorer spec builders.
 #include <gtest/gtest.h>
 
+#include <future>
+#include <thread>
+
 #include "core/analysis/layer_vulnerability.h"
 #include "core/analysis/network_sweep.h"
 #include "core/campaign/campaign.h"
@@ -161,6 +164,73 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
     EXPECT_DOUBLE_EQ(serial.points[p].avg_flips,
                      parallel.points[p].avg_flips);
   }
+}
+
+// ---- (b') build-future dedup survives eviction mid-build ----
+
+// Two threads request an entry that a third evicts while its build is
+// still in flight: both waiters must resolve to the single build's pointer
+// (no duplicate build, no deadlock), and the eviction must only cost a
+// rebuild on the NEXT request.
+TEST(GoldenLru, ConcurrentWaitersSurviveEvictionMidBuild) {
+  GoldenLru lru(1);
+  std::atomic<int> x_builds{0};
+  std::promise<void> x_started;
+  std::promise<void> release_x;
+  std::shared_future<void> release = release_x.get_future().share();
+
+  const auto slow_build_x = [&] {
+    x_builds.fetch_add(1);
+    x_started.set_value();
+    release.wait();  // park the build until the evictor has run
+    return GoldenCache{};
+  };
+
+  GoldenLru::Ptr a_ptr, b_ptr, c_ptr;
+  std::thread a([&] {
+    a_ptr = lru.get_or_build(0, ConvPolicy::kDirect, slow_build_x);
+  });
+  x_started.get_future().wait();
+
+  // B and C attach to the in-flight build; each registers as a hit before
+  // blocking, so waiting on hits() == 2 guarantees they hold the future
+  // BEFORE the eviction below.
+  const auto must_not_build = [&]() -> GoldenCache {
+    ADD_FAILURE() << "dedup violated: waiter rebuilt an in-flight entry";
+    return GoldenCache{};
+  };
+  std::thread b([&] {
+    b_ptr = lru.get_or_build(0, ConvPolicy::kDirect, must_not_build);
+  });
+  std::thread c([&] {
+    c_ptr = lru.get_or_build(0, ConvPolicy::kDirect, must_not_build);
+  });
+  while (lru.hits() < 2) std::this_thread::yield();
+
+  // D inserts a different key into the capacity-1 cache, evicting X while
+  // its build is parked.
+  const GoldenLru::Ptr d_ptr =
+      lru.get_or_build(1, ConvPolicy::kDirect, [] { return GoldenCache{}; });
+  ASSERT_NE(d_ptr, nullptr);
+  EXPECT_EQ(lru.evictions(), 1);
+
+  release_x.set_value();
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_EQ(x_builds.load(), 1);  // one build served all three
+  ASSERT_NE(a_ptr, nullptr);
+  EXPECT_EQ(a_ptr, b_ptr);
+  EXPECT_EQ(a_ptr, c_ptr);
+
+  // X was evicted mid-build, so the next request rebuilds it — eviction
+  // cost a rebuild, never a wrong pointer.
+  lru.get_or_build(0, ConvPolicy::kDirect, [&] {
+    x_builds.fetch_add(1);
+    return GoldenCache{};
+  });
+  EXPECT_EQ(x_builds.load(), 2);
+  EXPECT_EQ(lru.builds(), 3);  // X twice, Y once
 }
 
 // ---- (d) destruction short-circuit boundary ----

@@ -1,0 +1,392 @@
+// Persistent-store guarantees (core/store):
+//   (a) a campaign killed at any point (simulated with cell_budget and with
+//       a torn journal tail) resumes to totals bit-identical to an
+//       uninterrupted in-RAM run;
+//   (b) an unchanged spec regenerates its results from the journal without
+//       executing anything; a changed grid re-runs only new/changed points;
+//   (c) changing the environment (network/dataset) or a point's
+//       result-determining fields invalidates exactly the affected state;
+//   (d) goldens restored from disk shards are byte-exact, and corrupt
+//       shards / garbage journals are rejected, never served.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/campaign/campaign.h"
+#include "core/store/golden_store.h"
+#include "core/store/hash.h"
+#include "core/store/journal.h"
+#include "nn/dataset.h"
+
+namespace winofault {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  Network net;
+  Dataset data;
+};
+
+Fixture make_fixture(int images = 8, std::uint64_t weight_seed = 83) {
+  Network net("store", DType::kInt16);
+  Rng rng(weight_seed);
+  int x = net.add_input(Shape{1, 3, 12, 12});
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 12, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 5, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 3, 19));
+  Dataset data = make_teacher_dataset(net, images, 5, 0.9, 27);
+  return Fixture{std::move(net), std::move(data)};
+}
+
+// Fresh store directory per test, under the gtest temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "winofault_store_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<CampaignPoint> small_grid() {
+  std::vector<CampaignPoint> points;
+  for (const double ber : {1e-7, 3e-6}) {
+    for (const ConvPolicy policy :
+         {ConvPolicy::kDirect, ConvPolicy::kWinograd2}) {
+      CampaignPoint point;
+      point.fault.ber = ber;
+      point.policy = policy;
+      point.seed = 7;
+      point.trials = 2;
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+void expect_same_results(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    EXPECT_DOUBLE_EQ(a.points[p].accuracy, b.points[p].accuracy)
+        << "point " << p;
+    EXPECT_DOUBLE_EQ(a.points[p].avg_flips, b.points[p].avg_flips)
+        << "point " << p;
+    EXPECT_EQ(a.points[p].images, b.points[p].images) << "point " << p;
+  }
+}
+
+// ---- (a) kill-mid-campaign resume ----
+
+TEST(Store, BudgetedResumeIsBitIdenticalToCleanRun) {
+  const Fixture f = make_fixture();
+  CampaignSpec clean;
+  clean.points = small_grid();
+  const CampaignResult reference = run_campaign(f.net, f.data, clean);
+
+  CampaignSpec stored = clean;
+  stored.store.dir = fresh_dir("budget_resume");
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.size() * stored.points.size());
+
+  // "Kill" the campaign twice by bounding executed cells, then finish.
+  stored.store.cell_budget = cells / 3;
+  const CampaignResult first = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(first.stats.journal_cells_written, cells / 3);
+  EXPECT_EQ(first.stats.cells_deferred, cells - cells / 3);
+
+  const CampaignResult second = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(second.stats.journal_cells_loaded, cells / 3);
+
+  stored.store.cell_budget = 0;
+  const CampaignResult finished = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(finished.stats.cells_deferred, 0);
+  EXPECT_EQ(finished.stats.journal_cells_loaded +
+                finished.stats.journal_cells_written,
+            cells);
+  expect_same_results(reference, finished);
+}
+
+TEST(Store, TornJournalTailIsTruncatedAndReExecuted) {
+  const Fixture f = make_fixture(6);
+  CampaignSpec clean;
+  clean.points = small_grid();
+  const CampaignResult reference = run_campaign(f.net, f.data, clean);
+
+  CampaignSpec stored = clean;
+  stored.store.dir = fresh_dir("torn_tail");
+  stored.store.spill_goldens = false;
+  const CampaignResult full = run_campaign(f.net, f.data, stored);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.size() * stored.points.size());
+  EXPECT_EQ(full.stats.journal_cells_written, cells);
+
+  // Simulate a process killed mid-append: half a record of garbage at the
+  // end of the journal.
+  const std::string path = ResultJournal::journal_path(
+      stored.store.dir, campaign_env_hash(f.net, f.data));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("TORNWRITE0123456789", 19);
+  }
+  const CampaignResult resumed = run_campaign(f.net, f.data, stored);
+  // Every intact record survives; only the torn tail is discarded.
+  EXPECT_EQ(resumed.stats.journal_cells_loaded, cells);
+  EXPECT_EQ(resumed.stats.journal_cells_written, 0);
+  expect_same_results(reference, resumed);
+}
+
+// ---- (b) incremental regeneration ----
+
+TEST(Store, UnchangedSpecRegeneratesWithoutExecuting) {
+  const Fixture f = make_fixture();
+  CampaignSpec stored;
+  stored.points = small_grid();
+  stored.store.dir = fresh_dir("regen");
+  const CampaignResult first = run_campaign(f.net, f.data, stored);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.size() * stored.points.size());
+  EXPECT_EQ(first.stats.journal_cells_written, cells);
+  EXPECT_GT(first.stats.inferences, 0);
+
+  const CampaignResult regen = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(regen.stats.journal_cells_loaded, cells);
+  EXPECT_EQ(regen.stats.journal_cells_written, 0);
+  EXPECT_EQ(regen.stats.inferences, 0);     // nothing executed
+  EXPECT_EQ(regen.stats.golden_builds, 0);  // not even a golden
+  expect_same_results(first, regen);
+}
+
+TEST(Store, ChangedGridReRunsOnlyNewPoints) {
+  const Fixture f = make_fixture(6);
+  CampaignSpec stored;
+  stored.points = small_grid();
+  stored.store.dir = fresh_dir("changed_grid");
+  run_campaign(f.net, f.data, stored);
+  const std::int64_t images = static_cast<std::int64_t>(f.data.size());
+
+  // Grow the grid by one point and change one existing point's seed: only
+  // those two points' cells execute.
+  CampaignSpec grown = stored;
+  grown.points[1].seed = 99;
+  CampaignPoint extra;
+  extra.fault.ber = 5e-7;
+  extra.seed = 7;
+  extra.trials = 2;
+  grown.points.push_back(extra);
+
+  const CampaignResult result = run_campaign(f.net, f.data, grown);
+  EXPECT_EQ(result.stats.journal_cells_loaded,
+            images * static_cast<std::int64_t>(small_grid().size() - 1));
+  EXPECT_EQ(result.stats.journal_cells_written, images * 2);
+
+  // The re-keyed and new points match fresh point-by-point evaluation.
+  EvalOptions changed;
+  changed.fault = grown.points[1].fault;
+  changed.policy = grown.points[1].policy;
+  changed.seed = grown.points[1].seed;
+  changed.trials = grown.points[1].trials;
+  const EvalResult expect_changed = evaluate(f.net, f.data, changed);
+  EXPECT_DOUBLE_EQ(result.points[1].accuracy, expect_changed.accuracy);
+
+  EvalOptions added;
+  added.fault = extra.fault;
+  added.seed = extra.seed;
+  added.trials = extra.trials;
+  const EvalResult expect_added = evaluate(f.net, f.data, added);
+  EXPECT_DOUBLE_EQ(result.points.back().accuracy, expect_added.accuracy);
+}
+
+// ---- (c) environment / spec-hash invalidation ----
+
+TEST(Store, DifferentNetworkNeverReusesJournalCells) {
+  const Fixture a = make_fixture(6, /*weight_seed=*/83);
+  const Fixture b = make_fixture(6, /*weight_seed=*/84);
+  ASSERT_NE(campaign_env_hash(a.net, a.data),
+            campaign_env_hash(b.net, b.data));
+
+  CampaignSpec spec;
+  spec.points = small_grid();
+  spec.store.dir = fresh_dir("env_invalidation");
+  run_campaign(a.net, a.data, spec);
+
+  const CampaignResult other = run_campaign(b.net, b.data, spec);
+  EXPECT_EQ(other.stats.journal_cells_loaded, 0);
+  // And b's results are exactly what b computes without any store.
+  CampaignSpec plain;
+  plain.points = spec.points;
+  expect_same_results(run_campaign(b.net, b.data, plain), other);
+}
+
+TEST(Store, PointHashCoversResultDeterminingFieldsOnly) {
+  CampaignPoint point;
+  point.fault.ber = 1e-6;
+  point.seed = 5;
+  const std::uint64_t base = campaign_point_hash(point);
+
+  CampaignPoint reseeded = point;
+  reseeded.seed = 6;
+  EXPECT_NE(campaign_point_hash(reseeded), base);
+  CampaignPoint retried = point;
+  retried.trials = 3;
+  EXPECT_NE(campaign_point_hash(retried), base);
+  CampaignPoint protectd = point;
+  protectd.fault.protection[0] = ProtectionSet(1.0, 0.5);
+  EXPECT_NE(campaign_point_hash(protectd), base);
+
+  // Fields that provably cannot change a cell's tallies do not invalidate
+  // finished work.
+  CampaignPoint tagged = point;
+  tagged.tag = "label";
+  tagged.reuse_golden = false;
+  tagged.max_expected_flips = 1.0;
+  EXPECT_EQ(campaign_point_hash(tagged), base);
+}
+
+TEST(Store, GarbageJournalFileIsDiscarded) {
+  const Fixture f = make_fixture(4);
+  CampaignSpec stored;
+  stored.points = small_grid();
+  stored.store.dir = fresh_dir("garbage_journal");
+  stored.store.spill_goldens = false;
+  fs::create_directories(stored.store.dir);
+  const std::string path = ResultJournal::journal_path(
+      stored.store.dir, campaign_env_hash(f.net, f.data));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a journal";
+  }
+  const CampaignResult result = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(result.stats.journal_cells_loaded, 0);
+  CampaignSpec plain;
+  plain.points = stored.points;
+  expect_same_results(run_campaign(f.net, f.data, plain), result);
+  // The rewritten journal is valid again: a rerun loads every cell.
+  const CampaignResult regen = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(regen.stats.journal_cells_loaded,
+            static_cast<std::int64_t>(f.data.size() * stored.points.size()));
+}
+
+// ---- (d) golden tier-2: byte-exact restore, corrupt-shard rejection ----
+
+TEST(Store, GoldenCodecRoundTripsByteExactly) {
+  const Fixture f = make_fixture(2);
+  for (const ConvPolicy policy :
+       {ConvPolicy::kDirect, ConvPolicy::kWinograd2}) {
+    const GoldenCache golden = f.net.make_golden(f.data.images[0], policy);
+    const std::optional<GoldenCache> back =
+        GoldenCodec::decode(GoldenCodec::encode(golden));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->policy(), golden.policy());
+    EXPECT_EQ(back->prediction(), golden.prediction());
+    EXPECT_EQ(back->logits(), golden.logits());
+    for (int node = 0; node < f.net.num_nodes(); ++node) {
+      EXPECT_EQ(back->node_output(node).tensor,
+                golden.node_output(node).tensor);
+      EXPECT_EQ(back->node_output(node).quant,
+                golden.node_output(node).quant);
+    }
+  }
+}
+
+TEST(Store, DiskRestoredGoldensKeepCampaignBitIdentical) {
+  const Fixture f = make_fixture();
+  CampaignSpec plain;
+  plain.points = small_grid();
+  plain.golden_capacity = 1;  // constant golden thrash
+  plain.threads = 1;
+  const CampaignResult reference = run_campaign(f.net, f.data, plain);
+
+  CampaignSpec stored = plain;
+  stored.store.dir = fresh_dir("disk_goldens");
+  stored.store.journal = false;  // force re-execution: isolate the tier-2
+  const CampaignResult cold = run_campaign(f.net, f.data, stored);
+  EXPECT_GT(cold.stats.golden_spills, 0);
+  EXPECT_GT(cold.stats.golden_restores, 0);  // within-run evict + restore
+  expect_same_results(reference, cold);
+
+  // A second run restores from the first run's shards instead of building.
+  const CampaignResult warm = run_campaign(f.net, f.data, stored);
+  EXPECT_LT(warm.stats.golden_builds, reference.stats.golden_builds);
+  EXPECT_GT(warm.stats.golden_restores, 0);
+  expect_same_results(reference, warm);
+}
+
+TEST(Store, CorruptShardIsRejectedAndRebuilt) {
+  const Fixture f = make_fixture(3);
+  const std::string dir = fresh_dir("corrupt_shard");
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const GoldenCache golden =
+      f.net.make_golden(f.data.images[0], ConvPolicy::kDirect);
+  {
+    GoldenStore store(dir, env, 1ULL << 30);
+    store.save(0, ConvPolicy::kDirect, golden);
+    ASSERT_TRUE(store.load(0, ConvPolicy::kDirect).has_value());
+  }
+
+  // Flip one payload byte: the CRC must reject the shard and delete it.
+  GoldenStore store(dir, env, 1ULL << 30);
+  const std::string shard = store.shard_path(0, ConvPolicy::kDirect);
+  {
+    std::fstream file(shard, std::ios::binary | std::ios::in | std::ios::out);
+    char byte = 0;
+    file.seekg(100);
+    file.get(byte);
+    file.seekp(100);
+    file.put(static_cast<char>(byte ^ 0x40));
+  }
+  EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+  EXPECT_EQ(store.rejects(), 1);
+  EXPECT_FALSE(fs::exists(shard));  // deleted so the rebuild respills
+
+  // A truncated shard is rejected the same way.
+  store.save(0, ConvPolicy::kDirect, golden);
+  fs::resize_file(shard, fs::file_size(shard) / 2);
+  EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+
+  // A corrupted payload_size in the (un-CRC'd) header must reject, never
+  // allocate: the size is bounded against the real file size.
+  store.save(0, ConvPolicy::kDirect, golden);
+  {
+    std::fstream file(shard, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t huge = ~0ULL;
+    file.seekp(32);  // ShardHeader::payload_size
+    file.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+
+  // A shard from a different environment is unreachable (different name),
+  // and a wrong-env header under the right name is rejected.
+  GoldenStore other(dir, env ^ 1, 1ULL << 30);
+  other.save(0, ConvPolicy::kDirect, golden);
+  fs::copy_file(other.shard_path(0, ConvPolicy::kDirect), shard,
+                fs::copy_options::overwrite_existing);
+  EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+}
+
+TEST(Store, GoldenDiskBudgetEvictsOldestShards) {
+  const Fixture f = make_fixture(4);
+  const std::string dir = fresh_dir("budget");
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const GoldenCache golden =
+      f.net.make_golden(f.data.images[0], ConvPolicy::kDirect);
+  const std::uint64_t one_shard =
+      GoldenCodec::encode(golden).size() + 64;  // payload + header slack
+
+  GoldenStore store(dir, env, 2 * one_shard);
+  store.save(0, ConvPolicy::kDirect, golden);
+  store.save(1, ConvPolicy::kDirect, golden);
+  store.save(2, ConvPolicy::kDirect, golden);  // evicts shard 0
+  EXPECT_GT(store.budget_evictions(), 0);
+  EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+  EXPECT_TRUE(store.load(2, ConvPolicy::kDirect).has_value());
+  EXPECT_LE(store.bytes_on_disk(), 2 * one_shard);
+}
+
+}  // namespace
+}  // namespace winofault
