@@ -28,8 +28,10 @@ std::int64_t corrupted_values(const TensorI32& a, const TensorI32& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  note_store_unused(parse_cli(argc, argv),
-                    "single-layer kernel study, no campaign to persist");
+  const CliOptions cli = parse_cli(argc, argv);
+  note_store_unused(cli, "single-layer kernel study, no campaign to persist");
+  reject_dist_cli(cli, argv[0],
+                  "single-layer kernel study, no campaign to distribute");
   const BenchEnv env = bench_env();
   // A mid-network VGG19 layer (64->64 at 8x8 under default width 0.25...
   // use the real shape scaled): 32 channels, 16x16.

@@ -14,6 +14,8 @@ using namespace winofault::bench;
 
 int main(int argc, char** argv) {
   const CliOptions cli = parse_cli(argc, argv);
+  reject_dist_cli(cli, argv[0],
+                  "tile-size ablation does not wire worker shards");
   const BenchEnv env = bench_env();
   ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
 

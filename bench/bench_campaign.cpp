@@ -93,8 +93,11 @@ double run_per_call(const Network& net, const Dataset& data,
 }  // namespace
 
 int main(int argc, char** argv) {
-  note_store_unused(parse_cli(argc, argv),
+  const CliOptions cli = parse_cli(argc, argv);
+  note_store_unused(cli,
                     "throughput A/B must execute every mode from scratch");
+  reject_dist_cli(cli, argv[0],
+                  "throughput A/B must execute every mode from scratch");
   const BenchEnv env = bench_env();
   const int trials = env_int("WINOFAULT_TRIALS", 100);
   ModelUnderTest m = make_model("vgg19", DType::kInt16, env);

@@ -61,8 +61,9 @@ std::vector<CampaignPoint> grid_points(const std::vector<double>& bers,
 }  // namespace
 
 int main(int argc, char** argv) {
-  note_store_unused(parse_cli(argc, argv),
-                    "bench_store times its own scratch store");
+  const CliOptions cli = parse_cli(argc, argv);
+  note_store_unused(cli, "bench_store times its own scratch store");
+  reject_dist_cli(cli, argv[0], "bench_store times its own scratch store");
   const BenchEnv env = bench_env();
   ModelUnderTest m = make_model("vgg19", DType::kInt16, env);
   const std::vector<double> bers = log_ber_grid(1e-9, 1e-7, 3);

@@ -12,10 +12,23 @@
 //                     core/store); also --store-dir
 //   WINOFAULT_CELL_BUDGET  execute at most N pending cells, then defer the
 //                     rest to the next resume (store runs only)
+//   WINOFAULT_CLAIM_STALE_MS  distributed runs: claims idle this long are
+//                     presumed abandoned and stolen (default 10000)
+//   WINOFAULT_DIST_DIE_SHARD / WINOFAULT_DIST_DIE_AFTER  CI kill switch:
+//                     worker DIE_SHARD SIGKILLs itself after DIE_AFTER
+//                     cells (crash simulation for the dist smoke)
 //
 // Command line (shared by every fig/bench binary via parse_cli):
 //   --out-dir DIR     write CSV/JSON outputs under DIR (default: cwd)
 //   --store-dir DIR   persistent campaign store directory
+//   --workers N       coordinator: fork N local workers of this binary
+//                     (--shard i/N each) over the store, wait, merge their
+//                     journal segments, then regenerate the figure from
+//                     the merged journal (requires --store-dir)
+//   --shard i/N       run as worker i of N (normally spawned by --workers;
+//                     also valid standalone for multi-host sharding over a
+//                     shared directory). Workers suppress CSV/JSON
+//                     emission — only the coordinator emits.
 // Unknown flags print a usage message and exit(2) instead of being
 // silently ignored.
 //
@@ -37,6 +50,9 @@
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "core/dist/dist.h"
+#include "core/dist/merge.h"
+#include "core/dist/worker_pool.h"
 #include "core/store/store.h"
 #include "nn/dataset.h"
 #include "nn/models/zoo.h"
@@ -55,22 +71,69 @@ inline std::string out_path(const std::string& name) {
   return dir.empty() ? name : dir + "/" + name;
 }
 
+// True when this process is a distributed worker (--shard i/N): it
+// contributes cells to the shared store but must not emit CSV/JSON — the
+// coordinator regenerates and emits after the merge.
+inline bool& worker_mode_ref() {
+  static bool worker = false;
+  return worker;
+}
+
+// Cells deferred by budgeted campaigns this run (satellite of the PARTIAL
+// contract): fig drivers accumulate wrapper-reported counts here via
+// note_partial; emit() marks the CSV and finish_figure() fails the exit
+// code when non-zero.
+inline std::int64_t& deferred_cells_ref() {
+  static std::int64_t cells = 0;
+  return cells;
+}
+
+inline void note_partial(std::int64_t cells_deferred) {
+  deferred_cells_ref() += cells_deferred;
+}
+
+// Exit code of a fig driver: 0 when complete, 3 when any campaign deferred
+// cells (PARTIAL output) — so CI and scripts cannot mistake a budgeted
+// checkpoint run for finished figures.
+inline int finish_figure() {
+  if (worker_mode_ref()) return 0;
+  if (deferred_cells_ref() > 0) {
+    std::fprintf(stderr,
+                 "PARTIAL RUN: %lld cells deferred by the cell budget; "
+                 "CSV output is marked, exit code 3 (resume with the same "
+                 "--store-dir to finish)\n",
+                 static_cast<long long>(deferred_cells_ref()));
+    return 3;
+  }
+  return 0;
+}
+
 // Command-line surface shared by all fig/bench drivers.
 struct CliOptions {
   std::string out_dir;
   std::string store_dir;
+  int workers = 0;      // --workers N: coordinator for N local workers
+  int shard_index = 0;  // --shard i/N: this process is worker i of N
+  int shard_count = 0;
 };
 
 inline void print_usage(const char* prog, std::FILE* to) {
   std::fprintf(
       to,
-      "usage: %s [--out-dir DIR] [--store-dir DIR]\n"
+      "usage: %s [--out-dir DIR] [--store-dir DIR] [--workers N | "
+      "--shard i/N]\n"
       "  --out-dir DIR    write CSV/JSON outputs under DIR (default: cwd)\n"
       "  --store-dir DIR  persistent campaign store: checkpoint/resume\n"
       "                   journal + golden spill-to-disk (also via the\n"
       "                   WINOFAULT_STORE environment variable)\n"
+      "  --workers N      distributed coordinator: fork N local workers\n"
+      "                   over the store, merge their journal segments,\n"
+      "                   regenerate the figure (requires a store dir)\n"
+      "  --shard i/N      run as distributed worker i of N over the store\n"
+      "                   (CSV/JSON emission suppressed)\n"
       "env knobs: WINOFAULT_IMAGES, WINOFAULT_FULL, WINOFAULT_SEED,\n"
-      "           WINOFAULT_WIDTH, WINOFAULT_STORE, WINOFAULT_CELL_BUDGET\n",
+      "           WINOFAULT_WIDTH, WINOFAULT_STORE, WINOFAULT_CELL_BUDGET,\n"
+      "           WINOFAULT_CLAIM_STALE_MS\n",
       prog);
 }
 
@@ -99,6 +162,8 @@ inline CliOptions parse_cli(int argc, char** argv) {
     }
     return false;
   };
+  std::string workers_value;
+  std::string shard_value;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
@@ -107,6 +172,8 @@ inline CliOptions parse_cli(int argc, char** argv) {
     }
     if (flag_value("--out-dir", i, &cli.out_dir)) continue;
     if (flag_value("--store-dir", i, &cli.store_dir)) continue;
+    if (flag_value("--workers", i, &workers_value)) continue;
+    if (flag_value("--shard", i, &shard_value)) continue;
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, argv[i]);
     print_usage(prog, stderr);
     std::exit(2);
@@ -114,6 +181,45 @@ inline CliOptions parse_cli(int argc, char** argv) {
   if (cli.store_dir.empty()) {
     cli.store_dir = env_string("WINOFAULT_STORE", "");
   }
+  if (!workers_value.empty()) {
+    char* end = nullptr;
+    cli.workers = static_cast<int>(std::strtol(workers_value.c_str(), &end,
+                                               10));
+    if (end == nullptr || *end != '\0' || cli.workers < 1) {
+      std::fprintf(stderr, "%s: --workers expects a positive integer, got "
+                           "'%s'\n",
+                   prog, workers_value.c_str());
+      std::exit(2);
+    }
+  }
+  if (!shard_value.empty()) {
+    int i = -1, n = 0, consumed = -1;
+    // %n pins the full-string match: "1/2x" must fail like "--workers 2x"
+    // does, not silently run as shard 1/2.
+    if (std::sscanf(shard_value.c_str(), "%d/%d%n", &i, &n, &consumed) != 2 ||
+        consumed != static_cast<int>(shard_value.size()) || n < 1 ||
+        i < 0 || i >= n) {
+      std::fprintf(stderr, "%s: --shard expects i/N with 0 <= i < N, got "
+                           "'%s'\n",
+                   prog, shard_value.c_str());
+      std::exit(2);
+    }
+    cli.shard_index = i;
+    cli.shard_count = n;
+  }
+  if (cli.workers > 0 && cli.shard_count > 0) {
+    std::fprintf(stderr, "%s: --workers (coordinator) and --shard (worker) "
+                         "are mutually exclusive\n",
+                 prog);
+    std::exit(2);
+  }
+  if ((cli.workers > 1 || cli.shard_count > 1) && cli.store_dir.empty()) {
+    std::fprintf(stderr, "%s: distributed execution needs a shared store: "
+                         "pass --store-dir (or WINOFAULT_STORE)\n",
+                 prog);
+    std::exit(2);
+  }
+  if (cli.shard_count > 1) worker_mode_ref() = true;
   if (!cli.out_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(cli.out_dir, ec);
@@ -140,6 +246,78 @@ inline StoreOptions store_options(const std::string& store_dir) {
   return options;
 }
 
+// DistOptions from the shared CLI/env surface: the worker's shard identity
+// plus the staleness knob and the CI crash-simulation switch.
+inline DistOptions dist_options(const CliOptions& cli) {
+  DistOptions dist;
+  dist.shard_index = cli.shard_index;
+  dist.shard_count = cli.shard_count;
+  // Set in the environment by the local coordinator before spawning: its
+  // workers split one machine. Hand-started shards (one per host) keep
+  // the whole host's threads.
+  dist.share_host = env_bool("WINOFAULT_DIST_SHARE_HOST", false);
+  dist.claim_stale_ms = env_int("WINOFAULT_CLAIM_STALE_MS", 10000);
+  if (dist.enabled() &&
+      env_int("WINOFAULT_DIST_DIE_SHARD", -1) == dist.shard_index) {
+    dist.die_after_cells = env_int("WINOFAULT_DIST_DIE_AFTER", 0);
+  }
+  return dist;
+}
+
+// Coordinator path (--workers N): fork N workers of this binary over the
+// shared store — each re-executes the driver with `--shard i/N`, claims
+// cost-weighted buckets of every campaign, and journals into its own
+// segment — then merge the segments into the canonical journals. On
+// return the caller proceeds as an ordinary single process: every cell is
+// journaled, so the figure regenerates without executing anything. A
+// worker that died (crash, kill) is only reported — survivors already
+// stole and re-executed its claims.
+inline void run_local_coordinator(CliOptions& cli) {
+  if (cli.workers <= 1) {
+    // --workers 1 degenerates to the ordinary single process — spawning
+    // one child would only add fork/exec and merge latency.
+    cli.workers = 0;
+    return;
+  }
+  const std::string exe = self_executable_path();
+  if (exe.empty()) {
+    std::fprintf(stderr,
+                 "--workers: cannot resolve own executable; running "
+                 "single-process\n");
+    cli.workers = 0;
+    return;
+  }
+  // Children inherit the validated configuration explicitly; --workers is
+  // replaced by --shard. Environment knobs inherit via the environment.
+  std::vector<std::string> args;
+  if (!cli.out_dir.empty()) {
+    args.push_back("--out-dir");
+    args.push_back(cli.out_dir);
+  }
+  args.push_back("--store-dir");
+  args.push_back(cli.store_dir);
+  std::printf("[dist] spawning %d local workers over %s\n", cli.workers,
+              cli.store_dir.c_str());
+  std::fflush(stdout);
+  // Local workers split this machine's cores (see dist_options).
+  ::setenv("WINOFAULT_DIST_SHARE_HOST", "1", 1);
+  int failed = 0;
+  for (const WorkerExit& we :
+       spawn_local_workers(exe, args, cli.workers)) {
+    if (!we.ok()) ++failed;
+  }
+  const MergeStats merge = merge_campaign_segments(cli.store_dir);
+  std::printf(
+      "[dist] %d/%d workers ok; merged %d segment(s): %lld new cell(s), "
+      "%lld duplicate(s), %d rejected, %d torn\n",
+      cli.workers - failed, cli.workers, merge.segments_merged,
+      static_cast<long long>(merge.cells_merged),
+      static_cast<long long>(merge.cells_duplicate), merge.segments_rejected,
+      merge.segments_torn);
+  std::fflush(stdout);
+  cli.workers = 0;
+}
+
 // For drivers with nothing to persist (raw-kernel ablations, A/B benches
 // that manage their own scratch stores): acknowledge an explicit store
 // request instead of silently ignoring it.
@@ -147,6 +325,19 @@ inline void note_store_unused(const CliOptions& cli, const char* why) {
   if (!cli.store_dir.empty()) {
     std::fprintf(stderr, "note: --store-dir/WINOFAULT_STORE ignored: %s\n",
                  why);
+  }
+}
+
+// For drivers that cannot distribute: accepting --workers would silently
+// do nothing and --shard would flip worker mode, suppressing the driver's
+// own CSV/JSON output with no coordinator to ever emit it. Fail loudly
+// instead, like any other unsupported flag.
+inline void reject_dist_cli(const CliOptions& cli, const char* prog,
+                            const char* why) {
+  if (cli.workers > 0 || cli.shard_count > 0) {
+    std::fprintf(stderr, "%s: --workers/--shard not supported: %s\n", prog,
+                 why);
+    std::exit(2);
   }
 }
 
@@ -175,6 +366,7 @@ struct FigureCtx {
   BenchEnv env;
   int figure = 0;
   std::string store_dir;  // "" => persistence disabled
+  DistOptions dist;       // worker shard identity (--shard i/N)
 
   std::uint64_t seed(int stream = 0) const {
     static constexpr int kBaseOffset[] = {0, 1, 2, 3, 4, 5, 7, 8};
@@ -185,16 +377,24 @@ struct FigureCtx {
   }
 
   // Store options for this figure's campaigns: journal + golden spill
-  // under store_dir (no-op when unset).
-  StoreOptions store() const { return store_options(store_dir); }
+  // under store_dir (no-op when unset), plus this worker's shard identity
+  // — every campaign the driver builds distributes automatically.
+  StoreOptions store() const {
+    StoreOptions options = store_options(store_dir);
+    options.dist = dist;
+    return options;
+  }
 };
 
 // argc/argv are mandatory: every fig driver must parse the shared CLI, or
 // --out-dir/--store-dir and the unknown-flag rejection would silently not
-// apply to it.
+// apply to it. A --workers coordinator forks its workers HERE — before the
+// driver builds models or spawns the thread pool — then continues
+// single-process against the merged store.
 inline FigureCtx figure_ctx(int figure, int argc, char** argv) {
-  const CliOptions cli = parse_cli(argc, argv);
-  return FigureCtx{bench_env(), figure, cli.store_dir};
+  CliOptions cli = parse_cli(argc, argv);
+  run_local_coordinator(cli);
+  return FigureCtx{bench_env(), figure, cli.store_dir, dist_options(cli)};
 }
 
 // Builds a zoo model plus its teacher-labeled dataset sized for this run.
@@ -220,10 +420,33 @@ inline ModelUnderTest make_model(const std::string& name, DType dtype,
 
 inline void emit(const Table& table, const std::string& title,
                  const std::string& csv_name) {
+  if (worker_mode_ref()) {
+    // Workers contribute cells, not figures: the coordinator emits after
+    // merging, and concurrent workers writing one CSV would race.
+    std::printf("[worker] %s: emission suppressed (coordinator emits)\n",
+                csv_name.c_str());
+    std::fflush(stdout);
+    return;
+  }
   std::printf("\n== %s ==\n%s", title.c_str(), table.to_aligned().c_str());
   const std::string path = out_path(csv_name + ".csv");
   if (table.write_csv(path)) {
-    std::printf("[csv] %s\n", path.c_str());
+    if (deferred_cells_ref() > 0) {
+      // Budgeted run: brand the CSV itself so no downstream consumer can
+      // mistake partial tallies for finished figures (note_partial +
+      // finish_figure carry the same signal to stderr and the exit code).
+      if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+        std::fprintf(f,
+                     "# PARTIAL: %lld cells deferred by cell budget; resume "
+                     "with the same --store-dir to finish\n",
+                     static_cast<long long>(deferred_cells_ref()));
+        std::fclose(f);
+      }
+      std::printf("[csv] %s (PARTIAL: %lld cells deferred)\n", path.c_str(),
+                  static_cast<long long>(deferred_cells_ref()));
+    } else {
+      std::printf("[csv] %s\n", path.c_str());
+    }
   }
   std::fflush(stdout);
 }
@@ -279,6 +502,11 @@ class JsonObject {
   }
 
   bool write(const std::string& name) const {
+    if (worker_mode_ref()) {
+      std::printf("[worker] %s: emission suppressed (coordinator emits)\n",
+                  name.c_str());
+      return true;
+    }
     const std::string path = out_path(name);
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;

@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
     options.store = ctx.store();
     configs.push_back(std::move(options));
   }
-  const auto curves = accuracy_sweeps(m.net, m.data, configs);
+  const SweepResult sweep = accuracy_sweeps(m.net, m.data, configs);
+  note_partial(sweep.stats.cells_deferred);
+  const auto& curves = sweep.curves;
 
   Table table({"ber", "exp_flips", "st_op_level", "wg_op_level",
                "st_neuron_level", "wg_neuron_level"});
@@ -65,5 +67,5 @@ int main(int argc, char** argv) {
       "max ST/WG separation: op-level %.1f pp, neuron-level %.1f pp "
       "(paper: op-level separates, neuron-level does not)\n",
       op_gap * 100, neuron_gap * 100);
-  return 0;
+  return finish_figure();
 }

@@ -32,10 +32,11 @@ int main(int argc, char** argv) {
       st.store = ctx.store();
       SweepOptions wg = st;
       wg.policy = ConvPolicy::kWinograd2;
-      const auto curves =
+      const SweepResult sweep =
           accuracy_sweeps(m.net, m.data, std::vector{st, wg});
-      const auto& st_curve = curves[0];
-      const auto& wg_curve = curves[1];
+      note_partial(sweep.stats.cells_deferred);
+      const auto& st_curve = sweep.curves[0];
+      const auto& wg_curve = sweep.curves[1];
       for (std::size_t i = 0; i < bers.size(); ++i) {
         const double improvement =
             wg_curve[i].accuracy - st_curve[i].accuracy;
@@ -54,5 +55,5 @@ int main(int argc, char** argv) {
        "fig2_network_sweep");
   std::printf("peak Winograd accuracy improvement: %.1f pp (paper: up to ~35 pp)\n",
               max_improvement * 100);
-  return 0;
+  return finish_figure();
 }

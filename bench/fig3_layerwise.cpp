@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   wg.policy = ConvPolicy::kWinograd2;
   const LayerwiseResult st_result = layer_vulnerability(m.net, m.data, st);
   const LayerwiseResult wg_result = layer_vulnerability(m.net, m.data, wg);
+  note_partial(st_result.cells_deferred + wg_result.cells_deferred);
 
   Table table({"fault_free_layer", "st_acc", "wg_acc", "st_base", "wg_base",
                "st_muls", "wg_muls"});
@@ -50,5 +51,5 @@ int main(int argc, char** argv) {
       "correlation(layer sensitivity, layer mul count) = %.2f "
       "(paper: sensitivity roughly tracks the mul profile)\n",
       pearson(st_acc, mul_counts));
-  return 0;
+  return finish_figure();
 }

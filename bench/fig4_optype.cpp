@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
         options.seed = ctx.seed();
         options.store = ctx.store();
         const OpTypeResult r = op_type_sensitivity(m.net, m.data, options);
+        note_partial(r.cells_deferred);
         min_mul_advantage =
             std::min(min_mul_advantage,
                      r.accuracy_mul_fault_free - r.accuracy_add_fault_free);
@@ -52,5 +53,5 @@ int main(int argc, char** argv) {
       "min (mul_ff - add_ff) across configs: %.1f pp "
       "(paper: muls are consistently the vulnerable type)\n",
       min_mul_advantage * 100);
-  return 0;
+  return finish_figure();
 }

@@ -36,12 +36,13 @@ int main(int argc, char** argv) {
   // reason plan_tmr zeroes the budget for its own accuracy checks. Cells
   // still journal, so a killed run resumes regardless.
   st_lw.store.cell_budget = 0;
-  const auto st_order =
-      vulnerability_order(layer_vulnerability(m.net, m.data, st_lw));
+  const LayerwiseResult st_analysis = layer_vulnerability(m.net, m.data, st_lw);
+  const auto st_order = vulnerability_order(st_analysis);
   LayerwiseOptions wg_lw = st_lw;
   wg_lw.policy = ConvPolicy::kWinograd2;
-  const auto wg_order =
-      vulnerability_order(layer_vulnerability(m.net, m.data, wg_lw));
+  const LayerwiseResult wg_analysis = layer_vulnerability(m.net, m.data, wg_lw);
+  const auto wg_order = vulnerability_order(wg_analysis);
+  note_partial(st_analysis.cells_deferred + wg_analysis.cells_deferred);
 
   const double st_full = full_tmr_ops(m.net, ConvPolicy::kDirect);
   Table table({"accuracy_goal", "st_overhead", "wo_aft_overhead",
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
     st_opts.step_fraction = ctx.env.full ? 0.05 : 0.15;
     st_opts.initial_protection = &st_warm;
     const TmrPlan st_plan = plan_tmr(m.net, m.data, st_opts);
+    note_partial(st_plan.cells_deferred);
     st_warm = st_plan.protection;
 
     TmrPlanOptions wg_opts = st_opts;
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
     wg_opts.layer_order = &wg_order;
     wg_opts.initial_protection = &wg_warm;
     const TmrPlan wg_plan = plan_tmr(m.net, m.data, wg_opts);
+    note_partial(wg_plan.cells_deferred);
     wg_warm = wg_plan.protection;
 
     const double st_ovh =
@@ -97,5 +100,5 @@ int main(int argc, char** argv) {
         "%.2f%% vs WG-Conv-W/O-AFT (paper: 61.21%% and 27.49%%)\n",
         100.0 * sum_vs_st / counted, 100.0 * sum_vs_wo / counted);
   }
-  return 0;
+  return finish_figure();
 }

@@ -23,11 +23,12 @@ int main(int argc, char** argv) {
   const auto grid = voltage_grid(0.82, 0.74, ctx.env.full ? 13 : 9);
   // Both policies' curves as one campaign over the whole grid.
   const ConvPolicy policies[] = {ConvPolicy::kDirect, ConvPolicy::kWinograd2};
-  const auto curves = accuracy_vs_voltage_multi(
+  const VoltageSweepResult sweep = accuracy_vs_voltage_multi(
       m.net, m.data, volt, policies, grid, ctx.seed(), /*threads=*/0,
       /*trials=*/1, ctx.store());
-  const auto& st = curves[0];
-  const auto& wg = curves[1];
+  note_partial(sweep.stats.cells_deferred);
+  const auto& st = sweep.curves[0];
+  const auto& wg = sweep.curves[1];
 
   Table table({"voltage_v", "ber", "st_acc", "wg_acc"});
   for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -49,5 +50,5 @@ int main(int argc, char** argv) {
       "lowest voltage within 5 pp of clean: ST-Conv %.3f V, WG-Conv %.3f V "
       "(paper: Winograd scales deeper)\n",
       v_st, v_wg);
-  return 0;
+  return finish_figure();
 }

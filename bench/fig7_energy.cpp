@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   const VoltageCurve wg_curve = measure_voltage_curve(
       m.net, m.data, model.voltage, ConvPolicy::kWinograd2, base.voltage_grid,
       base.seed, /*threads=*/0, /*trials=*/1, ctx.store());
+  note_partial(st_curve.cells_deferred + wg_curve.cells_deferred);
   const auto st_points = pick_voltages(m.net, model, st, st_curve);
   const auto wo_points = pick_voltages(m.net, model, wo, st_curve);
   const auto wa_points = pick_voltages(m.net, model, wa, wg_curve);
@@ -66,5 +67,5 @@ int main(int argc, char** argv) {
       "WG-Conv-W/O-AFT (paper: 42.89%% and 7.19%%)\n",
       100.0 * sum_vs_st / st_points.size(),
       100.0 * sum_vs_wo / wo_points.size());
-  return 0;
+  return finish_figure();
 }

@@ -33,10 +33,10 @@ int main() {
   st_sweep.trials = 4;
   SweepOptions wg_sweep = st_sweep;
   wg_sweep.policy = ConvPolicy::kWinograd2;
-  const auto curves =
+  const auto sweep =
       accuracy_sweeps(net, data, std::vector{st_sweep, wg_sweep});
-  const auto& st_curve = curves[0];
-  const auto& wg_curve = curves[1];
+  const auto& st_curve = sweep.curves[0];
+  const auto& wg_curve = sweep.curves[1];
 
   std::printf("%12s %10s %10s %12s\n", "BER", "ST acc", "WG acc", "flips/img");
   for (std::size_t i = 0; i < st_curve.size(); ++i) {

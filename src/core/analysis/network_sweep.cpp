@@ -27,13 +27,13 @@ CampaignSpec sweep_campaign(std::span<const SweepOptions> options) {
   return spec;
 }
 
-std::vector<std::vector<SweepPoint>> accuracy_sweeps(
-    const Network& network, const Dataset& dataset,
-    std::span<const SweepOptions> options) {
+SweepResult accuracy_sweeps(const Network& network, const Dataset& dataset,
+                            std::span<const SweepOptions> options) {
   const CampaignResult result =
       run_campaign(network, dataset, sweep_campaign(options));
-  std::vector<std::vector<SweepPoint>> curves;
-  curves.reserve(options.size());
+  SweepResult sweeps;
+  sweeps.stats = result.stats;
+  sweeps.curves.reserve(options.size());
   std::size_t next = 0;
   for (const SweepOptions& sweep : options) {
     std::vector<SweepPoint> curve;
@@ -42,15 +42,16 @@ std::vector<std::vector<SweepPoint>> accuracy_sweeps(
       const EvalResult& eval = result.points[next++];
       curve.push_back(SweepPoint{ber, eval.accuracy, eval.avg_flips});
     }
-    curves.push_back(std::move(curve));
+    sweeps.curves.push_back(std::move(curve));
   }
-  return curves;
+  return sweeps;
 }
 
 std::vector<SweepPoint> accuracy_sweep(const Network& network,
                                        const Dataset& dataset,
                                        const SweepOptions& options) {
-  return accuracy_sweeps(network, dataset, std::span(&options, 1)).front();
+  return accuracy_sweeps(network, dataset, std::span(&options, 1))
+      .curves.front();
 }
 
 std::vector<double> log_ber_grid(double lo, double hi, int points) {

@@ -35,14 +35,22 @@ std::vector<SweepPoint> accuracy_sweep(const Network& network,
                                        const Dataset& dataset,
                                        const SweepOptions& options);
 
+// Curves of a multi-configuration sweep plus the campaign stats they were
+// measured under. stats.cells_deferred != 0 flags PARTIAL curves from a
+// budgeted (cell_budget) run — consumers must mark their output and fail
+// their exit code instead of presenting the numbers as finished.
+struct SweepResult {
+  std::vector<std::vector<SweepPoint>> curves;  // parallel to options
+  CampaignStats stats;
+};
+
 // Several sweep configurations over one (network, dataset) executed as a
 // single campaign — e.g. Fig 1's four (policy, mode) curves or Fig 2's
 // ST/WG pair. Goldens are shared across every configuration with the same
 // policy, and the whole grid feeds the pool at once. Campaign-level knobs
 // (threads) come from the first configuration.
-std::vector<std::vector<SweepPoint>> accuracy_sweeps(
-    const Network& network, const Dataset& dataset,
-    std::span<const SweepOptions> options);
+SweepResult accuracy_sweeps(const Network& network, const Dataset& dataset,
+                            std::span<const SweepOptions> options);
 
 // The CampaignSpec a set of sweep configurations expands to (points ordered
 // configuration-major, then BER) — exposed for callers that want to merge

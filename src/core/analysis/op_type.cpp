@@ -27,6 +27,7 @@ OpTypeResult op_type_sensitivity(const Network& network,
   const CampaignResult campaign = run_campaign(network, dataset, spec);
 
   OpTypeResult result;
+  result.cells_deferred = campaign.stats.cells_deferred;
   result.accuracy_all_faulty = campaign.points[0].accuracy;
   result.accuracy_mul_fault_free = campaign.points[1].accuracy;
   result.accuracy_add_fault_free = campaign.points[2].accuracy;

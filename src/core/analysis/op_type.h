@@ -27,6 +27,10 @@ struct OpTypeResult {
   double accuracy_mul_fault_free = 0.0;
   // Faults only in muls => additions fault-free ("X-Conv-Add" curves).
   double accuracy_add_fault_free = 0.0;
+  // Non-zero when a budgeted (cell_budget) run deferred cells: the
+  // accuracies above are PARTIAL — mark downstream output and fail the
+  // exit code instead of presenting them as finished.
+  std::int64_t cells_deferred = 0;
 };
 
 OpTypeResult op_type_sensitivity(const Network& network,

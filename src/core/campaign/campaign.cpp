@@ -1,12 +1,24 @@
 #include "core/campaign/campaign.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <csignal>
 #include <optional>
+#include <random>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "core/dist/buckets.h"
+#include "core/dist/claim_board.h"
 #include "core/store/golden_store.h"
+#include "core/store/handle_cache.h"
 #include "core/store/hash.h"
 #include "core/store/journal.h"
 #include "fault/fault_model.h"
@@ -67,6 +79,140 @@ constexpr std::int64_t golden_key_image(std::uint64_t key) {
 }
 constexpr ConvPolicy golden_key_policy(std::uint64_t key) {
   return static_cast<ConvPolicy>(key & 0xff);
+}
+
+// Integer tallies of one (point, image) cell over the point's trials —
+// the unit both execution paths schedule and journal.
+JournalCell execute_cell(const Network& network, const Dataset& dataset,
+                         const CampaignPoint& point,
+                         std::uint64_t point_hash, std::int64_t i,
+                         GoldenLru& lru) {
+  const TensorF& image = dataset.images[static_cast<std::size_t>(i)];
+  const int label = dataset.labels[static_cast<std::size_t>(i)];
+  // Every (point, image, trial) derives its own fault stream, so the
+  // result is independent of the thread schedule, of reuse_golden, and of
+  // cache eviction/rebuild.
+  JournalCell cell;
+  cell.point_hash = point_hash;
+  cell.image = i;
+  if (point.reuse_golden) {
+    const GoldenLru::Ptr golden = lru.get_or_build(i, point.policy, [&] {
+      return network.make_golden(image, point.policy);
+    });
+    for (int t = 0; t < point.trials; ++t) {
+      FaultSession session(point.fault, fault_stream_seed(point.seed, i, t));
+      cell.correct += network.predict_replay(*golden, session) == label;
+      cell.flips += session.total_flips();
+    }
+  } else {
+    for (int t = 0; t < point.trials; ++t) {
+      FaultSession session(point.fault, fault_stream_seed(point.seed, i, t));
+      ExecContext ctx;
+      ctx.policy = point.policy;
+      ctx.session = &session;
+      cell.correct += network.predict(image, ctx) == label;
+      cell.flips += session.total_flips();
+    }
+  }
+  return cell;
+}
+
+// Relative execution cost of one (point, image) cell, for bucket balance
+// in distributed runs. Replay cost scales with injected fault sites (each
+// fault's dirty cone is recomputed), so expected flips per inference —
+// capped at the destruction threshold, past which points short-circuit —
+// is the dominant term; trials multiply. A heuristic: protection and
+// injection-mode details shift the constant, not the orders of magnitude
+// between a near-clean and a destruction-adjacent point.
+double cell_cost_weight(const Network& network, const CampaignPoint& point) {
+  const FaultModel model{point.fault.ber};
+  const double expected =
+      model.expected_flips(network.total_op_space(point.policy));
+  return (1.0 + std::min(expected, point.max_expected_flips)) *
+         static_cast<double>(std::max(point.trials, 1));
+}
+
+std::string sanitize_worker_tag(const std::string& tag) {
+  std::string out;
+  out.reserve(tag.size());
+  for (const char c : tag) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+      out += c;
+    }
+  }
+  // Stripping must not collapse distinct tags onto one segment file ("w.1"
+  // and "w:1" both sanitizing to "w1" would give two live workers the
+  // same exclusive-writer segment): mark a changed tag with a hash of the
+  // original so distinct inputs stay distinct.
+  if (!tag.empty() && out != tag) {
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "-x%08x",
+                  static_cast<unsigned>(Fnv64().bytes(tag.data(),
+                                                      tag.size())
+                                            .digest() &
+                                        0xffffffffu));
+    out += suffix;
+  }
+  return out;
+}
+
+// Default worker tag: pid alone is NOT unique across hosts sharing one
+// store directory (the hand-started --shard multi-host mode), and two
+// live workers sharing a tag would clobber each other's segment — so mix
+// in entropy once per process.
+std::string default_worker_tag() {
+  static const std::string tag = [] {
+    std::random_device rd;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "w%ld-%08x",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned>(rd()));
+    return std::string(buf);
+  }();
+  return tag;
+}
+
+// Short-circuit resolution shared by both execution paths: resolves
+// destruction points into `result` directly and returns the indices of
+// the points that actually schedule.
+std::vector<std::size_t> resolve_active_points(const Network& network,
+                                               const Dataset& dataset,
+                                               const CampaignSpec& spec,
+                                               CampaignResult* result) {
+  std::vector<std::size_t> active;
+  active.reserve(spec.points.size());
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    if (const auto sc =
+            destruction_short_circuit(network, dataset, spec.points[p])) {
+      result->points[p] = *sc;
+      ++result->stats.short_circuited_points;
+    } else {
+      active.push_back(p);
+    }
+  }
+  return active;
+}
+
+// Default GoldenLru capacity — ONE formula for both execution paths: the
+// wave working set (one entry per live (image, policy)) plus slack for
+// shards straddling a wave boundary.
+std::size_t default_golden_capacity(const std::vector<CampaignPoint>& points,
+                                    const std::vector<std::size_t>& active,
+                                    std::int64_t images, int threads) {
+  std::int64_t npol = 0;
+  bool seen[3] = {false, false, false};
+  for (const std::size_t p : active) {
+    if (points[p].reuse_golden && !seen[static_cast<int>(points[p].policy)]) {
+      seen[static_cast<int>(points[p].policy)] = true;
+      ++npol;
+    }
+  }
+  const std::int64_t wave_width =
+      std::min<std::int64_t>(images, std::max(threads, 1));
+  return std::max<std::size_t>(
+      static_cast<std::size_t>(wave_width * std::max<std::int64_t>(npol, 1) +
+                               threads),
+      2);
 }
 
 }  // namespace
@@ -178,10 +324,50 @@ GoldenLru::Ptr GoldenLru::get_or_build(
   return ptr;
 }
 
+std::int64_t GoldenLru::flush_to_store() {
+  if (store_ == nullptr) return 0;
+  std::vector<std::pair<Key, Ptr>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready.reserve(map_.size());
+    for (const auto& [key, entry] : map_) {
+      if (entry.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        continue;  // no in-flight builds at campaign end in practice
+      }
+      try {
+        if (Ptr p = entry.future.get()) ready.emplace_back(key, std::move(p));
+      } catch (...) {
+        // failed build: nothing to flush
+      }
+    }
+  }
+  for (const auto& [key, p] : ready) {
+    store_->save(golden_key_image(key), golden_key_policy(key), *p);
+  }
+  return static_cast<std::int64_t>(ready.size());
+}
+
+std::uint64_t CampaignRunner::env_hash() const {
+  std::uint64_t h = env_hash_.load(std::memory_order_acquire);
+  if (h == 0) {
+    h = campaign_env_hash(network_, dataset_);
+    env_hash_.store(h, std::memory_order_release);
+  }
+  return h;
+}
+
 CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   WF_CHECK(network_.calibrated());
   WF_CHECK(!dataset_.images.empty());
   for (const CampaignPoint& point : spec.points) WF_CHECK(point.trials >= 1);
+
+  if (spec.store.enabled() && spec.store.dist.enabled()) {
+    if (spec.store.journal) return run_distributed(spec);
+    WF_WARN << "campaign: distributed execution requires the result "
+               "journal; falling back to a local run";
+  }
+
   const int threads =
       spec.threads > 0 ? spec.threads : default_thread_count();
   const std::int64_t images =
@@ -194,50 +380,44 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   // of the (network, dataset) environment and of each point, so recovered
   // journal cells and restored goldens can never come from different
   // state than this campaign would compute.
-  std::optional<ResultJournal> journal;
-  std::optional<GoldenStore> golden_store;
+  std::shared_ptr<ResultJournal> journal;
+  std::shared_ptr<GoldenStore> golden_store;
   std::vector<std::uint64_t> point_hashes;
   if (spec.store.enabled()) {
-    const std::uint64_t env = campaign_env_hash(network_, dataset_);
+    const std::uint64_t env = env_hash();
     point_hashes.resize(spec.points.size());
     for (std::size_t p = 0; p < spec.points.size(); ++p) {
       point_hashes[p] = campaign_point_hash(spec.points[p]);
     }
-    if (spec.store.journal) journal.emplace(spec.store.dir, env);
-    if (spec.store.spill_goldens) {
-      golden_store.emplace(spec.store.dir, env,
-                           spec.store.golden_disk_budget);
-    }
-  }
-
-  // Resolve destruction short-circuits up front; only surviving points are
-  // scheduled.
-  std::vector<std::size_t> active;
-  active.reserve(spec.points.size());
-  for (std::size_t p = 0; p < spec.points.size(); ++p) {
-    if (const auto sc =
-            destruction_short_circuit(network_, dataset_, spec.points[p])) {
-      result.points[p] = *sc;
-      ++result.stats.short_circuited_points;
+    if (spec.store.reuse_handles) {
+      const StoreHandles handles = acquire_store_handles(spec.store, env);
+      journal = handles.journal;
+      golden_store = handles.goldens;
     } else {
-      active.push_back(p);
-    }
-  }
-  if (active.empty()) return result;
-
-  // Distinct policies among the scheduled reuse-golden points: the number
-  // of golden builds one image can need at once.
-  std::int64_t npol = 0;
-  {
-    bool seen[3] = {false, false, false};
-    for (const std::size_t p : active) {
-      const CampaignPoint& point = spec.points[p];
-      if (point.reuse_golden && !seen[static_cast<int>(point.policy)]) {
-        seen[static_cast<int>(point.policy)] = true;
-        ++npol;
+      if (spec.store.journal) {
+        journal = std::make_shared<ResultJournal>(spec.store.dir, env);
+      }
+      if (spec.store.spill_goldens) {
+        golden_store = std::make_shared<GoldenStore>(
+            spec.store.dir, env, spec.store.golden_disk_budget);
       }
     }
   }
+
+  // Reused (cached) handles carry activity from earlier campaigns in this
+  // process; per-run accounting is relative to these baselines.
+  const std::int64_t journal_base =
+      journal != nullptr ? journal->appended_cells() : 0;
+  const std::int64_t spills_base =
+      golden_store != nullptr ? golden_store->spills() : 0;
+  const std::int64_t restores_base =
+      golden_store != nullptr ? golden_store->restores() : 0;
+
+  // Resolve destruction short-circuits up front; only surviving points are
+  // scheduled.
+  const std::vector<std::size_t> active =
+      resolve_active_points(network_, dataset_, spec, &result);
+  if (active.empty()) return result;
 
   // Wave width: how many images are "live" at once. Concurrent shards land
   // on distinct images of the wave, so golden builds parallelize across
@@ -245,18 +425,11 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   const std::int64_t wave_width =
       std::min<std::int64_t>(images, std::max(threads, 1));
 
-  // Default golden capacity: the wave's working set (one entry per live
-  // (image, policy)) plus slack for shards straddling a wave boundary.
   const std::size_t capacity =
       spec.golden_capacity > 0
           ? spec.golden_capacity
-          : std::max<std::size_t>(
-                static_cast<std::size_t>(wave_width * std::max<std::int64_t>(
-                                                          npol, 1) +
-                                         threads),
-                2);
-  GoldenLru lru(capacity,
-                golden_store.has_value() ? &*golden_store : nullptr);
+          : default_golden_capacity(spec.points, active, images, threads);
+  GoldenLru lru(capacity, golden_store.get());
 
   // Per-active-point tallies; integer sums make the result independent of
   // the schedule.
@@ -285,7 +458,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
     const std::int64_t wave_end = std::min(images, wave + wave_width);
     for (std::size_t a = 0; a < active.size(); ++a) {
       for (std::int64_t i = wave; i < wave_end; ++i) {
-        if (journal.has_value()) {
+        if (journal != nullptr) {
           JournalCell cell;
           if (journal->lookup(point_hashes[active[a]], i, &cell)) {
             correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
@@ -302,7 +475,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   // the deferred cells: without one (store disabled, or the journal file
   // unwritable) a truncated run could never be resumed, so the budget
   // would silently lose cells instead of checkpointing them.
-  if (journal.has_value() && journal->can_append() &&
+  if (journal != nullptr && journal->can_append() &&
       spec.store.cell_budget > 0 &&
       static_cast<std::int64_t>(units.size()) > spec.store.cell_budget) {
     result.stats.cells_deferred =
@@ -321,41 +494,13 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
                [&](std::int64_t u) {
     const std::int64_t i = units[static_cast<std::size_t>(u)].image;
     const std::size_t a = units[static_cast<std::size_t>(u)].a;
-    const CampaignPoint& point = spec.points[active[a]];
-    const TensorF& image = dataset_.images[static_cast<std::size_t>(i)];
-    const int label = dataset_.labels[static_cast<std::size_t>(i)];
-    // Every (point, image, trial) derives its own fault stream, so the
-    // result is independent of the thread schedule, of reuse_golden, and of
-    // cache eviction/rebuild.
-    std::int64_t local_correct = 0;
-    std::int64_t local_flips = 0;
-    if (point.reuse_golden) {
-      const GoldenLru::Ptr golden = lru.get_or_build(i, point.policy, [&] {
-        return network_.make_golden(image, point.policy);
-      });
-      for (int t = 0; t < point.trials; ++t) {
-        FaultSession session(point.fault,
-                             fault_stream_seed(point.seed, i, t));
-        local_correct += network_.predict_replay(*golden, session) == label;
-        local_flips += session.total_flips();
-      }
-    } else {
-      for (int t = 0; t < point.trials; ++t) {
-        FaultSession session(point.fault,
-                             fault_stream_seed(point.seed, i, t));
-        ExecContext ctx;
-        ctx.policy = point.policy;
-        ctx.session = &session;
-        local_correct += network_.predict(image, ctx) == label;
-        local_flips += session.total_flips();
-      }
-    }
-    if (journal.has_value()) {
-      journal->append(
-          JournalCell{point_hashes[active[a]], i, local_correct, local_flips});
-    }
-    correct[a].fetch_add(local_correct, std::memory_order_relaxed);
-    flips[a].fetch_add(local_flips, std::memory_order_relaxed);
+    const std::size_t p = active[a];
+    const JournalCell cell =
+        execute_cell(network_, dataset_, spec.points[p],
+                     point_hashes.empty() ? 0 : point_hashes[p], i, lru);
+    if (journal != nullptr) journal->append(cell);
+    correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
+    flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
   });
 
   for (std::size_t a = 0; a < active.size(); ++a) {
@@ -370,16 +515,401 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   for (const Unit& unit : units) {
     result.stats.inferences += spec.points[active[unit.a]].trials;
   }
+  result.stats.golden_flushed = lru.flush_to_store();
   result.stats.golden_builds = lru.builds();
   result.stats.golden_hits = lru.hits();
   result.stats.golden_evictions = lru.evictions();
-  if (journal.has_value()) {
-    result.stats.journal_cells_written = journal->appended_cells();
+  if (journal != nullptr) {
+    result.stats.journal_cells_written =
+        journal->appended_cells() - journal_base;
   }
-  if (golden_store.has_value()) {
-    result.stats.golden_spills = golden_store->spills();
-    result.stats.golden_restores = golden_store->restores();
+  if (golden_store != nullptr) {
+    result.stats.golden_spills = golden_store->spills() - spills_base;
+    result.stats.golden_restores = golden_store->restores() - restores_base;
   }
+  return result;
+}
+
+// Distributed execution (core/dist). This process is worker shard_index of
+// shard_count sharing spec.store.dir. Protocol per campaign:
+//
+//   1. Pending cells are derived from the *canonical* journal alone
+//      (opened read-only — only the coordinator's merge writes it), so
+//      every worker computes the identical pending set, bucket partition,
+//      and claim-board key without communicating.
+//   2. Buckets are claimed through the board (atomic link), executed with
+//      this worker's thread share, and every finished cell is appended to
+//      this worker's own segment — no cross-process contention on the hot
+//      path. Claims are heartbeaten as cells finish; stale claims of dead
+//      workers are stolen and their buckets re-executed (duplicate cells
+//      are identical by determinism).
+//   3. When every bucket is done, the worker assembles the full result
+//      from canonical cells + the union of all segments. The totals are
+//      integer sums of deterministic cells, so the assembled result is
+//      bit-identical to a single-process run (tests/dist_test.cpp).
+CampaignResult CampaignRunner::run_distributed(
+    const CampaignSpec& spec) const {
+  const DistOptions& dist = spec.store.dist;
+  WF_CHECK(dist.shard_index >= 0 && dist.shard_index < dist.shard_count);
+  const std::uint64_t env = env_hash();
+  std::string tag = sanitize_worker_tag(dist.worker_tag);
+  if (tag.empty()) tag = default_worker_tag();
+
+  // Workers of a local coordinator run side by side on one machine and
+  // split it evenly; a hand-started shard on its own host uses all of it.
+  const int threads =
+      spec.threads > 0
+          ? spec.threads
+          : (dist.share_host
+                 ? std::max(1, default_thread_count() / dist.shard_count)
+                 : default_thread_count());
+
+  CampaignResult result;
+  result.points.resize(spec.points.size());
+
+  std::vector<std::uint64_t> point_hashes(spec.points.size());
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    point_hashes[p] = campaign_point_hash(spec.points[p]);
+  }
+
+  const std::vector<std::size_t> active =
+      resolve_active_points(network_, dataset_, spec, &result);
+  if (active.empty()) return result;
+
+  if (spec.store.cell_budget > 0) {
+    WF_WARN << "campaign: cell_budget is ignored under distributed "
+               "execution (workers cooperate to finish every cell)";
+  }
+
+  // Canonical journal, read-only: workers never write it (the merge step
+  // owns it), so N workers can recover it concurrently without racing on
+  // its repair path.
+  std::shared_ptr<ResultJournal> canonical;
+  std::shared_ptr<GoldenStore> golden_store;
+  if (spec.store.reuse_handles) {
+    const StoreHandles handles = acquire_store_handles(
+        spec.store, env, ResultJournal::Mode::kReadOnly);
+    canonical = handles.journal;
+    golden_store = handles.goldens;
+  } else {
+    canonical = std::make_shared<ResultJournal>(
+        spec.store.dir, env, ResultJournal::Mode::kReadOnly);
+    if (spec.store.spill_goldens) {
+      golden_store = std::make_shared<GoldenStore>(
+          spec.store.dir, env, spec.store.golden_disk_budget);
+    }
+  }
+  // Reused (cached) handles carry activity from earlier campaigns in this
+  // process; per-run accounting is relative to these baselines.
+  const std::int64_t spills_base =
+      golden_store != nullptr ? golden_store->spills() : 0;
+  const std::int64_t restores_base =
+      golden_store != nullptr ? golden_store->restores() : 0;
+
+  // Pending units, image-major: contiguous bucket slices then cover a few
+  // images across all their points, so one golden per (image, policy)
+  // serves a whole slice.
+  const std::int64_t images =
+      static_cast<std::int64_t>(dataset_.images.size());
+  struct Unit {
+    std::int64_t image;
+    std::uint32_t a;
+  };
+  std::vector<Unit> pending;
+  std::vector<std::uint64_t> pending_keys;
+  std::vector<std::atomic<std::int64_t>> correct(active.size());
+  std::vector<std::atomic<std::int64_t>> flips(active.size());
+  for (std::int64_t i = 0; i < images; ++i) {
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      JournalCell cell;
+      if (canonical->lookup(point_hashes[active[a]], i, &cell)) {
+        correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
+        flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
+        ++result.stats.journal_cells_loaded;
+        continue;
+      }
+      pending.push_back(Unit{i, static_cast<std::uint32_t>(a)});
+      pending_keys.push_back(
+          journal_cell_key(point_hashes[active[a]], i));
+    }
+  }
+
+  const auto finalize = [&](GoldenLru* lru, std::int64_t cells_written) {
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const CampaignPoint& point = spec.points[active[a]];
+      const double inferences = static_cast<double>(images) *
+                                static_cast<double>(point.trials);
+      EvalResult& r = result.points[active[a]];
+      r.images = static_cast<int>(images);
+      r.accuracy = static_cast<double>(correct[a].load()) / inferences;
+      r.avg_flips = static_cast<double>(flips[a].load()) / inferences;
+    }
+    if (lru != nullptr) {
+      result.stats.golden_flushed = lru->flush_to_store();
+      result.stats.golden_builds = lru->builds();
+      result.stats.golden_hits = lru->hits();
+      result.stats.golden_evictions = lru->evictions();
+    }
+    result.stats.journal_cells_written = cells_written;
+    if (golden_store != nullptr) {
+      result.stats.golden_spills = golden_store->spills() - spills_base;
+      result.stats.golden_restores =
+          golden_store->restores() - restores_base;
+    }
+  };
+  if (pending.empty()) {
+    finalize(nullptr, 0);
+    return result;
+  }
+
+  // Cost-aware buckets + claim board: identical in every worker because
+  // both derive from the canonical pending set alone.
+  std::vector<double> point_weight(active.size());
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    point_weight[a] = cell_cost_weight(network_, spec.points[active[a]]);
+  }
+  std::vector<double> weights(pending.size());
+  for (std::size_t u = 0; u < pending.size(); ++u) {
+    weights[u] = point_weight[pending[u].a];
+  }
+  const std::size_t target_buckets =
+      std::min(pending.size(),
+               static_cast<std::size_t>(dist.shard_count) *
+                   static_cast<std::size_t>(
+                       std::max(dist.buckets_per_worker, 1)));
+  const std::vector<CostBucket> buckets =
+      make_cost_buckets(weights, target_buckets);
+  const int bucket_count = static_cast<int>(buckets.size());
+  ClaimBoard board(spec.store.dir,
+                   dist_board_key(env, pending_keys, buckets.size()), tag,
+                   dist.claim_stale_ms);
+
+  // This worker's own journal segment. If it cannot take appends, claimed
+  // work would be lost to every other worker — degrade to a local run of
+  // all pending cells (correct, just not cooperative). Cached under
+  // reuse_handles so a sequential-adaptive consumer (TMR planner checks)
+  // does not re-read its own growing segment per campaign.
+  std::shared_ptr<ResultJournal> segment;
+  if (spec.store.reuse_handles) {
+    segment = acquire_store_handles(spec.store, env,
+                                    ResultJournal::Mode::kAppend, tag)
+                  .journal;
+  }
+  if (segment == nullptr) {
+    segment = std::make_shared<ResultJournal>(
+        spec.store.dir, env, ResultJournal::Mode::kAppend, tag);
+  }
+  // A reused handle carries appends from earlier campaigns; all per-run
+  // accounting below is relative to this baseline.
+  const std::int64_t segment_base = segment->appended_cells();
+  const std::size_t capacity =
+      spec.golden_capacity > 0
+          ? spec.golden_capacity
+          : default_golden_capacity(spec.points, active, images, threads);
+  GoldenLru lru(capacity, golden_store.get());
+
+  std::atomic<std::int64_t> executed{0};
+  std::atomic<std::int64_t> inferences{0};
+  std::atomic<std::int64_t> last_heartbeat_ms{0};
+  const auto now_ms = [] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  const auto execute_unit = [&](const Unit& unit) {
+    const std::size_t p = active[unit.a];
+    const JournalCell cell = execute_cell(
+        network_, dataset_, spec.points[p], point_hashes[p], unit.image, lru);
+    segment->append(cell);  // no-op if the segment is unwritable
+    inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
+    const std::int64_t n =
+        executed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (dist.die_after_cells > 0 && n >= dist.die_after_cells) {
+      // Deterministic crash simulation for tests/CI: die exactly like a
+      // kill -9 — no cleanup, claims left to go stale and be stolen.
+      WF_WARN << "campaign: worker " << tag << " self-SIGKILL after "
+              << dist.die_after_cells << " cells (die_after_cells)";
+      std::raise(SIGKILL);
+    }
+    return cell;
+  };
+  const auto execute_bucket = [&](int b) {
+    const CostBucket& bucket = buckets[static_cast<std::size_t>(b)];
+    last_heartbeat_ms.store(now_ms(), std::memory_order_relaxed);
+    parallel_for(static_cast<std::int64_t>(bucket.end - bucket.begin),
+                 threads, [&](std::int64_t k) {
+      // Freshen the claim BEFORE the (possibly long) cell so the mtime is
+      // at worst one cell old; rate-limited to a fraction of the
+      // staleness window. A single cell longer than claim_stale_ms can
+      // still be presumed abandoned and stolen — wasted duplicate work,
+      // never divergence — so size the window above the heaviest cell.
+      const std::int64_t now = now_ms();
+      std::int64_t last = last_heartbeat_ms.load(std::memory_order_relaxed);
+      if (now - last >= std::max<std::int64_t>(dist.claim_stale_ms / 4, 1) &&
+          last_heartbeat_ms.compare_exchange_strong(last, now)) {
+        board.heartbeat(b);
+      }
+      execute_unit(pending[bucket.begin + static_cast<std::size_t>(k)]);
+    });
+  };
+
+  if (!segment->can_append()) {
+    WF_WARN << "campaign: worker segment " << segment->path()
+            << " is unwritable; executing all pending cells locally "
+               "(results stay correct but are not shared)";
+    // Same per-cell bookkeeping (execution counter, die switch) as the
+    // cooperative path, but tallied directly — there is no assembly pass
+    // down here.
+    parallel_for(static_cast<std::int64_t>(pending.size()), threads,
+                 [&](std::int64_t u) {
+      const Unit& unit = pending[static_cast<std::size_t>(u)];
+      const JournalCell cell = execute_unit(unit);
+      correct[unit.a].fetch_add(cell.correct, std::memory_order_relaxed);
+      flips[unit.a].fetch_add(cell.flips, std::memory_order_relaxed);
+    });
+    result.stats.dist_cells_executed = executed.load();
+    result.stats.inferences = inferences.load();
+    finalize(&lru, 0);
+    return result;
+  }
+
+  // Claim / steal / wait until every bucket is done. `order` rotates the
+  // heaviest-first preference per shard so workers fan out instead of
+  // racing on the same bucket.
+  const std::vector<int> order =
+      bucket_claim_order(buckets, dist.shard_index, dist.shard_count);
+  int fruitless_rounds = 0;  // no progress AND no live claim anywhere
+  while (true) {
+    int done = 0;
+    bool progressed = false;
+    for (const int b : order) {
+      if (board.is_done(b)) {
+        ++done;
+        continue;
+      }
+      if (board.try_claim(b)) {
+        execute_bucket(b);
+        board.mark_done(b);
+        ++result.stats.dist_buckets_claimed;
+        ++done;
+        progressed = true;
+      }
+    }
+    if (done >= bucket_count) break;
+    if (!progressed) {
+      // Every unfinished bucket is claimed by a rival: steal the stale
+      // ones (dead workers), otherwise wait for the live ones.
+      for (const int b : order) {
+        if (!board.is_done(b) && board.try_steal(b)) {
+          execute_bucket(b);
+          board.mark_done(b);
+          ++result.stats.dist_buckets_claimed;
+          ++result.stats.dist_buckets_stolen;
+          progressed = true;
+        }
+      }
+    }
+    if (!progressed) {
+      // Liveness guard: if our claims fail while NO unfinished bucket has
+      // a claim either, nobody can be making progress — the board is
+      // unusable (directory uncreatable, or deleted out from under live
+      // workers by a premature merge). Waiting would hang forever;
+      // execute the remainder non-cooperatively instead (duplicate work
+      // at worst, never divergence).
+      bool any_claim = false;
+      for (const int b : order) {
+        if (!board.is_done(b) && board.has_claim(b)) {
+          any_claim = true;
+          break;
+        }
+      }
+      fruitless_rounds = any_claim ? 0 : fruitless_rounds + 1;
+      if (!board.usable() || fruitless_rounds >= 3) {
+        WF_WARN << "campaign: claim board " << board.dir()
+                << " is unusable; executing remaining buckets without "
+                   "coordination";
+        for (const int b : order) {
+          if (board.is_done(b)) continue;
+          execute_bucket(b);
+          board.mark_done(b);  // best-effort
+          ++result.stats.dist_buckets_claimed;
+        }
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<std::int64_t>(dist.poll_ms, 1)));
+    }
+  }
+
+  // Assembly: every pending cell is durable in some segment (done markers
+  // imply flushed appends). Own cells first — everything this worker
+  // executed is already in its segment handle's in-memory map, no disk —
+  // then rival segments (and leftovers of crashed workers of earlier
+  // generations) only for the cells still unaccounted for. A worker that
+  // executed everything, and a sequential-adaptive consumer re-entering
+  // with a cached segment handle, never re-read the directory.
+  std::vector<std::size_t> unresolved;
+  for (std::size_t u = 0; u < pending.size(); ++u) {
+    const Unit& unit = pending[u];
+    JournalCell cell;
+    if (segment->lookup(point_hashes[active[unit.a]], unit.image, &cell)) {
+      correct[unit.a].fetch_add(cell.correct, std::memory_order_relaxed);
+      flips[unit.a].fetch_add(cell.flips, std::memory_order_relaxed);
+    } else {
+      unresolved.push_back(u);
+    }
+  }
+  std::vector<Unit> missing;
+  if (!unresolved.empty()) {
+    std::unordered_map<std::uint64_t, JournalCell> durable;
+    for (const ResultJournal::SegmentRef& seg :
+         ResultJournal::list_segments(spec.store.dir)) {
+      if (seg.env_hash != env || seg.path == segment->path()) continue;
+      std::vector<JournalCell> cells;
+      if (!ResultJournal::read_cells(seg.path, env, &cells)) continue;
+      for (const JournalCell& cell : cells) {
+        durable.emplace(journal_cell_key(cell.point_hash, cell.image), cell);
+      }
+    }
+    for (const std::size_t u : unresolved) {
+      const Unit& unit = pending[u];
+      const auto it = durable.find(pending_keys[u]);
+      // journal_cell_key is a lossy 64-bit hash: verify the full identity
+      // (as ResultJournal::lookup does) so a key collision counts as
+      // missing and self-heals instead of tallying the wrong cell.
+      if (it == durable.end() ||
+          it->second.point_hash != point_hashes[active[unit.a]] ||
+          it->second.image != unit.image) {
+        missing.push_back(unit);
+        continue;
+      }
+      correct[unit.a].fetch_add(it->second.correct,
+                                std::memory_order_relaxed);
+      flips[unit.a].fetch_add(it->second.flips, std::memory_order_relaxed);
+    }
+  }
+  result.stats.dist_cells_recovered =
+      static_cast<std::int64_t>(unresolved.size() - missing.size());
+  if (!missing.empty()) {
+    // Self-heal: a done marker without durable cells (e.g. a segment hit
+    // disk-full after its bucket was marked) — execute the gap locally.
+    WF_WARN << "campaign: " << missing.size()
+            << " cell(s) missing from every segment; re-executing locally";
+    for (const Unit& unit : missing) {
+      const std::size_t p = active[unit.a];
+      const JournalCell cell = execute_cell(network_, dataset_,
+                                            spec.points[p], point_hashes[p],
+                                            unit.image, lru);
+      segment->append(cell);
+      inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
+      correct[unit.a].fetch_add(cell.correct, std::memory_order_relaxed);
+      flips[unit.a].fetch_add(cell.flips, std::memory_order_relaxed);
+      ++result.stats.dist_cells_healed;
+    }
+  }
+  result.stats.dist_cells_executed = executed.load();
+  result.stats.inferences = inferences.load();
+  finalize(&lru, segment->appended_cells() - segment_base);
   return result;
 }
 

@@ -25,6 +25,13 @@
 // (core/store): finished cells journal to disk for kill-anywhere resume
 // and incremental regeneration, and evicted goldens spill to checksummed
 // shards restored on miss — still bit-identical (tests/store_test.cpp).
+//
+// With store.dist.shard_count > 1 the campaign executes distributed
+// (core/dist): this process claims cost-weighted buckets of pending cells
+// from a shared claim board, appends finished cells to its own journal
+// segment, steals stale claims of dead workers, and assembles the full
+// result from the union of all workers' segments — bit-identical to a
+// single-process run (tests/dist_test.cpp).
 #pragma once
 
 #include <atomic>
@@ -98,6 +105,13 @@ struct CampaignStats {
   std::int64_t cells_deferred = 0;         // pending cells past cell_budget
   std::int64_t golden_spills = 0;          // goldens serialized to disk
   std::int64_t golden_restores = 0;        // disk restores instead of builds
+  std::int64_t golden_flushed = 0;  // still-resident goldens written at end
+  // Distributed execution (all zero unless store.dist is enabled):
+  std::int64_t dist_buckets_claimed = 0;  // buckets this worker claimed
+  std::int64_t dist_buckets_stolen = 0;   // stale claims taken over
+  std::int64_t dist_cells_executed = 0;   // cells this worker ran
+  std::int64_t dist_cells_recovered = 0;  // cells read from rival segments
+  std::int64_t dist_cells_healed = 0;     // missing cells re-run locally
 };
 
 struct CampaignResult {
@@ -125,6 +139,13 @@ class GoldenLru {
   Ptr get_or_build(std::int64_t image, ConvPolicy policy,
                    const std::function<GoldenCache()>& build);
 
+  // Spill-on-shutdown: writes every still-resident *ready* entry to the
+  // attached tier-2 store (no-op without one; existing shards are cheap
+  // dedup hits inside GoldenStore::save). Eviction spills cover streaming
+  // datasets; this covers campaign end, so the next run/worker starts
+  // warm. Returns the number of entries offered to the store.
+  std::int64_t flush_to_store();
+
   std::int64_t builds() const { return builds_.load(); }
   std::int64_t hits() const { return hits_.load(); }
   std::int64_t evictions() const { return evictions_.load(); }
@@ -148,7 +169,12 @@ class GoldenLru {
   std::atomic<std::int64_t> evictions_{0};
 };
 
-// Executes a campaign spec against one (network, dataset).
+// Executes campaign specs against one (network, dataset). The runner
+// assumes the network and dataset do not change over its lifetime (it
+// holds references anyway): the campaign environment hash is computed on
+// first use and reused, so sequential-adaptive consumers that run many
+// small campaigns through one runner (the TMR planner's accuracy checks)
+// do not re-hash every image per call.
 class CampaignRunner {
  public:
   CampaignRunner(const Network& network, const Dataset& dataset)
@@ -156,9 +182,16 @@ class CampaignRunner {
 
   CampaignResult run(const CampaignSpec& spec) const;
 
+  // Cached campaign_env_hash(network, dataset).
+  std::uint64_t env_hash() const;
+
  private:
+  CampaignResult run_distributed(const CampaignSpec& spec) const;
+
   const Network& network_;
   const Dataset& dataset_;
+  // 0 = not yet computed (a true hash of 0 just recomputes — benign).
+  mutable std::atomic<std::uint64_t> env_hash_{0};
 };
 
 // Convenience wrapper over CampaignRunner.

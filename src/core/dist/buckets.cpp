@@ -1,0 +1,105 @@
+#include "core/dist/buckets.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace winofault {
+
+std::vector<CostBucket> make_cost_buckets(const std::vector<double>& weights,
+                                          std::size_t target_buckets) {
+  std::vector<CostBucket> buckets;
+  const std::size_t n = weights.size();
+  if (n == 0) return buckets;
+  target_buckets = std::clamp<std::size_t>(target_buckets, 1, n);
+
+  double remaining_weight = 0.0;
+  for (const double w : weights) {
+    WF_CHECK(w >= 0.0);
+    remaining_weight += w;
+  }
+
+  CostBucket current;
+  const auto close_current = [&] {
+    remaining_weight -= current.weight;
+    buckets.push_back(current);
+    current = CostBucket{current.end, current.end, 0.0};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    // Target share re-derived from the weight still unassigned, so one
+    // over-heavy unit early on doesn't starve the tail into single-unit
+    // buckets. All-zero weights degrade to equal-count slices.
+    std::size_t remaining_buckets = target_buckets - buckets.size() - 1;
+    double share = remaining_buckets == 0
+                       ? 0.0
+                       : remaining_weight /
+                             static_cast<double>(remaining_buckets + 1);
+    // Close BEFORE absorbing a unit that would blow past the share: a
+    // destruction-adjacent unit worth ~100x a clean one gets (close to) a
+    // bucket of its own instead of dragging its cheap neighbours along —
+    // exactly the stealable granularity a dead worker's share needs.
+    if (remaining_buckets > 0 && current.end > current.begin &&
+        current.weight + weights[i] > share && n - i > remaining_buckets) {
+      close_current();
+      remaining_buckets = target_buckets - buckets.size() - 1;
+      share = remaining_buckets == 0
+                  ? 0.0
+                  : remaining_weight /
+                        static_cast<double>(remaining_buckets + 1);
+    }
+    current.weight += weights[i];
+    current.end = i + 1;
+    const std::size_t remaining_units = n - current.end;
+    if (remaining_buckets == 0) continue;
+    const bool full =
+        share > 0.0 ? current.weight >= share
+                    : current.end - current.begin >=
+                          (n - current.begin) / (remaining_buckets + 1);
+    // A bucket also closes when the leftover units are only just enough
+    // to give every remaining bucket its guaranteed unit.
+    if (full || remaining_units <= remaining_buckets) close_current();
+  }
+  if (current.end > current.begin) buckets.push_back(current);
+  WF_CHECK(!buckets.empty() && buckets.front().begin == 0 &&
+           buckets.back().end == n);
+  return buckets;
+}
+
+std::vector<int> bucket_claim_order(const std::vector<CostBucket>& buckets,
+                                    int shard_index, int shard_count) {
+  std::vector<int> order(buckets.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return buckets[static_cast<std::size_t>(a)].weight >
+           buckets[static_cast<std::size_t>(b)].weight;
+  });
+  if (shard_count > 1 && !order.empty()) {
+    const std::size_t offset =
+        (static_cast<std::size_t>(std::max(shard_index, 0)) * order.size()) /
+        static_cast<std::size_t>(shard_count);
+    std::rotate(order.begin(),
+                order.begin() + static_cast<std::ptrdiff_t>(offset),
+                order.end());
+  }
+  return order;
+}
+
+std::uint64_t dist_board_key(std::uint64_t env_hash,
+                             const std::vector<std::uint64_t>& pending_keys,
+                             std::size_t bucket_count) {
+  // Sorted so the key is a function of the cell *set*, not of the order a
+  // particular caller enumerated it in.
+  std::vector<std::uint64_t> sorted = pending_keys;
+  std::sort(sorted.begin(), sorted.end());
+  Fnv64 h;
+  h.u64(0x57464442ULL);  // "WFDB" domain tag
+  h.u64(env_hash);
+  h.u64(bucket_count);
+  h.u64(sorted.size());
+  for (const std::uint64_t key : sorted) h.u64(key);
+  return h.digest();
+}
+
+}  // namespace winofault

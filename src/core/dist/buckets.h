@@ -1,0 +1,46 @@
+// Cost-aware partitioning of a campaign's pending cells into claimable
+// buckets. Cell costs are wildly heterogeneous — a destruction-adjacent
+// point (expected flips just under the short-circuit threshold) replays
+// ~100x the work of a near-clean point — so buckets balance *weight*, not
+// count: each bucket is a contiguous slice of the image-major pending
+// order (preserving golden locality) holding roughly equal total cost.
+//
+// The partition is a pure function of the pending weights, so every worker
+// computes the identical bucket list from the identical canonical-journal
+// state — buckets need no negotiation, only claims (claim_board.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace winofault {
+
+struct CostBucket {
+  std::size_t begin = 0;  // [begin, end) into the pending-unit order
+  std::size_t end = 0;
+  double weight = 0.0;    // summed unit weights of the slice
+};
+
+// Splits [0, weights.size()) into at most `target_buckets` contiguous
+// slices of roughly equal summed weight (at least one unit per bucket; a
+// single over-heavy unit gets a bucket of its own).
+std::vector<CostBucket> make_cost_buckets(const std::vector<double>& weights,
+                                          std::size_t target_buckets);
+
+// The order in which one worker attempts claims: heaviest buckets first
+// (LPT scheduling — a heavy straggler started late would dominate the
+// campaign's tail), rotated by shard so concurrent workers start their
+// claim attempts on different buckets instead of racing on bucket 0.
+std::vector<int> bucket_claim_order(const std::vector<CostBucket>& buckets,
+                                    int shard_index, int shard_count);
+
+// Identity of one claim board: the campaign environment plus the exact
+// pending cell set and its bucket count. A resume after a merge (or any
+// grid change) has a different pending set and therefore a different
+// board, so stale claim/done files from an earlier generation can never
+// alias the new one.
+std::uint64_t dist_board_key(std::uint64_t env_hash,
+                             const std::vector<std::uint64_t>& pending_keys,
+                             std::size_t bucket_count);
+
+}  // namespace winofault

@@ -1,0 +1,33 @@
+// Folds per-worker journal segments back into the canonical journals of a
+// shared store directory, and retires the claim boards of finished
+// campaign generations. The coordinator runs this once after its workers
+// exit; a crashed coordinator just leaves segments on disk, and the next
+// merge (or any worker's assembly pass, which reads segments directly)
+// still sees every durable cell — merging is compaction, not correctness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace winofault {
+
+struct MergeStats {
+  int segments_merged = 0;      // segment files folded and deleted
+  int segments_rejected = 0;    // foreign/corrupt header: deleted unfolded
+  int segments_unreadable = 0;  // could not open: left in place untouched
+  int segments_torn = 0;        // merged, but a torn tail was dropped
+  std::int64_t cells_merged = 0;     // new cells appended to canonicals
+  std::int64_t cells_duplicate = 0;  // already present (dedup by cell key)
+  int claim_dirs_removed = 0;
+  int journals_unwritable = 0;  // canonical could not take appends
+};
+
+// Merges every campaign_<env>.<tag>.seg under `dir` into its canonical
+// campaign_<env>.journal: CRC-verified records only, torn tails dropped,
+// duplicates (same cell key) skipped — identical by determinism, so first
+// writer wins. Merged and rejected segments are deleted; segments whose
+// canonical journal cannot take appends are left in place so no durable
+// cell is ever lost. Claim board directories (claims_*) are removed last.
+MergeStats merge_campaign_segments(const std::string& dir);
+
+}  // namespace winofault

@@ -1,0 +1,86 @@
+#include "core/dist/worker_pool.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace winofault {
+
+std::string self_executable_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return buf;
+}
+
+std::vector<WorkerExit> spawn_local_workers(
+    const std::string& exe, const std::vector<std::string>& args,
+    int workers) {
+  std::vector<WorkerExit> exits;
+  exits.reserve(static_cast<std::size_t>(workers));
+  for (int shard = 0; shard < workers; ++shard) {
+    WorkerExit we;
+    we.shard = shard;
+    const std::string shard_arg =
+        std::to_string(shard) + "/" + std::to_string(workers);
+
+    std::vector<std::string> argv_store;
+    argv_store.reserve(args.size() + 3);
+    argv_store.push_back(exe);
+    for (const std::string& a : args) argv_store.push_back(a);
+    argv_store.push_back("--shard");
+    argv_store.push_back(shard_arg);
+    std::vector<char*> argv;
+    argv.reserve(argv_store.size() + 1);
+    for (std::string& a : argv_store) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      WF_WARN << "worker pool: fork failed for shard " << shard << ": "
+              << std::strerror(errno);
+      exits.push_back(we);  // exit_code -1
+      continue;
+    }
+    if (pid == 0) {
+      // Child: exec immediately — between fork and exec only
+      // async-signal-safe work is allowed (the parent may own threads).
+      ::execv(exe.c_str(), argv.data());
+      ::_exit(127);
+    }
+    we.pid = pid;
+    exits.push_back(we);
+  }
+
+  for (WorkerExit& we : exits) {
+    if (we.pid == 0) continue;  // fork failed
+    int status = 0;
+    if (::waitpid(static_cast<pid_t>(we.pid), &status, 0) < 0) {
+      WF_WARN << "worker pool: waitpid failed for shard " << we.shard << ": "
+              << std::strerror(errno);
+      continue;
+    }
+    if (WIFEXITED(status)) {
+      we.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      we.signal = WTERMSIG(status);
+    }
+    if (!we.ok()) {
+      WF_WARN << "worker pool: shard " << we.shard << " (pid " << we.pid
+              << ") "
+              << (we.signal != 0
+                      ? "killed by signal " + std::to_string(we.signal)
+                      : "exited " + std::to_string(we.exit_code))
+              << "; survivors steal its claims";
+    }
+  }
+  return exits;
+}
+
+}  // namespace winofault

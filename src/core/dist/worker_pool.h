@@ -1,0 +1,34 @@
+// Local worker processes for the distributed coordinator path: fork+exec
+// the current executable once per shard with `--shard i/N` appended, wait
+// for all of them, and report how each exited. exec gives every worker a
+// pristine address space (no inherited thread pool or cache state), so the
+// only shared medium between workers is the store directory — exactly the
+// deployment model of remote workers, just spawned locally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace winofault {
+
+struct WorkerExit {
+  int shard = 0;
+  long pid = 0;
+  int exit_code = -1;   // valid when signal == 0
+  int signal = 0;       // terminating signal, 0 if exited normally
+  bool ok() const { return signal == 0 && exit_code == 0; }
+};
+
+// Spawns `workers` copies of `exe` with `args` plus "--shard i/N" and
+// blocks until every child exits. A child that dies (crash, kill) is
+// reported, not retried — survivors steal its claims, and the merged
+// result is complete regardless. Spawn failures surface as exit_code -1.
+std::vector<WorkerExit> spawn_local_workers(
+    const std::string& exe, const std::vector<std::string>& args,
+    int workers);
+
+// Path of the currently running executable (/proc/self/exe), empty on
+// failure.
+std::string self_executable_path();
+
+}  // namespace winofault

@@ -23,7 +23,7 @@ CampaignPoint voltage_point(const VoltageModel& model, double voltage,
 
 }  // namespace
 
-std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
+VoltageSweepResult accuracy_vs_voltage_multi(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     std::span<const ConvPolicy> policies, std::span<const double> voltages,
     std::uint64_t seed, int threads, int trials, const StoreOptions& store) {
@@ -37,8 +37,9 @@ std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
   }
   const CampaignResult campaign = run_campaign(network, dataset, spec);
 
-  std::vector<std::vector<VoltagePoint>> curves;
-  curves.reserve(policies.size());
+  VoltageSweepResult result;
+  result.stats = campaign.stats;
+  result.curves.reserve(policies.size());
   std::size_t next = 0;
   for (std::size_t p = 0; p < policies.size(); ++p) {
     std::vector<VoltagePoint> curve;
@@ -48,9 +49,9 @@ std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
                                    campaign.points[next].accuracy});
       ++next;
     }
-    curves.push_back(std::move(curve));
+    result.curves.push_back(std::move(curve));
   }
-  return curves;
+  return result;
 }
 
 std::vector<VoltagePoint> accuracy_vs_voltage(
@@ -60,7 +61,7 @@ std::vector<VoltagePoint> accuracy_vs_voltage(
   return accuracy_vs_voltage_multi(network, dataset, model,
                                    std::span(&policy, 1), voltages, seed,
                                    threads, trials, store)
-      .front();
+      .curves.front();
 }
 
 VoltageCurve measure_voltage_curve(const Network& network,
@@ -89,6 +90,7 @@ VoltageCurve measure_voltage_curve(const Network& network,
   const CampaignResult campaign = run_campaign(network, dataset, spec);
 
   VoltageCurve curve;
+  curve.cells_deferred = campaign.stats.cells_deferred;
   curve.clean_accuracy = campaign.points.front().accuracy;
   curve.points.reserve(voltages.size());
   for (std::size_t i = 0; i < voltages.size(); ++i) {

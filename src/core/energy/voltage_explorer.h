@@ -37,10 +37,18 @@ std::vector<VoltagePoint> accuracy_vs_voltage(
     ConvPolicy policy, std::span<const double> voltages, std::uint64_t seed,
     int threads = 0, int trials = 1, const StoreOptions& store = {});
 
+// Curves of a multi-policy voltage campaign plus the stats they were
+// measured under — stats.cells_deferred != 0 flags PARTIAL curves from a
+// budgeted run (same contract as SweepResult).
+struct VoltageSweepResult {
+  std::vector<std::vector<VoltagePoint>> curves;  // one per policy
+  CampaignStats stats;
+};
+
 // Several policies' curves over one grid as a SINGLE campaign (fig6's
 // ST/WG pair): the whole (image x policy x voltage) grid feeds the pool at
 // once. Returns one curve per policy, in order.
-std::vector<std::vector<VoltagePoint>> accuracy_vs_voltage_multi(
+VoltageSweepResult accuracy_vs_voltage_multi(
     const Network& network, const Dataset& dataset, const VoltageModel& model,
     std::span<const ConvPolicy> policies, std::span<const double> voltages,
     std::uint64_t seed, int threads = 0, int trials = 1,
@@ -72,6 +80,10 @@ struct ExplorerOptions {
 struct VoltageCurve {
   double clean_accuracy = 0.0;
   std::vector<VoltagePoint> points;  // along the decision grid, descending
+  // Non-zero when a budgeted (cell_budget) run deferred cells: the curve
+  // is PARTIAL — mark downstream output and fail the exit code instead of
+  // presenting it as finished.
+  std::int64_t cells_deferred = 0;
 };
 
 VoltageCurve measure_voltage_curve(const Network& network,

@@ -10,9 +10,14 @@ namespace {
 
 // The planner is sequential-adaptive (each iteration's protection depends
 // on the previous accuracy check), so every check is a single-point
-// campaign; golden reuse still amortizes across the point's trials.
+// campaign; golden reuse still amortizes across the point's trials. All
+// checks flow through ONE CampaignRunner: the environment hash is
+// computed once per planning run instead of once per check, and with a
+// store attached the runner reuses cached open handles
+// (StoreOptions::reuse_handles, set by plan_tmr) instead of re-reading
+// the journal per check — warm resumes are O(1) per call.
 double evaluate_with_protection(
-    const Network& network, const Dataset& dataset,
+    const CampaignRunner& runner,
     const std::unordered_map<int, ProtectionSet>& protection,
     ConvPolicy policy, const TmrPlanOptions& options) {
   CampaignPoint point;
@@ -25,7 +30,7 @@ double evaluate_with_protection(
   spec.points.push_back(std::move(point));
   spec.threads = options.threads;
   spec.store = options.store;
-  return run_campaign(network, dataset, spec).points.front().accuracy;
+  return runner.run(spec).points.front().accuracy;
 }
 
 }  // namespace
@@ -49,6 +54,10 @@ TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
   // journal, so a killed sweep resumes at cell granularity regardless.
   TmrPlanOptions options = options_in;
   options.store.cell_budget = 0;
+  // Hundreds of tiny sequential checks share one runner and one set of
+  // open store handles (see evaluate_with_protection).
+  options.store.reuse_handles = true;
+  const CampaignRunner runner(network, dataset);
   TmrPlan plan;
 
   // 1. Layer-wise vulnerability ranking under the analysis engine.
@@ -72,7 +81,7 @@ TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
   // 2. Iterative protection: muls of the most vulnerable layers first,
   // then adds, a `step_fraction` slice per iteration.
   double accuracy = evaluate_with_protection(
-      network, dataset, plan.protection, options.analysis_policy, options);
+      runner, plan.protection, options.analysis_policy, options);
   if (accuracy >= options.accuracy_goal) {
     plan.achieved_accuracy = accuracy;
     plan.goal_met = true;
@@ -94,8 +103,7 @@ TmrPlan plan_tmr(const Network& network, const Dataset& dataset,
         }
         ++plan.iterations;
         accuracy = evaluate_with_protection(
-            network, dataset, plan.protection, options.analysis_policy,
-            options);
+            runner, plan.protection, options.analysis_policy, options);
         if (accuracy >= options.accuracy_goal) {
           plan.achieved_accuracy = accuracy;
           plan.goal_met = true;
@@ -133,8 +141,8 @@ double plan_accuracy(const Network& network, const Dataset& dataset,
   options.ber = ber;
   options.seed = seed;
   options.threads = threads;
-  return evaluate_with_protection(network, dataset, plan.protection, policy,
-                                  options);
+  const CampaignRunner runner(network, dataset);
+  return evaluate_with_protection(runner, plan.protection, policy, options);
 }
 
 }  // namespace winofault

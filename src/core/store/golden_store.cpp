@@ -1,5 +1,7 @@
 #include "core/store/golden_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -248,10 +250,12 @@ void GoldenStore::save_impl(std::int64_t image, ConvPolicy policy,
       // Write via a unique temp name + rename: a kill mid-spill leaves no
       // half-shard under the final name (the CRC would reject one
       // regardless), and concurrent same-key writers never clobber each
-      // other's temp.
+      // other's temp. The pid is part of the name because distributed
+      // workers (core/dist) share this directory across processes, and
+      // every process's serial starts at the same value.
       static std::atomic<std::uint64_t> tmp_serial{0};
-      tmp = path + "." + std::to_string(tmp_serial.fetch_add(1) + 1) +
-            ".tmp";
+      tmp = path + "." + std::to_string(static_cast<long>(::getpid())) +
+            "." + std::to_string(tmp_serial.fetch_add(1) + 1) + ".tmp";
       std::FILE* f = std::fopen(tmp.c_str(), "wb");
       bool wrote = f != nullptr;
       if (wrote) {

@@ -1,0 +1,75 @@
+#include "core/store/handle_cache.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "core/store/golden_store.h"
+
+namespace winofault {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<ResultJournal>> journals;
+  std::unordered_map<std::string, std::shared_ptr<GoldenStore>> goldens;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: handles may outlive main
+  return *r;
+}
+
+std::string journal_key(const StoreOptions& options, std::uint64_t env_hash,
+                        ResultJournal::Mode mode,
+                        const std::string& segment_tag) {
+  return options.dir + "\x1f" + std::to_string(env_hash) + "\x1f" +
+         (mode == ResultJournal::Mode::kAppend ? "a" : "r") + "\x1f" +
+         segment_tag;
+}
+
+std::string golden_key(const StoreOptions& options, std::uint64_t env_hash) {
+  // The disk budget is part of the key: two configurations with different
+  // budgets must not share one budget-tracking index.
+  return options.dir + "\x1f" + std::to_string(env_hash) + "\x1f" +
+         std::to_string(options.golden_disk_budget);
+}
+
+}  // namespace
+
+StoreHandles acquire_store_handles(const StoreOptions& options,
+                                   std::uint64_t env_hash,
+                                   ResultJournal::Mode mode,
+                                   const std::string& segment_tag) {
+  StoreHandles handles;
+  if (!options.enabled()) return handles;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (options.journal) {
+    const std::string key = journal_key(options, env_hash, mode, segment_tag);
+    auto& slot = reg.journals[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<ResultJournal>(options.dir, env_hash, mode,
+                                             segment_tag);
+    }
+    handles.journal = slot;
+  }
+  if (options.spill_goldens) {
+    const std::string key = golden_key(options, env_hash);
+    auto& slot = reg.goldens[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<GoldenStore>(options.dir, env_hash,
+                                           options.golden_disk_budget);
+    }
+    handles.goldens = slot;
+  }
+  return handles;
+}
+
+void clear_store_handle_cache() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.journals.clear();
+  reg.goldens.clear();
+}
+
+}  // namespace winofault

@@ -1,0 +1,46 @@
+// Process-wide cache of open store handles, keyed by (directory,
+// environment, configuration). Opening a ResultJournal re-reads every
+// record and opening a GoldenStore re-indexes every shard — O(store size)
+// per campaign. Sequential-adaptive consumers (the TMR planner runs one
+// single-point campaign per accuracy check, hundreds per figure) pay that
+// cost per *check* unless handles are reused; with the cache a warm
+// resume is O(1) per call.
+//
+// Correctness contract: a cached handle assumes this process is the only
+// mutator of the underlying files for the handle's lifetime — appends
+// through the shared handle are visible to later lookups (the journal
+// records them in memory), but external edits (another process, tests
+// corrupting files on purpose) are not observed. That is why reuse is
+// opt-in via StoreOptions::reuse_handles rather than the default.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/store/journal.h"
+#include "core/store/store.h"
+
+namespace winofault {
+
+class GoldenStore;
+
+struct StoreHandles {
+  std::shared_ptr<ResultJournal> journal;  // null when options.journal off
+  std::shared_ptr<GoldenStore> goldens;    // null when spill_goldens off
+};
+
+// Returns handles for (options.dir, env_hash), opening them on first use
+// and reusing them afterwards. `segment_tag` selects a worker's journal
+// segment instead of the canonical journal; `mode` its open mode.
+// Thread-safe.
+StoreHandles acquire_store_handles(
+    const StoreOptions& options, std::uint64_t env_hash,
+    ResultJournal::Mode mode = ResultJournal::Mode::kAppend,
+    const std::string& segment_tag = {});
+
+// Drops every cached handle (closing files whose handles are otherwise
+// unreferenced). Test hook.
+void clear_store_handle_cache();
+
+}  // namespace winofault

@@ -1,5 +1,6 @@
 #include "core/store/journal.h"
 
+#include <cctype>
 #include <cstring>
 #include <filesystem>
 
@@ -37,76 +38,151 @@ std::uint64_t record_crc(const RawRecord& r, std::uint64_t env_hash) {
       .digest();
 }
 
-std::uint64_t cell_key(std::uint64_t point_hash, std::int64_t image) {
-  return Fnv64().u64(point_hash).i64(image).digest();
+std::string env_file_stem(std::uint64_t env_hash) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "campaign_%016llx",
+                static_cast<unsigned long long>(env_hash));
+  return name;
 }
 
 }  // namespace
 
-std::string ResultJournal::journal_path(const std::string& dir,
-                                        std::uint64_t env_hash) {
-  char name[64];
-  std::snprintf(name, sizeof(name), "campaign_%016llx.journal",
-                static_cast<unsigned long long>(env_hash));
-  return dir + "/" + name;
+std::uint64_t journal_cell_key(std::uint64_t point_hash, std::int64_t image) {
+  return Fnv64().u64(point_hash).i64(image).digest();
 }
 
-ResultJournal::ResultJournal(const std::string& dir, std::uint64_t env_hash)
-    : path_(journal_path(dir, env_hash)), env_hash_(env_hash) {
+std::string ResultJournal::journal_path(const std::string& dir,
+                                        std::uint64_t env_hash) {
+  return dir + "/" + env_file_stem(env_hash) + ".journal";
+}
+
+std::string ResultJournal::segment_path(const std::string& dir,
+                                        std::uint64_t env_hash,
+                                        const std::string& tag) {
+  return dir + "/" + env_file_stem(env_hash) + "." + tag + ".seg";
+}
+
+std::vector<ResultJournal::SegmentRef> ResultJournal::list_segments(
+    const std::string& dir) {
+  // Name layout: campaign_<16 hex>.<tag>.seg
+  std::vector<SegmentRef> segments;
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  recover_and_open();
+  for (std::filesystem::directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    constexpr std::size_t kPrefix = 9;  // "campaign_"
+    constexpr std::size_t kHex = 16;
+    if (name.size() < kPrefix + kHex + 2 + 4 ||
+        name.compare(0, kPrefix, "campaign_") != 0 ||
+        name.compare(name.size() - 4, 4, ".seg") != 0 ||
+        name[kPrefix + kHex] != '.') {
+      continue;
+    }
+    std::uint64_t env = 0;
+    bool hex_ok = true;
+    for (std::size_t i = kPrefix; i < kPrefix + kHex; ++i) {
+      const char c = name[i];
+      if (!std::isxdigit(static_cast<unsigned char>(c))) {
+        hex_ok = false;
+        break;
+      }
+      env = env * 16 +
+            static_cast<std::uint64_t>(
+                c <= '9' ? c - '0'
+                         : std::tolower(static_cast<unsigned char>(c)) - 'a' +
+                               10);
+    }
+    if (!hex_ok) continue;
+    SegmentRef ref;
+    ref.path = it->path().string();
+    ref.env_hash = env;
+    ref.tag = name.substr(kPrefix + kHex + 1,
+                          name.size() - (kPrefix + kHex + 1) - 4);
+    if (ref.tag.empty()) continue;
+    segments.push_back(std::move(ref));
+  }
+  return segments;
+}
+
+bool ResultJournal::read_cells(const std::string& path,
+                               std::uint64_t env_hash,
+                               std::vector<JournalCell>* out, bool* torn,
+                               bool* unreadable) {
+  if (torn != nullptr) *torn = false;
+  if (unreadable != nullptr) *unreadable = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (unreadable != nullptr) *unreadable = true;
+    return false;
+  }
+  RawHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f) != 1 ||
+      header.magic != kJournalMagic || header.env_hash != env_hash) {
+    std::fclose(f);
+    return false;
+  }
+  long records_read = 0;
+  RawRecord r{};
+  while (std::fread(&r, sizeof(r), 1, f) == 1) {
+    if (r.crc != record_crc(r, env_hash)) break;  // torn/corrupt tail
+    ++records_read;
+    JournalCell cell;
+    cell.point_hash = r.point_hash;
+    cell.image = static_cast<std::int64_t>(r.image);
+    cell.correct = static_cast<std::int64_t>(r.correct);
+    cell.flips = static_cast<std::int64_t>(r.flips);
+    out->push_back(cell);
+  }
+  if (torn != nullptr) {
+    const long read_end = static_cast<long>(sizeof(RawHeader)) +
+                          records_read * static_cast<long>(sizeof(RawRecord));
+    std::fseek(f, 0, SEEK_END);
+    *torn = std::ftell(f) != read_end;
+  }
+  std::fclose(f);
+  return true;
+}
+
+ResultJournal::ResultJournal(const std::string& dir, std::uint64_t env_hash,
+                             Mode mode, const std::string& segment_tag)
+    : path_(segment_tag.empty() ? journal_path(dir, env_hash)
+                                : segment_path(dir, env_hash, segment_tag)),
+      env_hash_(env_hash) {
+  if (mode == Mode::kAppend) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  recover_and_open(mode);
 }
 
 ResultJournal::~ResultJournal() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-void ResultJournal::recover_and_open() {
+void ResultJournal::recover_and_open(Mode mode) {
+  // Pass 1: read every intact record of an existing file.
+  std::vector<JournalCell> recovered;
+  bool torn = false;
+  const bool header_ok = read_cells(path_, env_hash_, &recovered, &torn);
+  for (const JournalCell& cell : recovered) {
+    cells_[journal_cell_key(cell.point_hash, cell.image)] = cell;
+  }
+  recovered_ = static_cast<std::int64_t>(cells_.size());
+
+  if (mode == Mode::kReadOnly) return;  // never repair or append
+
   // A kill during a previous recovery rewrite can leave its temp file
   // behind; it was never renamed, so its contents are dead.
   {
     std::error_code ec;
     std::filesystem::remove(path_ + ".tmp", ec);
   }
-  // Pass 1: read every intact record of an existing file.
-  bool rewrite = false;
-  if (std::FILE* f = std::fopen(path_.c_str(), "rb")) {
-    RawHeader header{};
-    if (std::fread(&header, sizeof(header), 1, f) == 1 &&
-        header.magic == kJournalMagic && header.env_hash == env_hash_) {
-      RawRecord r{};
-      long records_read = 0;
-      while (std::fread(&r, sizeof(r), 1, f) == 1) {
-        if (r.crc != record_crc(r, env_hash_)) break;  // torn/corrupt tail
-        ++records_read;
-        JournalCell cell;
-        cell.point_hash = r.point_hash;
-        cell.image = static_cast<std::int64_t>(r.image);
-        cell.correct = static_cast<std::int64_t>(r.correct);
-        cell.flips = static_cast<std::int64_t>(r.flips);
-        cells_[cell_key(cell.point_hash, cell.image)] = cell;
-      }
-      // Anything left past the last intact record must be dropped before
-      // appending, or the torn bytes would corrupt the record framing.
-      const long read_end =
-          static_cast<long>(sizeof(RawHeader)) +
-          records_read * static_cast<long>(sizeof(RawRecord));
-      std::fseek(f, 0, SEEK_END);
-      rewrite = std::ftell(f) != read_end;
-    } else {
-      rewrite = true;  // foreign or garbage file: replace wholesale
-    }
-    std::fclose(f);
-  } else {
-    rewrite = true;  // no journal yet
-  }
 
   // Pass 2: open for appending — via a rewrite of header + every recovered
   // record when the existing file is absent, torn, or foreign. The rewrite
   // goes through a temp file + rename so a kill during recovery can never
   // destroy the intact records of the original journal.
-  if (rewrite) {
+  if (!header_ok || torn) {
     const std::string tmp = path_ + ".tmp";
     std::FILE* out = std::fopen(tmp.c_str(), "wb");
     if (out == nullptr) {
@@ -143,7 +219,8 @@ void ResultJournal::recover_and_open() {
 
 bool ResultJournal::lookup(std::uint64_t point_hash, std::int64_t image,
                            JournalCell* cell) const {
-  const auto it = cells_.find(cell_key(point_hash, image));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cells_.find(journal_cell_key(point_hash, image));
   if (it == cells_.end() || it->second.point_hash != point_hash ||
       it->second.image != image) {
     return false;
@@ -172,6 +249,7 @@ void ResultJournal::append(const JournalCell& cell) {
     return;
   }
   // A kill after this point loses nothing.
+  cells_[journal_cell_key(cell.point_hash, cell.image)] = cell;
   ++appended_;
 }
 

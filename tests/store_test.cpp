@@ -15,8 +15,10 @@
 #include <fstream>
 #include <string>
 
+#include "core/analysis/network_sweep.h"
 #include "core/campaign/campaign.h"
 #include "core/store/golden_store.h"
+#include "core/store/handle_cache.h"
 #include "core/store/hash.h"
 #include "core/store/journal.h"
 #include "nn/dataset.h"
@@ -367,6 +369,112 @@ TEST(Store, CorruptShardIsRejectedAndRebuilt) {
   fs::copy_file(other.shard_path(0, ConvPolicy::kDirect), shard,
                 fs::copy_options::overwrite_existing);
   EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+}
+
+// ---- handle cache (sequential-adaptive consumers) ----
+
+TEST(Store, HandleCacheSharesOpenHandlesAndSeesAppends) {
+  const std::string dir = fresh_dir("handles");
+  StoreOptions options;
+  options.dir = dir;
+  options.reuse_handles = true;
+  const std::uint64_t env = 4242;
+
+  const StoreHandles a = acquire_store_handles(options, env);
+  const StoreHandles b = acquire_store_handles(options, env);
+  ASSERT_NE(a.journal, nullptr);
+  EXPECT_EQ(a.journal.get(), b.journal.get()) << "one open handle per key";
+  EXPECT_EQ(a.goldens.get(), b.goldens.get());
+
+  // Appends through the shared handle are visible to later lookups without
+  // any re-read — the O(1) warm-resume property plan_tmr relies on.
+  a.journal->append(JournalCell{21, 3, 1, 6});
+  JournalCell cell;
+  EXPECT_TRUE(b.journal->lookup(21, 3, &cell));
+  EXPECT_EQ(cell.flips, 6);
+
+  // Different environment or mode: distinct handles.
+  EXPECT_NE(acquire_store_handles(options, env ^ 1).journal.get(),
+            a.journal.get());
+  EXPECT_NE(acquire_store_handles(options, env,
+                                  ResultJournal::Mode::kReadOnly)
+                .journal.get(),
+            a.journal.get());
+
+  // After a cache clear the cell still comes back from disk.
+  clear_store_handle_cache();
+  const StoreHandles c = acquire_store_handles(options, env);
+  EXPECT_NE(c.journal.get(), a.journal.get());
+  EXPECT_TRUE(c.journal->lookup(21, 3, &cell));
+}
+
+TEST(Store, PlannerStyleReuseIsBitIdenticalToFreshHandles) {
+  const Fixture f = make_fixture(4);
+  CampaignSpec spec;
+  spec.points = small_grid();
+  const CampaignResult reference = run_campaign(f.net, f.data, spec);
+
+  // Same campaign twice through cached handles (as plan_tmr's checks do):
+  // first run executes and journals, second replays from the shared
+  // in-memory handle without executing.
+  spec.store.dir = fresh_dir("handle_reuse");
+  spec.store.reuse_handles = true;
+  const CampaignRunner runner(f.net, f.data);
+  const CampaignResult first = runner.run(spec);
+  expect_same_results(reference, first);
+  const CampaignResult second = runner.run(spec);
+  expect_same_results(reference, second);
+  EXPECT_EQ(second.stats.inferences, 0);
+  EXPECT_EQ(second.stats.journal_cells_loaded,
+            first.stats.journal_cells_written);
+  clear_store_handle_cache();
+}
+
+// ---- spill-on-shutdown ----
+
+TEST(Store, ShutdownFlushWarmsTheNextRun) {
+  const Fixture f = make_fixture(4);
+  CampaignSpec spec;
+  spec.points = small_grid();
+  const CampaignResult reference = run_campaign(f.net, f.data, spec);
+
+  spec.store.dir = fresh_dir("flush");
+  spec.golden_capacity = 64;  // nothing evicts: only the shutdown flush
+                              // can have written shards
+  const CampaignResult first = run_campaign(f.net, f.data, spec);
+  expect_same_results(reference, first);
+  EXPECT_EQ(first.stats.golden_evictions, 0);
+  EXPECT_GT(first.stats.golden_flushed, 0);
+  EXPECT_GT(first.stats.golden_spills, 0);
+
+  // Re-execute everything (journal off) in a fresh runner: every golden
+  // restores from the flushed shards instead of rebuilding.
+  CampaignSpec rerun = spec;
+  rerun.store.journal = false;
+  const CampaignResult warm = run_campaign(f.net, f.data, rerun);
+  expect_same_results(reference, warm);
+  EXPECT_GT(warm.stats.golden_restores, 0);
+  EXPECT_EQ(warm.stats.golden_builds, 0);
+}
+
+// ---- PARTIAL propagation through spec builders ----
+
+TEST(Store, SweepReportsDeferredCellsFromBudgetedRuns) {
+  const Fixture f = make_fixture(4);
+  SweepOptions options;
+  options.bers = {1e-7, 3e-6};
+  options.seed = 7;
+  options.store.dir = fresh_dir("sweep_partial");
+  options.store.cell_budget = 3;
+  const SweepResult partial =
+      accuracy_sweeps(f.net, f.data, std::span(&options, 1));
+  EXPECT_GT(partial.stats.cells_deferred, 0)
+      << "budgeted sweep must flag its curves as PARTIAL";
+
+  options.store.cell_budget = 0;
+  const SweepResult finished =
+      accuracy_sweeps(f.net, f.data, std::span(&options, 1));
+  EXPECT_EQ(finished.stats.cells_deferred, 0);
 }
 
 TEST(Store, GoldenDiskBudgetEvictsOldestShards) {
