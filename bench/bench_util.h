@@ -38,11 +38,16 @@
 // BER. Benches therefore report expected flips per inference alongside BER.
 #pragma once
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iterator>
+#include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,9 +55,13 @@
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "core/campaign/campaign.h"
 #include "core/dist/dist.h"
 #include "core/dist/merge.h"
 #include "core/dist/worker_pool.h"
+#include "core/service/client.h"
+#include "core/service/protocol.h"
+#include "core/store/hash.h"
 #include "core/store/store.h"
 #include "nn/dataset.h"
 #include "nn/models/zoo.h"
@@ -112,6 +121,7 @@ inline int finish_figure() {
 struct CliOptions {
   std::string out_dir;
   std::string store_dir;
+  std::string daemon_socket;  // --daemon PATH: submit to winofaultd
   int workers = 0;      // --workers N: coordinator for N local workers
   int shard_index = 0;  // --shard i/N: this process is worker i of N
   int shard_count = 0;
@@ -131,9 +141,13 @@ inline void print_usage(const char* prog, std::FILE* to) {
       "                   regenerate the figure (requires a store dir)\n"
       "  --shard i/N      run as distributed worker i of N over the store\n"
       "                   (CSV/JSON emission suppressed)\n"
+      "  --daemon PATH    submit campaigns to the resident winofaultd on\n"
+      "                   this Unix socket instead of executing inline\n"
+      "                   (warm cross-submission goldens; also via the\n"
+      "                   WINOFAULT_DAEMON environment variable)\n"
       "env knobs: WINOFAULT_IMAGES, WINOFAULT_FULL, WINOFAULT_SEED,\n"
       "           WINOFAULT_WIDTH, WINOFAULT_STORE, WINOFAULT_CELL_BUDGET,\n"
-      "           WINOFAULT_CLAIM_STALE_MS\n",
+      "           WINOFAULT_CLAIM_STALE_MS, WINOFAULT_DAEMON\n",
       prog);
 }
 
@@ -172,6 +186,7 @@ inline CliOptions parse_cli(int argc, char** argv) {
     }
     if (flag_value("--out-dir", i, &cli.out_dir)) continue;
     if (flag_value("--store-dir", i, &cli.store_dir)) continue;
+    if (flag_value("--daemon", i, &cli.daemon_socket)) continue;
     if (flag_value("--workers", i, &workers_value)) continue;
     if (flag_value("--shard", i, &shard_value)) continue;
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, argv[i]);
@@ -207,9 +222,22 @@ inline CliOptions parse_cli(int argc, char** argv) {
     cli.shard_index = i;
     cli.shard_count = n;
   }
+  if (cli.daemon_socket.empty()) {
+    cli.daemon_socket = env_string("WINOFAULT_DAEMON", "");
+  }
   if (cli.workers > 0 && cli.shard_count > 0) {
     std::fprintf(stderr, "%s: --workers (coordinator) and --shard (worker) "
                          "are mutually exclusive\n",
+                 prog);
+    std::exit(2);
+  }
+  if (!cli.daemon_socket.empty() &&
+      (cli.workers > 0 || cli.shard_count > 0)) {
+    // A daemon submission is one process talking to one resident service;
+    // mixing it with the fork/merge coordinator would run every campaign
+    // twice (once per path) or, worse, interleave their stores.
+    std::fprintf(stderr, "%s: --daemon is mutually exclusive with "
+                         "--workers/--shard\n",
                  prog);
     std::exit(2);
   }
@@ -357,6 +385,126 @@ inline BenchEnv bench_env() {
   return env;
 }
 
+// ---- Daemon submission (--daemon PATH) -----------------------------------
+//
+// Routes every campaign of this process to a resident winofaultd instead
+// of executing inline, via the campaign submit hook: the daemon rebuilds
+// this driver's (model, dataset) from a ModelEnv descriptor, runs the
+// identical spec against its warm cross-submission state, and streams the
+// result back — bit-identical to inline execution (the client-computed
+// campaign_env_hash rides along and the daemon refuses to run on a
+// mismatching build). Campaigns over environments the daemon cannot
+// rebuild (non-zoo networks), or any daemon/protocol failure, fall back
+// to inline execution with a warning — a dead daemon can never change
+// results, only latency.
+
+struct DaemonModeState {
+  std::string socket;
+  BenchEnv env;
+  std::string client_name;
+  // One persistent connection for every submission of this process — the
+  // TMR planner submits hundreds of tiny campaigns per figure, and a
+  // connect/teardown (plus a daemon-side handler thread) per campaign is
+  // pure overhead. Reconnects lazily after any failure.
+  ServiceClient client;
+};
+
+inline DaemonModeState& daemon_state_ref() {
+  static DaemonModeState state;
+  return state;
+}
+
+// campaign_env_hash per ModelEnv identity. Keyed by the rebuild recipe —
+// NOT by Network/Dataset pointers: drivers that loop over models (fig2,
+// fig4) rebuild each ModelUnderTest in the same stack slot, so a pointer
+// key would serve model A's hash for model B. The recipe key is sound
+// because both sides of the hop build (network, dataset) as the same
+// deterministic function of it (make_model here, the daemon's env builder
+// there); sequential-adaptive consumers (the TMR planner, hundreds of
+// campaigns over one pair) hash the dataset bytes once, not per
+// submission.
+inline std::uint64_t daemon_env_hash(const ModelEnv& env, const Network& net,
+                                     const Dataset& data) {
+  static std::map<std::string, std::uint64_t> cache;
+  const std::string key = model_env_key(env);
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const std::uint64_t hash = campaign_env_hash(net, data);
+  cache.emplace(key, hash);
+  return hash;
+}
+
+inline void enable_daemon_submission(const std::string& socket,
+                                     const BenchEnv& env,
+                                     const std::string& client_name) {
+  DaemonModeState& state = daemon_state_ref();
+  state.socket = socket;
+  state.env = env;
+  state.client_name = client_name;
+  set_campaign_submit_hook([](const Network& net, const Dataset& data,
+                              const CampaignSpec& spec)
+                               -> std::optional<CampaignResult> {
+    DaemonModeState& state = daemon_state_ref();
+    // Only environments the daemon can rebuild: zoo models carry their zoo
+    // name, and the teacher dataset is derived from (model, env). Anything
+    // else executes inline.
+    bool known_model = false;
+    for (const ZooEntry& entry : model_zoo()) {
+      if (entry.name == net.name()) {
+        known_model = true;
+        break;
+      }
+    }
+    if (!known_model || data.images.empty()) return std::nullopt;
+    ModelEnv env;
+    env.model = net.name();
+    env.dtype = net.dtype();
+    env.images = static_cast<int>(data.images.size());
+    env.seed = state.env.seed;
+    env.width = state.env.width_override;
+    env.env_hash = daemon_env_hash(env, net, data);
+
+    CampaignSpec to_send = spec;
+    if (!to_send.store.dir.empty()) {
+      // The daemon's cwd is not ours: store paths must survive the hop.
+      std::error_code ec;
+      const auto absolute =
+          std::filesystem::absolute(to_send.store.dir, ec);
+      if (!ec) to_send.store.dir = absolute.string();
+    }
+
+    std::string error;
+    if (!state.client.connected() &&
+        !state.client.connect(state.socket, &error)) {
+      std::fprintf(stderr,
+                   "[daemon] %s; executing inline\n", error.c_str());
+      return std::nullopt;
+    }
+    auto last_print = std::chrono::steady_clock::now();
+    const auto outcome = state.client.submit_and_wait(
+        state.client_name, env, to_send,
+        [&](const CampaignProgress& progress) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now - last_print < std::chrono::seconds(1)) return;
+          last_print = now;
+          std::fprintf(stderr, "[daemon] %lld/%lld cells (%lld loaded)\n",
+                       static_cast<long long>(progress.cells_done),
+                       static_cast<long long>(progress.cells_total),
+                       static_cast<long long>(progress.cells_loaded));
+        });
+    if (!outcome.ok) {
+      std::fprintf(stderr,
+                   "[daemon] job %s failed: %s; executing inline\n",
+                   outcome.job_id.c_str(), outcome.error.c_str());
+      // The connection may be mid-stream or dead; a fresh one is the only
+      // state a later submission can trust.
+      state.client.close();
+      return std::nullopt;
+    }
+    return outcome.result;
+  });
+}
+
 // Per-figure context: the bench environment plus that figure's seed
 // streams. Each figure historically drew from its own offset of the master
 // seed so curves never share fault streams across figures; the offsets are
@@ -365,8 +513,9 @@ inline BenchEnv bench_env() {
 struct FigureCtx {
   BenchEnv env;
   int figure = 0;
-  std::string store_dir;  // "" => persistence disabled
-  DistOptions dist;       // worker shard identity (--shard i/N)
+  std::string store_dir;      // "" => persistence disabled
+  DistOptions dist;           // worker shard identity (--shard i/N)
+  std::string daemon_socket;  // "" => inline execution (no daemon)
 
   std::uint64_t seed(int stream = 0) const {
     static constexpr int kBaseOffset[] = {0, 1, 2, 3, 4, 5, 7, 8};
@@ -394,7 +543,17 @@ struct FigureCtx {
 inline FigureCtx figure_ctx(int figure, int argc, char** argv) {
   CliOptions cli = parse_cli(argc, argv);
   run_local_coordinator(cli);
-  return FigureCtx{bench_env(), figure, cli.store_dir, dist_options(cli)};
+  FigureCtx ctx{bench_env(), figure, cli.store_dir, dist_options(cli),
+                cli.daemon_socket};
+  if (!ctx.daemon_socket.empty()) {
+    // Every campaign this driver builds now submits to the daemon; the
+    // driver keeps doing everything else (tables, CSV/JSON) locally.
+    char client_name[64];
+    std::snprintf(client_name, sizeof(client_name), "fig%d-%ld", figure,
+                  static_cast<long>(::getpid()));
+    enable_daemon_submission(ctx.daemon_socket, ctx.env, client_name);
+  }
+  return ctx;
 }
 
 // Builds a zoo model plus its teacher-labeled dataset sized for this run.

@@ -21,6 +21,7 @@
 #include "core/store/handle_cache.h"
 #include "core/store/hash.h"
 #include "core/store/journal.h"
+#include "core/store/segment_cache.h"
 #include "fault/fault_model.h"
 
 namespace winofault {
@@ -42,6 +43,13 @@ std::uint64_t fault_stream_seed(std::uint64_t seed, std::int64_t image,
 }
 
 namespace {
+
+// Installed by service clients (core/service); empty by default. Heap
+// allocation keeps the hook alive for campaigns running past main's end.
+CampaignSubmitHook& submit_hook_ref() {
+  static CampaignSubmitHook* hook = new CampaignSubmitHook;
+  return *hook;
+}
 
 // When the expected op-level flips per inference would reduce the output to
 // noise, the point reports chance accuracy directly instead of simulating
@@ -217,9 +225,17 @@ std::size_t default_golden_capacity(const std::vector<CampaignPoint>& points,
 
 }  // namespace
 
+void GoldenLru::ensure_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max(capacity_, std::max<std::size_t>(capacity, 1));
+}
+
 GoldenLru::Ptr GoldenLru::get_or_build(
     std::int64_t image, ConvPolicy policy,
     const std::function<GoldenCache()>& build) {
+  // One consistent view of the spill target for this whole call: a
+  // concurrent set_store only affects later calls.
+  GoldenStore* const store = store_.load();
   const Key key = pack_golden_key(image, policy);
   std::promise<Ptr> promise;
   std::shared_future<Ptr> future;
@@ -231,8 +247,8 @@ GoldenLru::Ptr GoldenLru::get_or_build(
   std::vector<std::pair<Key, Ptr>> spill;
   const auto flush_spill = [&] {
     for (auto& [victim, ready] : spill) {
-      store_->save(golden_key_image(victim), golden_key_policy(victim),
-                   *ready);
+      store->save(golden_key_image(victim), golden_key_policy(victim),
+                  *ready);
     }
     spill.clear();
   };
@@ -254,7 +270,7 @@ GoldenLru::Ptr GoldenLru::get_or_build(
       while (map_.size() > capacity_) {
         const Key victim = lru_.back();
         const auto vit = map_.find(victim);
-        if (store_ != nullptr &&
+        if (store != nullptr &&
             vit->second.future.wait_for(std::chrono::seconds(0)) ==
                 std::future_status::ready) {
           try {
@@ -282,8 +298,8 @@ GoldenLru::Ptr GoldenLru::get_or_build(
   // worker pool) if the promise were already satisfied.
   Ptr ptr;
   try {
-    if (store_ != nullptr) {
-      if (std::optional<GoldenCache> restored = store_->load(image, policy)) {
+    if (store != nullptr) {
+      if (std::optional<GoldenCache> restored = store->load(image, policy)) {
         ptr = std::make_shared<const GoldenCache>(std::move(*restored));
       }
     }
@@ -312,20 +328,21 @@ GoldenLru::Ptr GoldenLru::get_or_build(
   // found an unready future and could not spill it — spill the finished
   // result here so the work is not lost to both tiers (save never
   // throws).
-  if (store_ != nullptr) {
+  if (store != nullptr) {
     bool still_cached;
     {
       std::lock_guard<std::mutex> lock(mu_);
       const auto it = map_.find(key);
       still_cached = it != map_.end() && it->second.owner == owner;
     }
-    if (!still_cached) store_->save(image, policy, *ptr);
+    if (!still_cached) store->save(image, policy, *ptr);
   }
   return ptr;
 }
 
 std::int64_t GoldenLru::flush_to_store() {
-  if (store_ == nullptr) return 0;
+  GoldenStore* const store = store_.load();
+  if (store == nullptr) return 0;
   std::vector<std::pair<Key, Ptr>> ready;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -343,7 +360,7 @@ std::int64_t GoldenLru::flush_to_store() {
     }
   }
   for (const auto& [key, p] : ready) {
-    store_->save(golden_key_image(key), golden_key_policy(key), *p);
+    store->save(golden_key_image(key), golden_key_policy(key), *p);
   }
   return static_cast<std::int64_t>(ready.size());
 }
@@ -361,6 +378,16 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   WF_CHECK(network_.calibrated());
   WF_CHECK(!dataset_.images.empty());
   for (const CampaignPoint& point : spec.points) WF_CHECK(point.trials >= 1);
+
+  // Service clients route campaigns to a resident daemon here; the daemon
+  // side never installs a hook, so its own runs fall through. Results are
+  // bit-identical either way (the daemon executes this same function
+  // against an identically-built environment — tests/service_test.cpp).
+  if (const CampaignSubmitHook& hook = submit_hook_ref()) {
+    if (std::optional<CampaignResult> remote = hook(network_, dataset_, spec)) {
+      return *std::move(remote);
+    }
+  }
 
   if (spec.store.enabled() && spec.store.dist.enabled()) {
     if (spec.store.journal) return run_distributed(spec);
@@ -429,7 +456,35 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
       spec.golden_capacity > 0
           ? spec.golden_capacity
           : default_golden_capacity(spec.points, active, images, threads);
-  GoldenLru lru(capacity, golden_store.get());
+  // External warm tier (core/service): serve goldens from the caller's
+  // shared cross-campaign LRU instead of a campaign-local one. Its spill
+  // target and end-of-run flush belong to its owner; stats below are
+  // reported relative to the baselines so a long-lived LRU's history does
+  // not leak into this run's numbers.
+  GoldenLru local_lru(capacity, golden_store.get());
+  GoldenLru& lru =
+      spec.warm_goldens != nullptr ? *spec.warm_goldens : local_lru;
+  if (spec.warm_goldens != nullptr) {
+    // A cross-submission warm tier exists to serve the NEXT submission,
+    // so it must retain this campaign's full golden set — the wave-sized
+    // `capacity` above only covers one pass and would evict everything a
+    // resident daemon keeps warm (images stream through it).
+    std::int64_t npol = 0;
+    bool seen[3] = {false, false, false};
+    for (const std::size_t p : active) {
+      const int policy = static_cast<int>(spec.points[p].policy);
+      if (spec.points[p].reuse_golden && !seen[policy]) {
+        seen[policy] = true;
+        ++npol;
+      }
+    }
+    lru.ensure_capacity(std::max(
+        capacity, static_cast<std::size_t>(
+                      images * std::max<std::int64_t>(npol, 1) + threads)));
+  }
+  const std::int64_t lru_builds_base = lru.builds();
+  const std::int64_t lru_hits_base = lru.hits();
+  const std::int64_t lru_evictions_base = lru.evictions();
 
   // Per-active-point tallies; integer sums make the result independent of
   // the schedule.
@@ -490,8 +545,33 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
                "resume finishes them";
   }
 
-  parallel_for(static_cast<std::int64_t>(units.size()), threads,
-               [&](std::int64_t u) {
+  // Progress/cancel bookkeeping (core/service): `done` feeds on_progress
+  // snapshots; `cancelled` counts cells skipped after the cancel flag
+  // flipped — they join cells_deferred, so a cancelled stored job is
+  // exactly a budget-truncated one (resubmitting resumes from the
+  // journal). `inferences` counts executed cells only.
+  const std::int64_t cells_total = static_cast<std::int64_t>(units.size());
+  std::atomic<std::int64_t> done{0};
+  std::atomic<std::int64_t> cancelled{0};
+  std::atomic<std::int64_t> inferences{0};
+  const auto emit_progress = [&] {
+    if (!spec.on_progress) return;
+    CampaignProgress progress;
+    progress.cells_total = cells_total;
+    progress.cells_done = done.load(std::memory_order_relaxed);
+    progress.cells_loaded = result.stats.journal_cells_loaded;
+    progress.cells_deferred = result.stats.cells_deferred +
+                              cancelled.load(std::memory_order_relaxed);
+    spec.on_progress(progress);
+  };
+  emit_progress();  // totals up front, even for fully journal-served runs
+
+  parallel_for(cells_total, threads, [&](std::int64_t u) {
+    if (spec.cancel != nullptr &&
+        spec.cancel->load(std::memory_order_relaxed)) {
+      cancelled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     const std::int64_t i = units[static_cast<std::size_t>(u)].image;
     const std::size_t a = units[static_cast<std::size_t>(u)].a;
     const std::size_t p = active[a];
@@ -501,7 +581,11 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
     if (journal != nullptr) journal->append(cell);
     correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
     flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
+    inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
+    done.fetch_add(1, std::memory_order_relaxed);
+    emit_progress();
   });
+  result.stats.cells_deferred += cancelled.load();
 
   for (std::size_t a = 0; a < active.size(); ++a) {
     const CampaignPoint& point = spec.points[active[a]];
@@ -512,13 +596,15 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
     r.accuracy = static_cast<double>(correct[a].load()) / inferences;
     r.avg_flips = static_cast<double>(flips[a].load()) / inferences;
   }
-  for (const Unit& unit : units) {
-    result.stats.inferences += spec.points[active[unit.a]].trials;
+  result.stats.inferences = inferences.load();
+  // A shared warm tier outlives this campaign: flushing (and the decision
+  // when to) belongs to its owner — the daemon flushes at drain.
+  if (spec.warm_goldens == nullptr) {
+    result.stats.golden_flushed = lru.flush_to_store();
   }
-  result.stats.golden_flushed = lru.flush_to_store();
-  result.stats.golden_builds = lru.builds();
-  result.stats.golden_hits = lru.hits();
-  result.stats.golden_evictions = lru.evictions();
+  result.stats.golden_builds = lru.builds() - lru_builds_base;
+  result.stats.golden_hits = lru.hits() - lru_hits_base;
+  result.stats.golden_evictions = lru.evictions() - lru_evictions_base;
   if (journal != nullptr) {
     result.stats.journal_cells_written =
         journal->appended_cells() - journal_base;
@@ -865,8 +951,13 @@ CampaignResult CampaignRunner::run_distributed(
     for (const ResultJournal::SegmentRef& seg :
          ResultJournal::list_segments(spec.store.dir)) {
       if (seg.env_hash != env || seg.path == segment->path()) continue;
+      // Rival segments go through the process-wide read cache: only the
+      // suffix appended since the last campaign is parsed, so
+      // sequential-adaptive consumers (TMR planner checks) are O(new
+      // cells), not O(all rival cells), per campaign. Torn tails are
+      // tolerated exactly as with a direct read.
       std::vector<JournalCell> cells;
-      if (!ResultJournal::read_cells(seg.path, env, &cells)) continue;
+      if (!read_segment_cells_cached(seg.path, env, &cells)) continue;
       for (const JournalCell& cell : cells) {
         durable.emplace(journal_cell_key(cell.point_hash, cell.image), cell);
       }
@@ -916,6 +1007,10 @@ CampaignResult CampaignRunner::run_distributed(
 CampaignResult run_campaign(const Network& network, const Dataset& dataset,
                             const CampaignSpec& spec) {
   return CampaignRunner(network, dataset).run(spec);
+}
+
+void set_campaign_submit_hook(CampaignSubmitHook hook) {
+  submit_hook_ref() = std::move(hook);
 }
 
 }  // namespace winofault

@@ -40,6 +40,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -77,6 +78,17 @@ struct CampaignPoint {
         max_expected_flips(options.max_expected_flips) {}
 };
 
+class GoldenLru;
+
+// Progress snapshot streamed to CampaignSpec::on_progress as cells finish
+// (local execution path; distributed workers report through the store).
+struct CampaignProgress {
+  std::int64_t cells_total = 0;     // cells scheduled this run
+  std::int64_t cells_done = 0;      // executed so far (monotonic)
+  std::int64_t cells_loaded = 0;    // journal cells reused instead of run
+  std::int64_t cells_deferred = 0;  // budget- or cancel-skipped so far
+};
+
 struct CampaignSpec {
   std::vector<CampaignPoint> points;
   int threads = 0;  // 0 => hardware concurrency
@@ -91,6 +103,30 @@ struct CampaignSpec {
   // evicted goldens. Disabled unless `store.dir` is set; results are
   // bit-identical either way (proved in tests/store_test.cpp).
   StoreOptions store;
+
+  // ---- Resident-service hooks (core/service). None of these fields can
+  // change any result (none joins a hash): they change who executes and
+  // what is observed, never what is computed. All apply to the local
+  // execution path only. ----
+
+  // External cross-campaign golden tier: when set, the runner serves
+  // goldens from this shared LRU (growing its capacity to at least this
+  // campaign's working set) instead of a campaign-local one, and leaves
+  // end-of-run flushing to the LRU's owner. (image, policy) keys are only
+  // meaningful within ONE campaign environment — an owner serving several
+  // environments must keep one LRU per env hash (core/service sessions do).
+  GoldenLru* warm_goldens = nullptr;
+
+  // Invoked as cells finish — from worker threads, possibly concurrently;
+  // keep it cheap and thread-safe. Also invoked once before scheduling so
+  // consumers see totals even for fully journal-served runs.
+  std::function<void(const CampaignProgress&)> on_progress;
+
+  // Cooperative cancellation: once it reads true, not-yet-started cells
+  // are skipped and counted into stats.cells_deferred. Already-journaled
+  // cells keep their tallies, so a later resubmission of the same spec
+  // resumes from the journal instead of restarting.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct CampaignStats {
@@ -146,6 +182,18 @@ class GoldenLru {
   // warm. Returns the number of entries offered to the store.
   std::int64_t flush_to_store();
 
+  // Grows capacity to at least `capacity` (never shrinks): a shared
+  // cross-campaign tier (CampaignSpec::warm_goldens) must fit the largest
+  // working set among the campaigns it serves or it would thrash on every
+  // wave of the largest one.
+  void ensure_capacity(std::size_t capacity);
+
+  // (Re)binds the tier-2 spill/restore target; nullptr detaches. The
+  // store is not owned and must stay alive until detached or replaced.
+  // Owners of long-lived LRUs (core/service sessions) point this at the
+  // store of the most recent stored submission.
+  void set_store(GoldenStore* store) { store_.store(store); }
+
   std::int64_t builds() const { return builds_.load(); }
   std::int64_t hits() const { return hits_.load(); }
   std::int64_t evictions() const { return evictions_.load(); }
@@ -158,8 +206,10 @@ class GoldenLru {
     std::uint64_t owner = 0;  // build id, distinguishes re-inserted entries
   };
 
-  std::size_t capacity_;
-  GoldenStore* store_;  // optional tier-2 spill target, not owned
+  std::size_t capacity_;  // guarded by mu_ (ensure_capacity can raise it)
+  // Optional tier-2 spill target, not owned. Atomic so a long-lived
+  // owner can rebind it between campaigns without racing in-flight spills.
+  std::atomic<GoldenStore*> store_;
   std::mutex mu_;
   std::list<Key> lru_;  // front = most recently used
   std::unordered_map<Key, Entry> map_;
@@ -197,6 +247,18 @@ class CampaignRunner {
 // Convenience wrapper over CampaignRunner.
 CampaignResult run_campaign(const Network& network, const Dataset& dataset,
                             const CampaignSpec& spec);
+
+// Process-wide campaign submission hook (installed by service *clients*,
+// core/service): when set, CampaignRunner::run offers every spec to the
+// hook first; a non-nullopt return is used as the campaign result —
+// executed elsewhere, e.g. by a resident winofaultd daemon — and nullopt
+// falls through to ordinary local execution (unknown environment, daemon
+// unreachable). The daemon itself never installs a hook, so server-side
+// campaigns always execute locally. Install before spawning campaigns;
+// installation is not synchronized against concurrent run() calls.
+using CampaignSubmitHook = std::function<std::optional<CampaignResult>(
+    const Network&, const Dataset&, const CampaignSpec&)>;
+void set_campaign_submit_hook(CampaignSubmitHook hook);
 
 // Fault-stream seed of trial `trial` on image `image` under a point seeded
 // `seed` — the contract shared by scratch evaluation, cached replay, and

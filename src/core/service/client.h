@@ -1,0 +1,61 @@
+// Client side of the resident campaign service: a blocking line-oriented
+// connection to winofaultd's Unix socket. Used by the bench drivers'
+// --daemon mode (via the campaign submit hook), by winofault-cli, and by
+// the tests. One client = one connection; not thread-safe (each thread
+// opens its own).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/campaign/campaign.h"
+#include "core/service/protocol.h"
+
+namespace winofault {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  bool connect(const std::string& socket_path, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // One request line -> one response line (ping/status/cancel/drain).
+  std::optional<Json> request(const Json& request, std::string* error);
+
+  struct SubmitOutcome {
+    bool ok = false;
+    std::string error;
+    std::string job_id;
+    std::string state;  // terminal job state ("done"/"failed"/"cancelled")
+    CampaignResult result;
+  };
+
+  // Submits a campaign and blocks until the job is terminal, invoking
+  // `on_progress` (same thread) for every streamed progress event.
+  // ok is true for "done" AND "cancelled" (a cancelled stored job carries
+  // usable partial results + cells_deferred); false for protocol or
+  // execution failures. `job_id_out`, when given, is filled as soon as the
+  // daemon accepts — before any progress — so a controller (status/cancel
+  // from another connection) can address the job while it runs.
+  SubmitOutcome submit_and_wait(
+      const std::string& client_name, const ModelEnv& env,
+      const CampaignSpec& spec,
+      const std::function<void(const CampaignProgress&)>& on_progress = {},
+      std::string* job_id_out = nullptr);
+
+ private:
+  bool send_line(const std::string& line, std::string* error);
+  bool read_line(std::string* line, std::string* error);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace winofault

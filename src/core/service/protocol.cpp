@@ -1,0 +1,731 @@
+#include "core/service/protocol.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace winofault {
+
+const std::string Json::kEmpty;
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.is_integer_ = true;
+  j.negative_ = v < 0;
+  // Negating INT64_MIN directly is UB; the unsigned wrap-around of the
+  // cast is exactly its magnitude.
+  j.magnitude_ = v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+                       : static_cast<std::uint64_t>(v);
+  j.num_ = static_cast<double>(v);
+  return j;
+}
+
+Json Json::unsigned_integer(std::uint64_t v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.is_integer_ = true;
+  j.magnitude_ = v;
+  j.num_ = static_cast<double>(v);
+  return j;
+}
+
+Json Json::str(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(v);
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Json::as_bool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+double Json::as_double(double fallback) const {
+  return type_ == Type::kNumber ? num_ : fallback;
+}
+
+std::int64_t Json::as_int(std::int64_t fallback) const {
+  if (type_ != Type::kNumber) return fallback;
+  if (is_integer_) {
+    if (negative_) {
+      if (magnitude_ > 0x8000000000000000ULL) return fallback;
+      return -static_cast<std::int64_t>(magnitude_ - 1) - 1;
+    }
+    if (magnitude_ > static_cast<std::uint64_t>(INT64_MAX)) return fallback;
+    return static_cast<std::int64_t>(magnitude_);
+  }
+  return static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t Json::as_uint(std::uint64_t fallback) const {
+  if (type_ != Type::kNumber) return fallback;
+  if (is_integer_) return negative_ ? fallback : magnitude_;
+  return num_ < 0 ? fallback : static_cast<std::uint64_t>(num_);
+}
+
+const std::string& Json::as_string(const std::string& fallback) const {
+  return type_ == Type::kString ? str_ : fallback;
+}
+
+Json& Json::set(std::string key, Json value) {
+  type_ = Type::kObject;
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  type_ = Type::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      char buf[40];
+      if (is_integer_) {
+        std::snprintf(buf, sizeof(buf), "%s%" PRIu64, negative_ ? "-" : "",
+                      magnitude_);
+      } else {
+        // %.17g round-trips every finite double exactly; non-finite values
+        // have no JSON spelling — emit null (decode falls back).
+        if (num_ != num_ || num_ == 1.0 / 0.0 || num_ == -1.0 / 0.0) {
+          *out += "null";
+          break;
+        }
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      }
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      dump_string(str_, out);
+      break;
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        dump_string(k, out);
+        out->push_back(':');
+        v.dump_to(out);
+      }
+      out->push_back('}');
+      break;
+    }
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : elements_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.dump_to(out);
+      }
+      out->push_back(']');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(&out);
+  return out;
+}
+
+// Recursive-descent parser. Depth-limited so a hostile request cannot
+// overflow the stack; the server additionally caps line length.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> parse() {
+    std::optional<Json> value = parse_value(0);
+    if (!value.has_value()) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return std::nullopt;
+        return Json::str(std::move(s));
+      }
+      case 't':
+        return consume_literal("true") ? std::optional<Json>(Json::boolean(
+                                             true))
+                                       : std::nullopt;
+      case 'f':
+        return consume_literal("false") ? std::optional<Json>(Json::boolean(
+                                              false))
+                                        : std::nullopt;
+      case 'n':
+        return consume_literal("null") ? std::optional<Json>(Json::null())
+                                       : std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      obj.set(std::move(key), *std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    for (;;) {
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      arr.push(*std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      return std::nullopt;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += 10u + (h - 'a');
+            else if (h >= 'A' && h <= 'F') code += 10u + (h - 'A');
+            else return false;
+          }
+          // BMP code points as UTF-8; surrogate halves are rejected (the
+          // protocol's own emitter never produces them).
+          if (code >= 0xd800 && code <= 0xdfff) return false;
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (consume('-')) negative = true;
+    bool integral = true;
+    std::uint64_t magnitude = 0;
+    bool overflow = false;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return std::nullopt;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (magnitude > (UINT64_MAX - digit) / 10) overflow = true;
+      if (!overflow) magnitude = magnitude * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      // Let strtod validate and consume the fraction/exponent.
+      const char* begin = text_.c_str() + start;
+      char* end = nullptr;
+      const double value = std::strtod(begin, &end);
+      if (end == begin) return std::nullopt;
+      pos_ = start + static_cast<std::size_t>(end - begin);
+      return Json::number(value);
+    }
+    (void)integral;
+    if (overflow) {
+      // Integer wider than 64 bits: carry the approximate double.
+      const double value = std::strtod(text_.c_str() + start, nullptr);
+      return Json::number(value);
+    }
+    if (negative) {
+      if (magnitude > 0x8000000000000000ULL) {
+        return Json::number(-static_cast<double>(magnitude));
+      }
+      return Json::integer(magnitude == 0x8000000000000000ULL
+                               ? INT64_MIN
+                               : -static_cast<std::int64_t>(magnitude));
+    }
+    return Json::unsigned_integer(magnitude);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<Json> Json::parse(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+// ---- Domain codecs -------------------------------------------------------
+
+namespace {
+
+const char* policy_name(ConvPolicy policy) {
+  switch (policy) {
+    case ConvPolicy::kDirect: return "direct";
+    case ConvPolicy::kWinograd2: return "winograd2";
+    case ConvPolicy::kWinograd4: return "winograd4";
+  }
+  return "direct";
+}
+
+bool parse_policy(const std::string& name, ConvPolicy* policy) {
+  if (name == "direct") *policy = ConvPolicy::kDirect;
+  else if (name == "winograd2") *policy = ConvPolicy::kWinograd2;
+  else if (name == "winograd4") *policy = ConvPolicy::kWinograd4;
+  else return false;
+  return true;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::string model_env_key(const ModelEnv& env) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s\x1f%s\x1f%d\x1f%" PRIu64 "\x1f%.17g",
+                env.model.c_str(), dtype_name(env.dtype), env.images,
+                env.seed, env.width);
+  return buf;
+}
+
+Json encode_model_env(const ModelEnv& env) {
+  Json j = Json::object();
+  j.set("model", Json::str(env.model));
+  j.set("dtype", Json::str(dtype_name(env.dtype)));
+  j.set("images", Json::integer(env.images));
+  j.set("seed", Json::unsigned_integer(env.seed));
+  j.set("width", Json::number(env.width));
+  if (env.env_hash != 0) {
+    j.set("env_hash", Json::unsigned_integer(env.env_hash));
+  }
+  return j;
+}
+
+bool decode_model_env(const Json& json, ModelEnv* env, std::string* error) {
+  if (!json.is_object()) return fail(error, "env must be an object");
+  const Json* model = json.find("model");
+  if (model == nullptr || !model->is_string() ||
+      model->as_string().empty()) {
+    return fail(error, "env.model missing");
+  }
+  env->model = model->as_string();
+  const std::string dtype = json.find("dtype") != nullptr
+                                ? json.find("dtype")->as_string()
+                                : "int16";
+  if (dtype == "int8") env->dtype = DType::kInt8;
+  else if (dtype == "int16") env->dtype = DType::kInt16;
+  else return fail(error, "env.dtype must be int8|int16");
+  const Json* images = json.find("images");
+  env->images = images != nullptr ? static_cast<int>(images->as_int(10)) : 10;
+  if (env->images < 1) return fail(error, "env.images must be >= 1");
+  const Json* seed = json.find("seed");
+  env->seed = seed != nullptr ? seed->as_uint(2024) : 2024;
+  const Json* width = json.find("width");
+  env->width = width != nullptr ? width->as_double(0.0) : 0.0;
+  if (env->width < 0.0) return fail(error, "env.width must be >= 0");
+  const Json* env_hash = json.find("env_hash");
+  env->env_hash = env_hash != nullptr ? env_hash->as_uint(0) : 0;
+  return true;
+}
+
+Json encode_campaign_spec(const CampaignSpec& spec) {
+  Json j = Json::object();
+  j.set("threads", Json::integer(spec.threads));
+  j.set("golden_capacity",
+        Json::unsigned_integer(static_cast<std::uint64_t>(
+            spec.golden_capacity)));
+  if (spec.store.enabled()) {
+    Json store = Json::object();
+    store.set("dir", Json::str(spec.store.dir));
+    store.set("journal", Json::boolean(spec.store.journal));
+    store.set("spill_goldens", Json::boolean(spec.store.spill_goldens));
+    store.set("golden_disk_budget",
+              Json::unsigned_integer(spec.store.golden_disk_budget));
+    store.set("cell_budget", Json::integer(spec.store.cell_budget));
+    j.set("store", std::move(store));
+  }
+  Json points = Json::array();
+  for (const CampaignPoint& point : spec.points) {
+    Json p = Json::object();
+    p.set("ber", Json::number(point.fault.ber));
+    p.set("mode", Json::str(point.fault.mode == InjectionMode::kOpLevel
+                                ? "op"
+                                : "neuron"));
+    if (point.fault.only_kind.has_value()) {
+      p.set("only_kind", Json::str(op_kind_name(*point.fault.only_kind)));
+    }
+    if (point.fault.fault_free_layer >= 0) {
+      p.set("fault_free_layer", Json::integer(point.fault.fault_free_layer));
+    }
+    if (!point.fault.protection.empty()) {
+      Json prot = Json::array();
+      for (const auto& [layer, set] : point.fault.protection) {
+        Json entry = Json::object();
+        entry.set("layer", Json::integer(layer));
+        entry.set("mul", Json::number(set.mul_fraction()));
+        entry.set("add", Json::number(set.add_fraction()));
+        entry.set("salt", Json::unsigned_integer(set.salt()));
+        prot.push(std::move(entry));
+      }
+      p.set("protection", std::move(prot));
+    }
+    p.set("policy", Json::str(policy_name(point.policy)));
+    p.set("seed", Json::unsigned_integer(point.seed));
+    p.set("trials", Json::integer(point.trials));
+    p.set("reuse_golden", Json::boolean(point.reuse_golden));
+    p.set("max_expected_flips", Json::number(point.max_expected_flips));
+    if (!point.tag.empty()) p.set("tag", Json::str(point.tag));
+    points.push(std::move(p));
+  }
+  j.set("points", std::move(points));
+  return j;
+}
+
+bool decode_campaign_spec(const Json& json, CampaignSpec* spec,
+                          std::string* error) {
+  if (!json.is_object()) return fail(error, "spec must be an object");
+  *spec = CampaignSpec();
+  if (const Json* threads = json.find("threads")) {
+    spec->threads = static_cast<int>(threads->as_int(0));
+  }
+  if (const Json* capacity = json.find("golden_capacity")) {
+    spec->golden_capacity = static_cast<std::size_t>(capacity->as_uint(0));
+  }
+  if (const Json* store = json.find("store")) {
+    if (!store->is_object()) return fail(error, "spec.store not an object");
+    spec->store.dir =
+        store->find("dir") != nullptr ? store->find("dir")->as_string() : "";
+    if (const Json* journal = store->find("journal")) {
+      spec->store.journal = journal->as_bool(true);
+    }
+    if (const Json* spill = store->find("spill_goldens")) {
+      spec->store.spill_goldens = spill->as_bool(true);
+    }
+    if (const Json* budget = store->find("golden_disk_budget")) {
+      spec->store.golden_disk_budget = budget->as_uint(1ULL << 30);
+    }
+    if (const Json* cells = store->find("cell_budget")) {
+      spec->store.cell_budget = cells->as_int(0);
+    }
+  }
+  const Json* points = json.find("points");
+  if (points == nullptr || !points->is_array() ||
+      points->elements().empty()) {
+    return fail(error, "spec.points missing or empty");
+  }
+  for (const Json& p : points->elements()) {
+    if (!p.is_object()) return fail(error, "spec.points entry not an object");
+    CampaignPoint point;
+    if (const Json* ber = p.find("ber")) {
+      point.fault.ber = ber->as_double(0.0);
+    }
+    if (point.fault.ber < 0.0 || point.fault.ber > 1.0) {
+      return fail(error, "point.ber out of [0, 1]");
+    }
+    const std::string mode =
+        p.find("mode") != nullptr ? p.find("mode")->as_string() : "op";
+    if (mode == "op") point.fault.mode = InjectionMode::kOpLevel;
+    else if (mode == "neuron") point.fault.mode = InjectionMode::kNeuronLevel;
+    else return fail(error, "point.mode must be op|neuron");
+    if (const Json* kind = p.find("only_kind")) {
+      const std::string name = kind->as_string();
+      if (name == "mul") point.fault.only_kind = OpKind::kMul;
+      else if (name == "add") point.fault.only_kind = OpKind::kAdd;
+      else return fail(error, "point.only_kind must be mul|add");
+    }
+    if (const Json* layer = p.find("fault_free_layer")) {
+      point.fault.fault_free_layer = static_cast<int>(layer->as_int(-1));
+    }
+    if (const Json* prot = p.find("protection")) {
+      if (!prot->is_array()) return fail(error, "point.protection not array");
+      for (const Json& entry : prot->elements()) {
+        const Json* layer = entry.find("layer");
+        if (layer == nullptr) return fail(error, "protection.layer missing");
+        ProtectionSet set(
+            entry.find("mul") != nullptr ? entry.find("mul")->as_double(0)
+                                         : 0.0,
+            entry.find("add") != nullptr ? entry.find("add")->as_double(0)
+                                         : 0.0);
+        if (const Json* salt = entry.find("salt")) {
+          set = ProtectionSet(set.mul_fraction(), set.add_fraction(),
+                              salt->as_uint(set.salt()));
+        }
+        point.fault.protection[static_cast<int>(layer->as_int(0))] = set;
+      }
+    }
+    const std::string policy =
+        p.find("policy") != nullptr ? p.find("policy")->as_string() : "direct";
+    if (!parse_policy(policy, &point.policy)) {
+      return fail(error, "point.policy must be direct|winograd2|winograd4");
+    }
+    if (const Json* seed = p.find("seed")) point.seed = seed->as_uint(1);
+    if (const Json* trials = p.find("trials")) {
+      point.trials = static_cast<int>(trials->as_int(1));
+    }
+    if (point.trials < 1) return fail(error, "point.trials must be >= 1");
+    if (const Json* reuse = p.find("reuse_golden")) {
+      point.reuse_golden = reuse->as_bool(true);
+    }
+    if (const Json* flips = p.find("max_expected_flips")) {
+      point.max_expected_flips = flips->as_double(20000.0);
+    }
+    if (const Json* tag = p.find("tag")) point.tag = tag->as_string();
+    spec->points.push_back(std::move(point));
+  }
+  return true;
+}
+
+Json encode_campaign_result(const CampaignResult& result) {
+  Json j = Json::object();
+  Json points = Json::array();
+  for (const EvalResult& r : result.points) {
+    Json p = Json::object();
+    p.set("accuracy", Json::number(r.accuracy));
+    p.set("avg_flips", Json::number(r.avg_flips));
+    p.set("images", Json::integer(r.images));
+    points.push(std::move(p));
+  }
+  j.set("points", std::move(points));
+  const CampaignStats& s = result.stats;
+  Json stats = Json::object();
+  stats.set("golden_builds", Json::integer(s.golden_builds));
+  stats.set("golden_hits", Json::integer(s.golden_hits));
+  stats.set("golden_evictions", Json::integer(s.golden_evictions));
+  stats.set("short_circuited_points", Json::integer(s.short_circuited_points));
+  stats.set("inferences", Json::integer(s.inferences));
+  stats.set("journal_cells_loaded", Json::integer(s.journal_cells_loaded));
+  stats.set("journal_cells_written", Json::integer(s.journal_cells_written));
+  stats.set("cells_deferred", Json::integer(s.cells_deferred));
+  stats.set("golden_spills", Json::integer(s.golden_spills));
+  stats.set("golden_restores", Json::integer(s.golden_restores));
+  stats.set("golden_flushed", Json::integer(s.golden_flushed));
+  j.set("stats", std::move(stats));
+  return j;
+}
+
+bool decode_campaign_result(const Json& json, CampaignResult* result,
+                            std::string* error) {
+  if (!json.is_object()) return fail(error, "result must be an object");
+  *result = CampaignResult();
+  const Json* points = json.find("points");
+  if (points == nullptr || !points->is_array()) {
+    return fail(error, "result.points missing");
+  }
+  for (const Json& p : points->elements()) {
+    EvalResult r;
+    if (const Json* accuracy = p.find("accuracy")) {
+      r.accuracy = accuracy->as_double(0.0);
+    }
+    if (const Json* flips = p.find("avg_flips")) {
+      r.avg_flips = flips->as_double(0.0);
+    }
+    if (const Json* images = p.find("images")) {
+      r.images = static_cast<int>(images->as_int(0));
+    }
+    result->points.push_back(r);
+  }
+  if (const Json* stats = json.find("stats")) {
+    CampaignStats& s = result->stats;
+    const auto get = [&](const char* name) -> std::int64_t {
+      const Json* field = stats->find(name);
+      return field != nullptr ? field->as_int(0) : 0;
+    };
+    s.golden_builds = get("golden_builds");
+    s.golden_hits = get("golden_hits");
+    s.golden_evictions = get("golden_evictions");
+    s.short_circuited_points = get("short_circuited_points");
+    s.inferences = get("inferences");
+    s.journal_cells_loaded = get("journal_cells_loaded");
+    s.journal_cells_written = get("journal_cells_written");
+    s.cells_deferred = get("cells_deferred");
+    s.golden_spills = get("golden_spills");
+    s.golden_restores = get("golden_restores");
+    s.golden_flushed = get("golden_flushed");
+  }
+  return true;
+}
+
+Json make_error_response(const std::string& error) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(false));
+  j.set("error", Json::str(error));
+  return j;
+}
+
+Json make_ok_response() {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  return j;
+}
+
+}  // namespace winofault

@@ -1,0 +1,104 @@
+#include "core/service/scheduler.h"
+
+#include <algorithm>
+
+namespace winofault {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+void ServiceJob::update_progress(const CampaignProgress& p) {
+  std::lock_guard<std::mutex> lock(mu);
+  progress = p;
+  ++version;
+  cv.notify_all();
+}
+
+void ServiceJob::finish(JobState terminal, CampaignResult r,
+                        std::string err) {
+  std::lock_guard<std::mutex> lock(mu);
+  state = terminal;
+  result = std::move(r);
+  error = std::move(err);
+  ++version;
+  cv.notify_all();
+}
+
+JobState ServiceJob::snapshot(CampaignProgress* p) const {
+  std::lock_guard<std::mutex> lock(mu);
+  if (p != nullptr) *p = progress;
+  return state;
+}
+
+bool Scheduler::enqueue(std::shared_ptr<ServiceJob> job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return false;
+  auto& queue = queues_[job->client];
+  if (queue.empty() &&
+      std::find(rotation_.begin(), rotation_.end(), job->client) ==
+          rotation_.end()) {
+    rotation_.push_back(job->client);
+  }
+  queue.push_back(std::move(job));
+  ++queued_;
+  cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<ServiceJob> Scheduler::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return draining_ || queued_ > 0; });
+    if (queued_ == 0) return nullptr;  // draining and empty
+    // Round-robin: scan from the cursor for the first client with work.
+    for (std::size_t step = 0; step < rotation_.size(); ++step) {
+      const std::size_t slot =
+          (rotation_pos_ + step) % rotation_.size();
+      auto it = queues_.find(rotation_[slot]);
+      if (it == queues_.end() || it->second.empty()) continue;
+      std::shared_ptr<ServiceJob> job = std::move(it->second.front());
+      it->second.pop_front();
+      --queued_;
+      if (it->second.empty()) {
+        queues_.erase(it);
+        rotation_.erase(rotation_.begin() +
+                        static_cast<std::ptrdiff_t>(slot));
+        rotation_pos_ = rotation_.empty() ? 0 : slot % rotation_.size();
+      } else {
+        rotation_pos_ = (slot + 1) % rotation_.size();
+      }
+      // A job cancelled while queued is consumed here, not executed; keep
+      // scanning (its terminal state was already published).
+      if (job->snapshot() == JobState::kCancelled) break;
+      return job;
+    }
+    // Either every queue was empty (stale rotation) or we consumed a
+    // cancelled job: re-evaluate the wait predicate.
+  }
+}
+
+void Scheduler::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+}
+
+bool Scheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t Scheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace winofault

@@ -1,0 +1,86 @@
+// Submission queue of the resident campaign service: jobs are FIFO within
+// a client and round-robin *across* clients, so one requester streaming
+// hundreds of campaigns cannot starve another's single figure — the next
+// free executor always serves the least-recently-served client that has
+// work. Draining flips the queue one-way: no new jobs, the backlog still
+// executes, next() returns null once empty.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/campaign/campaign.h"
+#include "core/service/protocol.h"
+
+namespace winofault {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* job_state_name(JobState state);
+
+// One campaign submission from accept to terminal state:
+//   kQueued -> kRunning -> kDone | kFailed
+//           \------------> kCancelled (before or during execution)
+// A cancelled-while-running job still carries its partial result — with a
+// store, its finished cells are journaled, so resubmitting the same spec
+// resumes instead of restarting. `mu`/`cv` guard the mutable fields;
+// result streamers sleep on `cv` and wake on every version bump.
+struct ServiceJob {
+  std::string id;
+  std::string client;
+  ModelEnv env;
+  CampaignSpec spec;
+
+  // Read by the campaign's workers (CampaignSpec::cancel).
+  std::atomic<bool> cancel{false};
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  CampaignProgress progress;
+  std::uint64_t version = 0;  // bumped on every observable change
+  CampaignResult result;      // kDone (complete) / kCancelled (partial)
+  std::string error;          // kFailed
+
+  // Thread-safe state transitions / snapshots.
+  void update_progress(const CampaignProgress& p);
+  void finish(JobState terminal, CampaignResult r, std::string err);
+  JobState snapshot(CampaignProgress* p = nullptr) const;
+};
+
+class Scheduler {
+ public:
+  // False (job untouched) once draining.
+  bool enqueue(std::shared_ptr<ServiceJob> job);
+
+  // Blocks for the next queued job — round-robin across clients, FIFO
+  // within one — skipping jobs cancelled while queued. Returns nullptr
+  // once draining and empty.
+  std::shared_ptr<ServiceJob> next();
+
+  // One-way: enqueue starts refusing, next() drains the backlog then
+  // returns nullptr to every executor.
+  void drain();
+
+  bool draining() const;
+  std::size_t queued() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  std::size_t queued_ = 0;
+  std::unordered_map<std::string,
+                     std::deque<std::shared_ptr<ServiceJob>>> queues_;
+  std::vector<std::string> rotation_;  // clients with queued work
+  std::size_t rotation_pos_ = 0;
+};
+
+}  // namespace winofault

@@ -1,0 +1,557 @@
+#include "core/service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/store/handle_cache.h"
+
+namespace winofault {
+namespace {
+
+// Writes one protocol line; false when the peer is gone (streamers stop,
+// the job itself keeps running). MSG_NOSIGNAL: a dead client must not
+// SIGPIPE the daemon.
+bool send_line(int fd, const Json& message) {
+  std::string line = message.dump();
+  line.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(std::move(options)),
+      sessions_(options_.env_builder != nullptr
+                    ? options_.env_builder
+                    : default_model_env_builder(),
+                options_.max_sessions, options_.golden_capacity) {
+  if (options_.concurrent_jobs < 1) options_.concurrent_jobs = 1;
+}
+
+ServiceServer::~ServiceServer() {
+  if (started_ && !joined_) {
+    request_drain();
+    wait();
+  }
+}
+
+bool ServiceServer::start(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path empty or longer than sun_path");
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  // A socket file may be a live daemon or a stale leftover of a killed
+  // one. Probe with a connect: accepting means live (refuse to displace
+  // it), anything else means stale (replace it).
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      ::close(probe);
+      return fail("another daemon is serving " + options_.socket_path);
+    }
+    ::close(probe);
+  }
+  ::unlink(options_.socket_path.c_str());
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("bind(" + options_.socket_path +
+                "): " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("listen(): " + std::string(strerror(errno)));
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  monitor_thread_ = std::thread([this] { monitor_loop(); });
+  executors_.reserve(static_cast<std::size_t>(options_.concurrent_jobs));
+  for (int i = 0; i < options_.concurrent_jobs; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+  WF_INFO << "winofaultd: serving " << options_.socket_path << " ("
+          << options_.concurrent_jobs << " concurrent campaigns, "
+          << options_.max_sessions << " warm sessions)";
+  return true;
+}
+
+void ServiceServer::request_drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  lifecycle_cv_.notify_all();
+}
+
+void ServiceServer::wait() {
+  if (!started_) return;
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    lifecycle_cv_.wait(lock, [this] { return drained_.load(); });
+    if (joined_) return;  // another wait() already cleaned up
+    joined_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock connection handlers parked in recv; whoever exchanges the fd
+  // first owns shutdown/close.
+  std::vector<int> claimed;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const std::unique_ptr<Conn>& conn : connections_) {
+      const int fd = conn->fd.exchange(-1);
+      if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        claimed.push_back(fd);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const std::unique_ptr<Conn>& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+  }
+  for (const int fd : claimed) ::close(fd);
+  ::unlink(options_.socket_path.c_str());
+}
+
+ServerStats ServiceServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ServiceServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (draining_.load()) break;  // listen socket shut down by drain
+      // Transient conditions must not kill the accept loop — a daemon
+      // that goes deaf after one aborted handshake (ECONNABORTED) or a
+      // momentary fd-table spike (EMFILE/ENFILE) cannot even be drained
+      // over its socket anymore.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        reap_finished_connections();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      WF_WARN << "winofaultd: accept failed (" << strerror(errno)
+              << "); no further connections will be served";
+      break;
+    }
+    if (draining_.load()) {
+      send_line(fd, make_error_response("draining"));
+      ::close(fd);
+      continue;
+    }
+    reap_finished_connections();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(std::make_unique<Conn>());
+    Conn* conn = connections_.back().get();
+    conn->fd.store(fd);
+    conn->thread = std::thread([this, conn] { handle_connection(conn); });
+  }
+  // listen_fd_ itself is closed in wait(), after this thread is joined —
+  // closing here would race the monitor's shutdown() on a recycled fd.
+}
+
+// Joins and discards handlers that have finished (their fd is closed and
+// `done` is set). Keeps a week-long daemon's connection table bounded by
+// its *live* connections instead of by every connection it ever served.
+void ServiceServer::reap_finished_connections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServiceServer::monitor_loop() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    lifecycle_cv_.wait(lock, [this] { return draining_.load(); });
+  }
+  // Order matters: stop admissions first (socket + scheduler), then wait
+  // for every accepted job to reach a terminal state, then flush the warm
+  // tier so the next daemon (or any direct run) starts from spilled
+  // goldens.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  scheduler_.drain();
+  for (std::thread& executor : executors_) executor.join();
+  const std::int64_t flushed = sessions_.flush_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.goldens_flushed_at_drain = flushed;
+  }
+  WF_INFO << "winofaultd: drained (" << flushed << " goldens flushed)";
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    drained_.store(true);
+    lifecycle_cv_.notify_all();
+  }
+}
+
+void ServiceServer::executor_loop() {
+  while (std::shared_ptr<ServiceJob> job = scheduler_.next()) {
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (job->state == JobState::kCancelled) continue;
+      job->state = JobState::kRunning;
+      ++job->version;
+      job->cv.notify_all();
+    }
+    std::string error;
+    std::shared_ptr<ServiceSession> session =
+        sessions_.get_or_build(job->env, &error);
+    if (session == nullptr) {
+      job->finish(JobState::kFailed, CampaignResult(), error);
+      retire_job(job->id);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_failed;
+      continue;
+    }
+    if (job->env.env_hash != 0 && job->env.env_hash != session->env_hash()) {
+      // The daemon's rebuild does not hash to the client's environment:
+      // running it would return numbers for a *different* experiment.
+      job->finish(JobState::kFailed, CampaignResult(),
+                  "environment hash mismatch (client/daemon build skew)");
+      retire_job(job->id);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_failed;
+      continue;
+    }
+    try {
+      CampaignResult result = session->run(*job);
+      const bool cancelled = job->cancel.load();
+      job->finish(cancelled ? JobState::kCancelled : JobState::kDone,
+                  std::move(result), cancelled ? "cancelled" : "");
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++(cancelled ? stats_.jobs_cancelled : stats_.jobs_done);
+    } catch (const std::exception& e) {
+      job->finish(JobState::kFailed, CampaignResult(), e.what());
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_failed;
+    }
+    retire_job(job->id);
+    // Between submissions the registry only needs what live sessions pin.
+    trim_store_handle_cache(options_.max_store_handles);
+  }
+}
+
+void ServiceServer::handle_connection(Conn* conn) {
+  const int fd = conn->fd.load();
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer.size() > options_.max_line_bytes) {
+        send_line(fd, make_error_response("request line too long"));
+        break;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // peer gone or shutdown claimed the fd
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (line.empty()) continue;
+
+    const std::optional<Json> request = Json::parse(line);
+    if (!request.has_value() || !request->is_object()) {
+      if (!send_line(fd, make_error_response("malformed JSON request"))) {
+        break;
+      }
+      continue;
+    }
+    const Json* op_field = request->find("op");
+    const std::string op =
+        op_field != nullptr ? op_field->as_string() : std::string();
+    bool alive = true;
+    if (op == "submit") {
+      handle_submit(fd, *request);
+    } else if (op == "results") {
+      handle_results(fd, *request);
+    } else if (op == "status") {
+      alive = send_line(fd, handle_status(*request));
+    } else if (op == "cancel") {
+      alive = send_line(fd, handle_cancel(*request));
+    } else if (op == "ping") {
+      alive = send_line(fd, handle_ping());
+    } else if (op == "drain") {
+      handle_drain(fd);
+    } else {
+      alive = send_line(fd, make_error_response("unknown op '" + op + "'"));
+    }
+    if (!alive) break;
+  }
+  const int owned = conn->fd.exchange(-1);
+  if (owned >= 0) ::close(owned);
+  conn->done.store(true);  // reapable from now on
+}
+
+void ServiceServer::handle_submit(int fd, const Json& request) {
+  if (draining_.load()) {
+    send_line(fd, make_error_response("draining"));
+    return;
+  }
+  auto job = std::make_shared<ServiceJob>();
+  std::string error;
+  const Json* env = request.find("env");
+  if (env == nullptr || !decode_model_env(*env, &job->env, &error)) {
+    send_line(fd, make_error_response("bad env: " + error));
+    return;
+  }
+  const Json* spec = request.find("spec");
+  if (spec == nullptr || !decode_campaign_spec(*spec, &job->spec, &error)) {
+    send_line(fd, make_error_response("bad spec: " + error));
+    return;
+  }
+  const Json* client = request.find("client");
+  job->client = client != nullptr && !client->as_string().empty()
+                    ? client->as_string()
+                    : "anonymous";
+  job->id = "j-" + std::to_string(++next_job_id_);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_[job->id] = job;
+  }
+  if (!scheduler_.enqueue(job)) {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.erase(job->id);
+    send_line(fd, make_error_response("draining"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_submitted;
+  }
+  const Json* wait_field = request.find("wait");
+  const bool wait = wait_field == nullptr || wait_field->as_bool(true);
+  Json accepted = Json::object();
+  accepted.set("event", Json::str("accepted"));
+  accepted.set("ok", Json::boolean(true));
+  accepted.set("job", Json::str(job->id));
+  if (!send_line(fd, accepted)) return;
+  if (wait) stream_job(fd, job);
+}
+
+void ServiceServer::handle_results(int fd, const Json& request) {
+  const Json* id = request.find("job");
+  std::shared_ptr<ServiceJob> job =
+      id != nullptr ? find_job(id->as_string()) : nullptr;
+  if (job == nullptr) {
+    send_line(fd, make_error_response("unknown job"));
+    return;
+  }
+  const Json* wait_field = request.find("wait");
+  const bool wait = wait_field == nullptr || wait_field->as_bool(true);
+  if (wait) {
+    stream_job(fd, job);
+    return;
+  }
+  send_line(fd, handle_status(request));
+}
+
+void ServiceServer::stream_job(int fd,
+                               const std::shared_ptr<ServiceJob>& job) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    JobState state;
+    CampaignProgress progress;
+    CampaignResult result;
+    std::string error;
+    {
+      std::unique_lock<std::mutex> lock(job->mu);
+      // Every observable change (queued->running, progress, terminal)
+      // bumps version, so waiting on it alone cannot miss a state change
+      // or spin on an unchanged one.
+      job->cv.wait(lock, [&] { return job->version != seen; });
+      seen = job->version;
+      state = job->state;
+      progress = job->progress;
+      if (state == JobState::kDone || state == JobState::kFailed ||
+          state == JobState::kCancelled) {
+        result = job->result;
+        error = job->error;
+      }
+    }
+    if (state == JobState::kDone || state == JobState::kFailed ||
+        state == JobState::kCancelled) {
+      Json done = Json::object();
+      done.set("event", Json::str("done"));
+      done.set("job", Json::str(job->id));
+      done.set("ok", Json::boolean(state != JobState::kFailed));
+      done.set("state", Json::str(job_state_name(state)));
+      if (state == JobState::kFailed) {
+        done.set("error", Json::str(error));
+      } else {
+        done.set("result", encode_campaign_result(result));
+      }
+      send_line(fd, done);
+      return;
+    }
+    Json event = Json::object();
+    event.set("event", Json::str("progress"));
+    event.set("job", Json::str(job->id));
+    event.set("state", Json::str(job_state_name(state)));
+    event.set("done", Json::integer(progress.cells_done));
+    event.set("total", Json::integer(progress.cells_total));
+    event.set("loaded", Json::integer(progress.cells_loaded));
+    event.set("deferred", Json::integer(progress.cells_deferred));
+    if (!send_line(fd, event)) return;  // client gone; job keeps running
+  }
+}
+
+Json ServiceServer::handle_status(const Json& request) {
+  const Json* id = request.find("job");
+  std::shared_ptr<ServiceJob> job =
+      id != nullptr ? find_job(id->as_string()) : nullptr;
+  if (job == nullptr) return make_error_response("unknown job");
+  CampaignProgress progress;
+  JobState state;
+  CampaignResult result;
+  std::string error;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    state = job->state;
+    progress = job->progress;
+    result = job->result;
+    error = job->error;
+  }
+  Json response = make_ok_response();
+  response.set("job", Json::str(job->id));
+  response.set("state", Json::str(job_state_name(state)));
+  response.set("done", Json::integer(progress.cells_done));
+  response.set("total", Json::integer(progress.cells_total));
+  response.set("loaded", Json::integer(progress.cells_loaded));
+  response.set("deferred", Json::integer(progress.cells_deferred));
+  if (state == JobState::kDone || state == JobState::kCancelled) {
+    response.set("result", encode_campaign_result(result));
+  } else if (state == JobState::kFailed) {
+    response.set("error", Json::str(error));
+  }
+  return response;
+}
+
+Json ServiceServer::handle_cancel(const Json& request) {
+  const Json* id = request.find("job");
+  std::shared_ptr<ServiceJob> job =
+      id != nullptr ? find_job(id->as_string()) : nullptr;
+  if (job == nullptr) return make_error_response("unknown job");
+  job->cancel.store(true);
+  JobState state;
+  bool cancelled_queued = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->state == JobState::kQueued) {
+      // Never started: terminal immediately (the scheduler discards it).
+      job->state = JobState::kCancelled;
+      job->error = "cancelled";
+      ++job->version;
+      job->cv.notify_all();
+      cancelled_queued = true;
+    }
+    state = job->state;
+  }
+  if (cancelled_queued) {
+    retire_job(job->id);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_cancelled;
+  }
+  Json response = make_ok_response();
+  response.set("job", Json::str(job->id));
+  response.set("state", Json::str(job_state_name(state)));
+  return response;
+}
+
+Json ServiceServer::handle_ping() {
+  Json response = make_ok_response();
+  response.set("pid", Json::integer(static_cast<std::int64_t>(::getpid())));
+  response.set("queued",
+               Json::integer(static_cast<std::int64_t>(scheduler_.queued())));
+  response.set("sessions",
+               Json::integer(static_cast<std::int64_t>(sessions_.size())));
+  response.set("draining", Json::boolean(draining_.load()));
+  return response;
+}
+
+void ServiceServer::handle_drain(int fd) {
+  request_drain();
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    lifecycle_cv_.wait(lock, [this] { return drained_.load(); });
+  }
+  const ServerStats snapshot = stats();
+  Json response = make_ok_response();
+  response.set("jobs_done", Json::integer(snapshot.jobs_done));
+  response.set("jobs_failed", Json::integer(snapshot.jobs_failed));
+  response.set("jobs_cancelled", Json::integer(snapshot.jobs_cancelled));
+  response.set("goldens_flushed",
+               Json::integer(snapshot.goldens_flushed_at_drain));
+  send_line(fd, response);
+}
+
+std::shared_ptr<ServiceJob> ServiceServer::find_job(const std::string& id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() ? it->second : nullptr;
+}
+
+void ServiceServer::retire_job(const std::string& id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  finished_jobs_.push_back(id);
+  while (finished_jobs_.size() > options_.max_finished_jobs) {
+    jobs_.erase(finished_jobs_.front());
+    finished_jobs_.pop_front();
+  }
+}
+
+}  // namespace winofault

@@ -1,0 +1,159 @@
+#include "core/service/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/store/golden_store.h"
+#include "nn/models/zoo.h"
+
+namespace winofault {
+
+ModelEnvBuilder default_model_env_builder() {
+  return [](const ModelEnv& env, Network* net, Dataset* data,
+            std::string* error) {
+    const ZooEntry* entry = nullptr;
+    for (const ZooEntry& candidate : model_zoo()) {
+      if (candidate.name == env.model) {
+        entry = &candidate;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      if (error != nullptr) *error = "unknown model '" + env.model + "'";
+      return false;
+    }
+    // The exact recipe of bench make_model: any divergence would change
+    // campaign_env_hash and silently forfeit every warm asset.
+    ZooConfig config;
+    config.dtype = env.dtype;
+    config.width = env.width > 0 ? env.width : entry->default_width;
+    config.seed = env.seed;
+    *net = entry->build(config);
+    *data = make_teacher_dataset(*net, env.images, entry->num_classes,
+                                 entry->clean_accuracy, env.seed ^ 0xd5);
+    return true;
+  };
+}
+
+ServiceSession::ServiceSession(ModelEnv env, Network net, Dataset data,
+                               std::size_t golden_capacity)
+    : env_(std::move(env)),
+      net_(std::move(net)),
+      data_(std::move(data)),
+      runner_(net_, data_),
+      // The campaign runner grows this to each campaign's working set
+      // (GoldenLru::ensure_capacity); the configured value is a floor.
+      warm_(golden_capacity == 0 ? 2 : golden_capacity) {}
+
+CampaignResult ServiceSession::run(ServiceJob& job) {
+  CampaignSpec spec = job.spec;
+  // Server-side rewiring. None of this can change results: the warm tier
+  // serves bit-identical goldens, handle reuse serves the same journal
+  // cells, and dist is stripped because a daemon campaign is one process.
+  spec.warm_goldens = &warm_;
+  spec.store.dist = DistOptions{};
+  spec.cancel = &job.cancel;
+  // The runner reports every finished cell from every worker; publishing
+  // each one would serialize the pool on the job mutex. Throttle to ~40Hz
+  // — always letting the first (totals) and last (completion) snapshots
+  // through — which is far above any client's display rate and below any
+  // cell's execution cost worth streaming.
+  const auto last_publish_ms =
+      std::make_shared<std::atomic<std::int64_t>>(-1000000);
+  spec.on_progress = [&job, last_publish_ms](const CampaignProgress& p) {
+    const std::int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    std::int64_t last = last_publish_ms->load(std::memory_order_relaxed);
+    const bool boundary =
+        p.cells_done == 0 ||
+        p.cells_done + p.cells_deferred >= p.cells_total;
+    if (!boundary && (now_ms - last < 25 ||
+                      !last_publish_ms->compare_exchange_strong(last,
+                                                                now_ms))) {
+      return;
+    }
+    if (boundary) last_publish_ms->store(now_ms);
+    job.update_progress(p);
+  };
+  if (spec.store.enabled()) {
+    // The daemon is the sole mutator of its stores while resident, which
+    // is exactly the reuse_handles contract — submissions against the
+    // same store dir share one open journal instead of re-reading it.
+    spec.store.reuse_handles = true;
+    const StoreHandles handles =
+        acquire_store_handles(spec.store, runner_.env_hash());
+    std::lock_guard<std::mutex> lock(store_mu_);
+    pinned_ = handles;  // keep alive across handle-cache trims
+    warm_.set_store(handles.goldens.get());
+  }
+  return runner_.run(spec);
+}
+
+std::int64_t ServiceSession::flush_goldens() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return warm_.flush_to_store();
+}
+
+SessionCache::SessionCache(ModelEnvBuilder builder, std::size_t max_sessions,
+                           std::size_t golden_capacity)
+    : builder_(std::move(builder)),
+      max_sessions_(std::max<std::size_t>(max_sessions, 1)),
+      golden_capacity_(golden_capacity) {}
+
+std::shared_ptr<ServiceSession> SessionCache::get_or_build(
+    const ModelEnv& env, std::string* error) {
+  const std::string key = model_env_key(env);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++clock_;
+  if (const auto it = sessions_.find(key); it != sessions_.end()) {
+    it->second.last_used = clock_;
+    return it->second.session;
+  }
+  // Admit: evict the least recently used *idle* session first (a session
+  // running a job is shared with its executor, use_count > 1).
+  while (sessions_.size() >= max_sessions_) {
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second.session.use_count() > 1) continue;
+      if (victim == sessions_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) break;  // everything busy: over-admit
+    WF_INFO << "service: evicting warm session " << victim->first;
+    victim->second.session->flush_goldens();
+    sessions_.erase(victim);
+  }
+  // Built under the lock: a concurrent submission for the same env must
+  // not build a second copy (the build is the expensive part the daemon
+  // exists to amortize). Unrelated envs briefly serialize here — their
+  // campaigns still run concurrently.
+  Network net("pending", env.dtype);
+  Dataset data;
+  if (!builder_(env, &net, &data, error)) return nullptr;
+  auto session = std::make_shared<ServiceSession>(env, std::move(net),
+                                                  std::move(data),
+                                                  golden_capacity_);
+  sessions_[key] = Slot{session, clock_};
+  return session;
+}
+
+std::int64_t SessionCache::flush_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t flushed = 0;
+  for (auto& [key, slot] : sessions_) {
+    flushed += slot.session->flush_goldens();
+  }
+  return flushed;
+}
+
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace winofault

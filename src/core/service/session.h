@@ -1,0 +1,109 @@
+// Warm per-environment state of the resident campaign service. A session
+// owns everything that used to be cold-start cost for every figure
+// process: the built-and-calibrated Network, its teacher Dataset, a
+// CampaignRunner with the env hash cached, and the shared cross-submission
+// GoldenLru (CampaignSpec::warm_goldens) — plus pinned store handles so a
+// stored submission's journal/golden files stay open across submissions
+// (the daemon is their sole mutator, which is exactly the
+// StoreOptions::reuse_handles contract).
+//
+// Sessions are keyed by model_env_key: the golden tier's (image, policy)
+// keys are only meaningful within one campaign environment, so the "one
+// warm LRU keyed (image, policy, env)" of the service is realized as one
+// LRU per env, owned by that env's session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/campaign/campaign.h"
+#include "core/service/protocol.h"
+#include "core/service/scheduler.h"
+#include "core/store/handle_cache.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+
+namespace winofault {
+
+// Builds the (network, dataset) a ModelEnv describes. Deterministic — the
+// daemon-side build must hash identically to the client-side one or
+// journaled cells and spilled goldens could never be shared. Returns false
+// with `error` set on an unknown model.
+using ModelEnvBuilder = std::function<bool(const ModelEnv& env, Network* net,
+                                           Dataset* data,
+                                           std::string* error)>;
+
+// The production builder: zoo entry + teacher dataset, the exact recipe of
+// the bench drivers' make_model (nn/models/zoo.h).
+ModelEnvBuilder default_model_env_builder();
+
+class ServiceSession {
+ public:
+  ServiceSession(ModelEnv env, Network net, Dataset data,
+                 std::size_t golden_capacity);
+
+  // Executes one job's campaign against the warm tier: rewrites the spec
+  // server-side (shared GoldenLru, progress -> job, cancel flag, handle
+  // reuse, dist stripped) and runs it on the session's runner. Safe to
+  // call from several executors concurrently — concurrent campaigns share
+  // the process thread pool via parallel_for.
+  CampaignResult run(ServiceJob& job);
+
+  // Spills every still-resident golden to the most recent stored
+  // submission's tier-2 store (no-op if none was stored). Drain path.
+  std::int64_t flush_goldens();
+
+  const ModelEnv& env() const { return env_; }
+  std::uint64_t env_hash() const { return runner_.env_hash(); }
+
+ private:
+  ModelEnv env_;
+  Network net_;
+  Dataset data_;
+  CampaignRunner runner_;
+  GoldenLru warm_;
+  std::mutex store_mu_;
+  // Pins the latest stored submission's handles so warm_'s spill target
+  // stays valid across handle-cache trims.
+  StoreHandles pinned_;
+};
+
+// Session registry with LRU eviction: at most `max_sessions` warm
+// environments; the least recently used idle session is flushed and
+// dropped to admit a new one (sessions running a job are never evicted).
+class SessionCache {
+ public:
+  SessionCache(ModelEnvBuilder builder, std::size_t max_sessions,
+               std::size_t golden_capacity);
+
+  // Returns the warm session for `env`, building network + dataset on
+  // first use (expensive — amortized across every later submission).
+  // Builds serialize on the cache lock; nullptr + `error` on failure.
+  std::shared_ptr<ServiceSession> get_or_build(const ModelEnv& env,
+                                               std::string* error);
+
+  // Flushes every session's goldens (drain); returns total spilled.
+  std::int64_t flush_all();
+
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<ServiceSession> session;
+    std::uint64_t last_used = 0;
+  };
+
+  ModelEnvBuilder builder_;
+  std::size_t max_sessions_;
+  std::size_t golden_capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<std::string, Slot> sessions_;
+};
+
+}  // namespace winofault

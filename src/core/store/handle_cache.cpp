@@ -1,17 +1,29 @@
 #include "core/store/handle_cache.h"
 
+#include <algorithm>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/store/golden_store.h"
 
 namespace winofault {
 namespace {
 
+// Acquisition stamps order evictions: trim drops the least recently
+// *acquired* unused handles first (acquire bumps the stamp, so anything a
+// consumer keeps coming back for stays cached).
+template <typename T>
+struct Slot {
+  std::shared_ptr<T> handle;
+  std::uint64_t last_acquired = 0;
+};
+
 struct Registry {
   std::mutex mu;
-  std::unordered_map<std::string, std::shared_ptr<ResultJournal>> journals;
-  std::unordered_map<std::string, std::shared_ptr<GoldenStore>> goldens;
+  std::uint64_t clock = 0;
+  std::unordered_map<std::string, Slot<ResultJournal>> journals;
+  std::unordered_map<std::string, Slot<GoldenStore>> goldens;
 };
 
 Registry& registry() {
@@ -34,6 +46,19 @@ std::string golden_key(const StoreOptions& options, std::uint64_t env_hash) {
          std::to_string(options.golden_disk_budget);
 }
 
+// Unused (use_count == 1 means only the registry holds it) entries of one
+// map, oldest acquisition first, as (stamp, key) pairs appended to `order`.
+template <typename T>
+void collect_unused(
+    const std::unordered_map<std::string, Slot<T>>& map,
+    std::vector<std::pair<std::uint64_t, const std::string*>>* order) {
+  for (const auto& [key, slot] : map) {
+    if (slot.handle.use_count() == 1) {
+      order->emplace_back(slot.last_acquired, &key);
+    }
+  }
+}
+
 }  // namespace
 
 StoreHandles acquire_store_handles(const StoreOptions& options,
@@ -44,23 +69,25 @@ StoreHandles acquire_store_handles(const StoreOptions& options,
   if (!options.enabled()) return handles;
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
+  ++reg.clock;
   if (options.journal) {
-    const std::string key = journal_key(options, env_hash, mode, segment_tag);
-    auto& slot = reg.journals[key];
-    if (slot == nullptr) {
-      slot = std::make_shared<ResultJournal>(options.dir, env_hash, mode,
-                                             segment_tag);
+    Slot<ResultJournal>& slot =
+        reg.journals[journal_key(options, env_hash, mode, segment_tag)];
+    if (slot.handle == nullptr) {
+      slot.handle = std::make_shared<ResultJournal>(options.dir, env_hash,
+                                                    mode, segment_tag);
     }
-    handles.journal = slot;
+    slot.last_acquired = reg.clock;
+    handles.journal = slot.handle;
   }
   if (options.spill_goldens) {
-    const std::string key = golden_key(options, env_hash);
-    auto& slot = reg.goldens[key];
-    if (slot == nullptr) {
-      slot = std::make_shared<GoldenStore>(options.dir, env_hash,
-                                           options.golden_disk_budget);
+    Slot<GoldenStore>& slot = reg.goldens[golden_key(options, env_hash)];
+    if (slot.handle == nullptr) {
+      slot.handle = std::make_shared<GoldenStore>(options.dir, env_hash,
+                                                  options.golden_disk_budget);
     }
-    handles.goldens = slot;
+    slot.last_acquired = reg.clock;
+    handles.goldens = slot.handle;
   }
   return handles;
 }
@@ -70,6 +97,44 @@ void clear_store_handle_cache() {
   std::lock_guard<std::mutex> lock(reg.mu);
   reg.journals.clear();
   reg.goldens.clear();
+}
+
+std::size_t trim_store_handle_cache(std::size_t max_handles) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const std::size_t total = reg.journals.size() + reg.goldens.size();
+  if (total <= max_handles) return 0;
+
+  std::vector<std::pair<std::uint64_t, const std::string*>> j_order, g_order;
+  collect_unused(reg.journals, &j_order);
+  collect_unused(reg.goldens, &g_order);
+  // Merge the two kinds into one global acquisition order. The pointer
+  // component only breaks stamp ties (stamps are unique, so it never
+  // actually decides).
+  std::sort(j_order.begin(), j_order.end());
+  std::sort(g_order.begin(), g_order.end());
+
+  std::size_t to_evict = total - max_handles;
+  std::size_t evicted = 0;
+  std::size_t ji = 0, gi = 0;
+  while (evicted < to_evict) {
+    const bool j_ok = ji < j_order.size();
+    const bool g_ok = gi < g_order.size();
+    if (!j_ok && !g_ok) break;  // everything left is in use
+    if (j_ok && (!g_ok || j_order[ji].first <= g_order[gi].first)) {
+      reg.journals.erase(*j_order[ji++].second);
+    } else {
+      reg.goldens.erase(*g_order[gi++].second);
+    }
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::size_t store_handle_cache_size() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.journals.size() + reg.goldens.size();
 }
 
 }  // namespace winofault

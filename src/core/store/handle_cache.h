@@ -43,4 +43,17 @@ StoreHandles acquire_store_handles(
 // unreferenced). Test hook.
 void clear_store_handle_cache();
 
+// Evicts cached handles nobody else holds (use_count == 1), least recently
+// acquired first, until at most `max_handles` remain in the cache
+// (journal and golden handles counted together). Handles still shared
+// with a consumer are never evicted — a long-lived owner (a core/service
+// session pinning its store) keeps its pointers valid across trims; the
+// registry merely drops its reference. Returns the number evicted. A
+// resident daemon calls this between submissions so serving many store
+// directories over weeks cannot grow the registry without bound.
+std::size_t trim_store_handle_cache(std::size_t max_handles);
+
+// Handles currently cached (journals + goldens).
+std::size_t store_handle_cache_size();
+
 }  // namespace winofault

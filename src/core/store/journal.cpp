@@ -108,17 +108,34 @@ bool ResultJournal::read_cells(const std::string& path,
                                std::uint64_t env_hash,
                                std::vector<JournalCell>* out, bool* torn,
                                bool* unreadable) {
+  return read_cells_from(path, env_hash, 0, out, nullptr, torn, unreadable);
+}
+
+bool ResultJournal::read_cells_from(const std::string& path,
+                                    std::uint64_t env_hash,
+                                    std::int64_t offset,
+                                    std::vector<JournalCell>* out,
+                                    std::int64_t* next_offset, bool* torn,
+                                    bool* unreadable) {
   if (torn != nullptr) *torn = false;
   if (unreadable != nullptr) *unreadable = false;
+  if (next_offset != nullptr) *next_offset = offset;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     if (unreadable != nullptr) *unreadable = true;
     return false;
   }
-  RawHeader header{};
-  if (std::fread(&header, sizeof(header), 1, f) != 1 ||
-      header.magic != kJournalMagic || header.env_hash != env_hash) {
+  if (offset == 0) {
+    RawHeader header{};
+    if (std::fread(&header, sizeof(header), 1, f) != 1 ||
+        header.magic != kJournalMagic || header.env_hash != env_hash) {
+      std::fclose(f);
+      return false;
+    }
+    offset = static_cast<std::int64_t>(sizeof(RawHeader));
+  } else if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
     std::fclose(f);
+    if (unreadable != nullptr) *unreadable = true;
     return false;
   }
   long records_read = 0;
@@ -133,11 +150,12 @@ bool ResultJournal::read_cells(const std::string& path,
     cell.flips = static_cast<std::int64_t>(r.flips);
     out->push_back(cell);
   }
+  const std::int64_t read_end =
+      offset + records_read * static_cast<std::int64_t>(sizeof(RawRecord));
+  if (next_offset != nullptr) *next_offset = read_end;
   if (torn != nullptr) {
-    const long read_end = static_cast<long>(sizeof(RawHeader)) +
-                          records_read * static_cast<long>(sizeof(RawRecord));
     std::fseek(f, 0, SEEK_END);
-    *torn = std::ftell(f) != read_end;
+    *torn = static_cast<std::int64_t>(std::ftell(f)) != read_end;
   }
   std::fclose(f);
   return true;

@@ -111,6 +111,22 @@ class ResultJournal {
                          std::vector<JournalCell>* out, bool* torn = nullptr,
                          bool* unreadable = nullptr);
 
+  // Incremental primitive behind read_cells and the segment read cache
+  // (segment_cache.h): parses intact records starting at byte `offset` —
+  // 0 validates the header first; any other value must be a record
+  // boundary a previous call reported via `next_offset`. `next_offset`
+  // receives the offset just past the last intact record, i.e. the resume
+  // point once the file has grown (a torn trailing record is NOT consumed:
+  // a later call re-validates it from the same offset, so a record that
+  // completes between calls is picked up and one that never does keeps
+  // being skipped). Other parameters behave as in read_cells.
+  static bool read_cells_from(const std::string& path, std::uint64_t env_hash,
+                              std::int64_t offset,
+                              std::vector<JournalCell>* out,
+                              std::int64_t* next_offset = nullptr,
+                              bool* torn = nullptr,
+                              bool* unreadable = nullptr);
+
  private:
   void recover_and_open(Mode mode);
 

@@ -1,0 +1,119 @@
+#include "core/store/segment_cache.h"
+
+#include <sys/stat.h>
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace winofault {
+namespace {
+
+struct Entry {
+  std::uint64_t env_hash = 0;
+  std::uint64_t dev = 0;
+  std::uint64_t ino = 0;
+  std::int64_t offset = 0;  // byte offset past the last intact record
+  std::vector<JournalCell> cells;
+};
+
+struct Cache {
+  std::mutex mu;
+  std::unordered_map<std::string, Entry> entries;
+  SegmentCacheStats stats;
+};
+
+Cache& cache() {
+  static Cache* c = new Cache;  // leaked: callers may outlive main
+  return *c;
+}
+
+}  // namespace
+
+bool read_segment_cells_cached(const std::string& path,
+                               std::uint64_t env_hash,
+                               std::vector<JournalCell>* out, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    // Deleted (e.g. the segment was merged and retired): match read_cells
+    // on a missing file and forget whatever we knew about the old one.
+    c.entries.erase(path);
+    return false;
+  }
+
+  auto it = c.entries.find(path);
+  const std::int64_t size = static_cast<std::int64_t>(st.st_size);
+  if (it != c.entries.end()) {
+    Entry& e = it->second;
+    const bool same_file = e.env_hash == env_hash &&
+                           e.dev == static_cast<std::uint64_t>(st.st_dev) &&
+                           e.ino == static_cast<std::uint64_t>(st.st_ino) &&
+                           size >= e.offset;
+    if (!same_file) {
+      // Truncated, replaced, or queried for a different environment:
+      // nothing cached can be trusted.
+      c.entries.erase(it);
+      it = c.entries.end();
+      ++c.stats.invalidations;
+    }
+  }
+
+  if (it == c.entries.end()) {
+    Entry e;
+    e.env_hash = env_hash;
+    e.dev = static_cast<std::uint64_t>(st.st_dev);
+    e.ino = static_cast<std::uint64_t>(st.st_ino);
+    if (!ResultJournal::read_cells_from(path, env_hash, 0, &e.cells,
+                                        &e.offset, torn)) {
+      return false;  // unreadable or foreign header — cache nothing
+    }
+    ++c.stats.full_reads;
+    c.stats.cells_parsed += static_cast<std::int64_t>(e.cells.size());
+    out->insert(out->end(), e.cells.begin(), e.cells.end());
+    c.entries.emplace(path, std::move(e));
+    return true;
+  }
+
+  Entry& e = it->second;
+  if (size > e.offset) {
+    // Appended suffix (or a previously torn tail that may have completed):
+    // parse from the resume offset only.
+    const std::size_t before = e.cells.size();
+    std::int64_t next = e.offset;
+    bool suffix_torn = false;
+    if (ResultJournal::read_cells_from(path, env_hash, e.offset, &e.cells,
+                                       &next, &suffix_torn)) {
+      e.offset = next;
+      c.stats.cells_parsed +=
+          static_cast<std::int64_t>(e.cells.size() - before);
+      if (torn != nullptr) *torn = suffix_torn;
+    } else {
+      // The file vanished or became unseekable between stat and read;
+      // serve what we have (every cached cell was intact when parsed).
+      if (torn != nullptr) *torn = true;
+    }
+  } else if (torn != nullptr) {
+    *torn = size != e.offset;
+  }
+  ++c.stats.incremental_reads;
+  out->insert(out->end(), e.cells.begin(), e.cells.end());
+  return true;
+}
+
+SegmentCacheStats segment_cache_stats() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.stats;
+}
+
+void clear_segment_cache() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.entries.clear();
+}
+
+}  // namespace winofault

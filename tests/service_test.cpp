@@ -1,0 +1,503 @@
+// Resident-service guarantees (core/service):
+//   (a) a campaign submitted to winofaultd over the socket returns results
+//       bit-identical to a direct in-process CampaignRunner run;
+//   (b) warm state is shared across submissions: the second identical
+//       submission builds zero goldens, and a store-enabled pair resumes
+//       from the journal (partial-then-complete) instead of restarting;
+//   (c) the scheduler is FIFO per client and round-robin across clients;
+//   (d) cancel stops a running campaign cooperatively (partial result,
+//       deferred cells) and discards a queued one;
+//   (e) drain finishes the backlog, spills warm goldens to their stores,
+//       and refuses new work;
+//   (f) the protocol rejects malformed requests, unknown models, and
+//       client/daemon environment-hash skew without touching any result.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/campaign/campaign.h"
+#include "core/service/client.h"
+#include "core/service/protocol.h"
+#include "core/service/scheduler.h"
+#include "core/service/server.h"
+#include "core/store/handle_cache.h"
+#include "core/store/hash.h"
+#include "nn/dataset.h"
+
+namespace winofault {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  Network net;
+  Dataset data;
+};
+
+// Deterministic function of (images, weight_seed) — shared by the direct
+// runs and the server-side builder below, mirroring how bench clients and
+// the daemon rebuild one environment from a ModelEnv.
+Fixture make_fixture(int images = 8, std::uint64_t weight_seed = 83) {
+  Network net("service", DType::kInt16);
+  Rng rng(weight_seed);
+  int x = net.add_input(Shape{1, 3, 12, 12});
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 12, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 5, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 3, 19));
+  Dataset data = make_teacher_dataset(net, images, 5, 0.9, 27);
+  return Fixture{std::move(net), std::move(data)};
+}
+
+ModelEnvBuilder test_env_builder() {
+  return [](const ModelEnv& env, Network* net, Dataset* data,
+            std::string* error) {
+    if (env.model != "testnet") {
+      if (error != nullptr) *error = "unknown model '" + env.model + "'";
+      return false;
+    }
+    Fixture f = make_fixture(env.images, env.seed);
+    *net = std::move(f.net);
+    *data = std::move(f.data);
+    return true;
+  };
+}
+
+ModelEnv test_env(int images = 8, std::uint64_t seed = 83) {
+  ModelEnv env;
+  env.model = "testnet";
+  env.images = images;
+  env.seed = seed;
+  return env;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "winofault_service_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<CampaignPoint> small_grid(int trials = 2) {
+  std::vector<CampaignPoint> points;
+  for (const double ber : {1e-7, 3e-6}) {
+    for (const ConvPolicy policy :
+         {ConvPolicy::kDirect, ConvPolicy::kWinograd2}) {
+      CampaignPoint point;
+      point.fault.ber = ber;
+      point.policy = policy;
+      point.seed = 7;
+      point.trials = trials;
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+void expect_same_results(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    EXPECT_DOUBLE_EQ(a.points[p].accuracy, b.points[p].accuracy)
+        << "point " << p;
+    EXPECT_DOUBLE_EQ(a.points[p].avg_flips, b.points[p].avg_flips)
+        << "point " << p;
+    EXPECT_EQ(a.points[p].images, b.points[p].images) << "point " << p;
+  }
+}
+
+// Server bound to a fresh socket with the test builder; joined on scope
+// exit.
+struct TestServer {
+  explicit TestServer(const std::string& dir, int jobs = 1) {
+    ServerOptions options;
+    options.socket_path = dir + "/winofaultd.sock";
+    options.concurrent_jobs = jobs;
+    options.env_builder = test_env_builder();
+    server = std::make_unique<ServiceServer>(options);
+    std::string error;
+    ok = server->start(&error);
+    EXPECT_TRUE(ok) << error;
+    socket_path = options.socket_path;
+  }
+  ~TestServer() {
+    if (ok) {
+      server->request_drain();
+      server->wait();
+    }
+  }
+  std::unique_ptr<ServiceServer> server;
+  std::string socket_path;
+  bool ok = false;
+};
+
+// ---- protocol codecs ----
+
+TEST(ServiceProtocol, JsonNumbersRoundTripExactly) {
+  const std::string text =
+      "{\"a\":1e-09,\"b\":0.72599999999999998,\"c\":18446744073709551615,"
+      "\"d\":-42,\"e\":[true,false,null,\"s\\u0041\"]}";
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->find("a")->as_double(), 1e-9);
+  EXPECT_DOUBLE_EQ(parsed->find("b")->as_double(), 0.726);
+  EXPECT_EQ(parsed->find("c")->as_uint(), 18446744073709551615ULL);
+  EXPECT_EQ(parsed->find("d")->as_int(), -42);
+  // dump -> parse -> dump is a fixed point.
+  const std::string dumped = parsed->dump();
+  const auto reparsed = Json::parse(dumped);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->dump(), dumped);
+  EXPECT_EQ(reparsed->find("e")->elements().at(3).as_string(), "sA");
+
+  EXPECT_FALSE(Json::parse("{\"unterminated\":").has_value());
+  EXPECT_FALSE(Json::parse("{} trailing").has_value());
+  EXPECT_FALSE(Json::parse("nope").has_value());
+}
+
+TEST(ServiceProtocol, CampaignSpecRoundTripPreservesPointHashes) {
+  CampaignSpec spec;
+  spec.threads = 3;
+  spec.golden_capacity = 17;
+  spec.store.dir = "/tmp/some/store";
+  spec.store.cell_budget = 9;
+  spec.store.golden_disk_budget = 123456789;
+  CampaignPoint a;
+  a.fault.ber = 3.7e-7;
+  a.fault.mode = InjectionMode::kNeuronLevel;
+  a.policy = ConvPolicy::kWinograd2;
+  a.seed = 0xdeadbeefcafef00dULL;
+  a.trials = 5;
+  a.tag = "round\ntrip\"";
+  CampaignPoint b;
+  b.fault.ber = 1e-9;
+  b.fault.only_kind = OpKind::kAdd;
+  b.fault.fault_free_layer = 2;
+  b.fault.protection[1] = ProtectionSet(0.25, 0.5);
+  b.fault.protection[3] = ProtectionSet(1.0, 0.0, 77);
+  b.reuse_golden = false;
+  b.max_expected_flips = 123.5;
+  spec.points = {a, b};
+
+  const Json encoded = encode_campaign_spec(spec);
+  const auto reparsed = Json::parse(encoded.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  CampaignSpec decoded;
+  std::string error;
+  ASSERT_TRUE(decode_campaign_spec(*reparsed, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.points.size(), spec.points.size());
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    // The point hash covers every result-determining field, so hash
+    // equality IS semantic round-trip fidelity.
+    EXPECT_EQ(campaign_point_hash(decoded.points[i]),
+              campaign_point_hash(spec.points[i]))
+        << "point " << i;
+  }
+  EXPECT_EQ(decoded.threads, 3);
+  EXPECT_EQ(decoded.golden_capacity, 17u);
+  EXPECT_EQ(decoded.store.dir, "/tmp/some/store");
+  EXPECT_EQ(decoded.store.cell_budget, 9);
+  EXPECT_EQ(decoded.store.golden_disk_budget, 123456789u);
+  EXPECT_FALSE(decoded.points[1].reuse_golden);
+  EXPECT_EQ(decoded.points[0].tag, "round\ntrip\"");
+}
+
+// ---- (a) bit-identity ----
+
+TEST(Service, SubmittedCampaignIsBitIdenticalToDirectRun) {
+  const Fixture f = make_fixture();
+  CampaignSpec spec;
+  spec.points = small_grid();
+  const CampaignResult direct = run_campaign(f.net, f.data, spec);
+
+  const std::string dir = fresh_dir("bit_identity");
+  TestServer ts(dir);
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+  ModelEnv env = test_env();
+  env.env_hash = campaign_env_hash(f.net, f.data);
+  // Progress events are best-effort (the streamer collapses intermediate
+  // snapshots, and a fast campaign can finish before the first one ships
+  // — the cancel test pins down streaming on a heavy campaign); only the
+  // final result is contractual.
+  const auto outcome = client.submit_and_wait("test", env, spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.state, "done");
+  expect_same_results(direct, outcome.result);
+}
+
+// ---- (b) warm cross-submission state ----
+
+TEST(Service, SecondSubmissionServesGoldensFromWarmTier) {
+  const std::string dir = fresh_dir("warm");
+  TestServer ts(dir);
+  CampaignSpec spec;
+  spec.points = small_grid();
+  const ModelEnv env = test_env();
+
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+  const auto cold = client.submit_and_wait("test", env, spec);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_GT(cold.result.stats.golden_builds, 0);
+
+  const auto warm = client.submit_and_wait("test", env, spec);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.result.stats.golden_builds, 0);
+  EXPECT_GT(warm.result.stats.golden_hits, 0);
+  expect_same_results(cold.result, warm.result);
+}
+
+TEST(Service, PartialThenCompleteResumesFromJournalAcrossSubmissions) {
+  const Fixture f = make_fixture();
+  CampaignSpec clean;
+  clean.points = small_grid();
+  const CampaignResult reference = run_campaign(f.net, f.data, clean);
+
+  const std::string dir = fresh_dir("partial_resume");
+  const std::string store_dir = dir + "/store";
+  TestServer ts(dir);
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+
+  // Submission 1: budgeted (the daemon-side analogue of a fig driver run
+  // under WINOFAULT_CELL_BUDGET) — must defer, not fail.
+  CampaignSpec budgeted;
+  budgeted.points = small_grid();
+  budgeted.store.dir = store_dir;
+  budgeted.store.cell_budget = 5;
+  const auto partial = client.submit_and_wait("test", test_env(), budgeted);
+  ASSERT_TRUE(partial.ok) << partial.error;
+  EXPECT_GT(partial.result.stats.cells_deferred, 0);
+  EXPECT_EQ(partial.result.stats.journal_cells_written, 5);
+
+  // Submission 2: same spec, no budget — must RESUME from the journal
+  // (cells loaded, only the remainder executed), not restart.
+  CampaignSpec full = budgeted;
+  full.store.cell_budget = 0;
+  const auto complete = client.submit_and_wait("test", test_env(), full);
+  ASSERT_TRUE(complete.ok) << complete.error;
+  EXPECT_EQ(complete.result.stats.cells_deferred, 0);
+  EXPECT_EQ(complete.result.stats.journal_cells_loaded, 5);
+  expect_same_results(reference, complete.result);
+
+  // Third submission: everything journaled, nothing executes.
+  const auto replay = client.submit_and_wait("test", test_env(), full);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  EXPECT_EQ(replay.result.stats.inferences, 0);
+  expect_same_results(reference, replay.result);
+}
+
+// ---- (c) scheduler fairness ----
+
+TEST(ServiceScheduler, RoundRobinAcrossClientsFifoWithin) {
+  Scheduler scheduler;
+  const auto job = [](const std::string& client, const std::string& id) {
+    auto j = std::make_shared<ServiceJob>();
+    j->client = client;
+    j->id = id;
+    return j;
+  };
+  ASSERT_TRUE(scheduler.enqueue(job("alice", "a1")));
+  ASSERT_TRUE(scheduler.enqueue(job("alice", "a2")));
+  ASSERT_TRUE(scheduler.enqueue(job("alice", "a3")));
+  ASSERT_TRUE(scheduler.enqueue(job("bob", "b1")));
+  ASSERT_TRUE(scheduler.enqueue(job("bob", "b2")));
+  std::vector<std::string> order;
+  for (int i = 0; i < 5; ++i) order.push_back(scheduler.next()->id);
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a1", "b1", "a2", "b2", "a3"}));
+  scheduler.drain();
+  EXPECT_FALSE(scheduler.enqueue(job("alice", "a4")));
+  EXPECT_EQ(scheduler.next(), nullptr);
+}
+
+TEST(ServiceScheduler, CancelledQueuedJobIsDiscarded) {
+  Scheduler scheduler;
+  auto a = std::make_shared<ServiceJob>();
+  a->client = "c";
+  a->id = "a";
+  auto b = std::make_shared<ServiceJob>();
+  b->client = "c";
+  b->id = "b";
+  ASSERT_TRUE(scheduler.enqueue(a));
+  ASSERT_TRUE(scheduler.enqueue(b));
+  a->finish(JobState::kCancelled, CampaignResult(), "cancelled");
+  EXPECT_EQ(scheduler.next()->id, "b");
+  EXPECT_EQ(scheduler.queued(), 0u);
+}
+
+// ---- (d) cancel ----
+
+TEST(Service, CancelStopsRunningCampaignWithPartialResult) {
+  const std::string dir = fresh_dir("cancel");
+  TestServer ts(dir);
+  CampaignSpec spec;
+  spec.points = small_grid(/*trials=*/300);  // heavy: many replays per cell
+
+  // Streamer connection: submit and read until the first progress event
+  // proves the campaign is running.
+  ServiceClient submitter;
+  std::string error;
+  ASSERT_TRUE(submitter.connect(ts.socket_path, &error)) << error;
+  std::string job_id;  // filled at the accepted event, before any progress
+  std::atomic<bool> cancelled_sent{false};
+  const auto outcome = submitter.submit_and_wait(
+      "test", test_env(), spec,
+      [&](const CampaignProgress&) {
+        if (cancelled_sent.exchange(true)) return;
+        // First progress event: cancel from a second connection.
+        ServiceClient canceller;
+        std::string cancel_error;
+        ASSERT_TRUE(canceller.connect(ts.socket_path, &cancel_error))
+            << cancel_error;
+        Json request = Json::object();
+        request.set("op", Json::str("cancel"));
+        request.set("job", Json::str(job_id));
+        const auto response = canceller.request(request, &cancel_error);
+        ASSERT_TRUE(response.has_value()) << cancel_error;
+        EXPECT_TRUE(response->find("ok")->as_bool());
+      },
+      &job_id);
+  ASSERT_TRUE(cancelled_sent.load());
+  EXPECT_TRUE(outcome.ok) << outcome.error;  // cancelled carries results
+  EXPECT_EQ(outcome.state, "cancelled");
+  EXPECT_GT(outcome.result.stats.cells_deferred, 0);
+}
+
+// ---- (e) drain ----
+
+TEST(Service, DrainFlushesWarmGoldensAndRefusesNewWork) {
+  const std::string dir = fresh_dir("drain");
+  const std::string store_dir = dir + "/store";
+  auto ts = std::make_unique<TestServer>(dir);
+  CampaignSpec spec;
+  spec.points = small_grid();
+  spec.store.dir = store_dir;
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts->socket_path, &error)) << error;
+  const auto outcome = client.submit_and_wait("test", test_env(), spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+
+  Json drain = Json::object();
+  drain.set("op", Json::str("drain"));
+  const auto response = client.request(drain, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_TRUE(response->find("ok")->as_bool());
+  EXPECT_GT(response->find("goldens_flushed")->as_int(), 0);
+  ts->server->wait();
+
+  // Goldens actually reached the tier-2 store…
+  int shards = 0;
+  for (const auto& entry : fs::directory_iterator(store_dir)) {
+    shards += entry.path().extension() == ".shard";
+  }
+  EXPECT_GT(shards, 0);
+  // …and the socket is gone: a fresh daemon can bind it cleanly.
+  EXPECT_FALSE(fs::exists(ts->socket_path));
+  ts.reset();
+}
+
+// ---- (f) rejection paths ----
+
+TEST(Service, RejectsUnknownModelMalformedJsonAndHashSkew) {
+  const std::string dir = fresh_dir("reject");
+  TestServer ts(dir);
+  CampaignSpec spec;
+  spec.points = small_grid();
+
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+  ModelEnv unknown = test_env();
+  unknown.model = "not-a-model";
+  const auto bad_model = client.submit_and_wait("test", unknown, spec);
+  EXPECT_FALSE(bad_model.ok);
+  EXPECT_NE(bad_model.error.find("unknown model"), std::string::npos)
+      << bad_model.error;
+
+  ModelEnv skewed = test_env();
+  skewed.env_hash = 0x1234567890abcdefULL;  // not what the build hashes to
+  const auto bad_hash = client.submit_and_wait("test", skewed, spec);
+  EXPECT_FALSE(bad_hash.ok);
+  EXPECT_NE(bad_hash.error.find("hash mismatch"), std::string::npos)
+      << bad_hash.error;
+
+  // Raw malformed line -> error response, connection stays usable.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, ts.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string garbage = "this is not json\n{\"op\":\"ping\"}\n";
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  std::string received;
+  char chunk[4096];
+  while (received.find('\n') == std::string::npos ||
+         received.find('\n') == received.size() - 1) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+    if (std::count(received.begin(), received.end(), '\n') >= 2) break;
+  }
+  ::close(fd);
+  EXPECT_NE(received.find("malformed"), std::string::npos) << received;
+  EXPECT_NE(received.find("\"pid\""), std::string::npos) << received;
+}
+
+// ---- concurrency ----
+
+TEST(Service, TwoConcurrentClientsGetIdenticalCorrectResults) {
+  const Fixture f = make_fixture();
+  CampaignSpec spec;
+  spec.points = small_grid();
+  const CampaignResult direct = run_campaign(f.net, f.data, spec);
+
+  const std::string dir = fresh_dir("concurrent");
+  TestServer ts(dir, /*jobs=*/2);
+  ServiceClient::SubmitOutcome outcomes[2];
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      ServiceClient client;
+      std::string error;
+      if (!client.connect(ts.socket_path, &error)) {
+        outcomes[c].error = error;
+        return;
+      }
+      outcomes[c] = client.submit_and_wait("client-" + std::to_string(c),
+                                           test_env(), spec);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_TRUE(outcomes[c].ok) << outcomes[c].error;
+    expect_same_results(direct, outcomes[c].result);
+  }
+}
+
+}  // namespace
+}  // namespace winofault

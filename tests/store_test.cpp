@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/analysis/network_sweep.h"
@@ -21,6 +22,7 @@
 #include "core/store/handle_cache.h"
 #include "core/store/hash.h"
 #include "core/store/journal.h"
+#include "core/store/segment_cache.h"
 #include "nn/dataset.h"
 
 namespace winofault {
@@ -475,6 +477,166 @@ TEST(Store, SweepReportsDeferredCellsFromBudgetedRuns) {
   const SweepResult finished =
       accuracy_sweeps(f.net, f.data, std::span(&options, 1));
   EXPECT_EQ(finished.stats.cells_deferred, 0);
+}
+
+TEST(Store, HandleCacheTrimEvictsOldestUnusedHandlesOnly) {
+  clear_store_handle_cache();
+  const std::string dir = fresh_dir("trim");
+  StoreOptions options;
+  options.dir = dir;
+
+  // Populate three journal+golden pairs; keep a live reference to env 1's
+  // handles (a resident daemon session pinning its store).
+  const StoreHandles pinned = acquire_store_handles(options, 1);
+  acquire_store_handles(options, 2).journal->append(JournalCell{7, 0, 1, 2});
+  acquire_store_handles(options, 3);
+  ASSERT_EQ(store_handle_cache_size(), 6u);
+
+  // Trimming to 2 must take the oldest *unused* handles; env 1's pinned
+  // pair must survive in the registry or get dropped — either way the
+  // pinned pointers stay valid — but never be closed out from under us.
+  const std::size_t evicted = trim_store_handle_cache(2);
+  EXPECT_EQ(evicted, 4u);
+  EXPECT_EQ(store_handle_cache_size(), 2u);
+  // Re-acquiring env 1 returns the still-cached pinned handles.
+  EXPECT_EQ(acquire_store_handles(options, 1).journal.get(),
+            pinned.journal.get());
+
+  // Evicted env 2 re-opens from disk with its appended cell intact —
+  // eviction closes handles, it never loses durable state.
+  JournalCell cell;
+  EXPECT_TRUE(acquire_store_handles(options, 2).journal->lookup(7, 0, &cell));
+  EXPECT_EQ(cell.flips, 2);
+
+  // Trim below the in-use count refuses to evict live handles.
+  clear_store_handle_cache();
+  const StoreHandles live = acquire_store_handles(options, 9);
+  EXPECT_EQ(trim_store_handle_cache(0), 0u);
+  EXPECT_EQ(store_handle_cache_size(), 2u);
+  EXPECT_EQ(acquire_store_handles(options, 9).journal.get(),
+            live.journal.get());
+  clear_store_handle_cache();
+}
+
+TEST(Store, ReuseHandlesResumeMatchesReopenResume) {
+  const Fixture f = make_fixture(4);
+  CampaignSpec spec;
+  spec.points = small_grid();
+  const CampaignResult reference = run_campaign(f.net, f.data, spec);
+
+  // Resume path A: fresh handles per campaign (re-open + re-read).
+  spec.store.dir = fresh_dir("reopen_equiv_a");
+  spec.store.reuse_handles = false;
+  run_campaign(f.net, f.data, spec);
+  const CampaignResult reopened = run_campaign(f.net, f.data, spec);
+
+  // Resume path B: cached handles (reuse_handles) over an identical store.
+  spec.store.dir = fresh_dir("reopen_equiv_b");
+  spec.store.reuse_handles = true;
+  const CampaignRunner runner(f.net, f.data);
+  runner.run(spec);
+  const CampaignResult reused = runner.run(spec);
+
+  // Both resumes replay every cell without executing, with identical
+  // numbers — handle reuse is a latency optimization, never a semantic.
+  expect_same_results(reference, reopened);
+  expect_same_results(reference, reused);
+  EXPECT_EQ(reopened.stats.inferences, 0);
+  EXPECT_EQ(reused.stats.inferences, 0);
+  EXPECT_EQ(reused.stats.journal_cells_loaded,
+            reopened.stats.journal_cells_loaded);
+  clear_store_handle_cache();
+}
+
+TEST(Store, SegmentCacheReadsOnlyTheAppendedSuffix) {
+  const std::string dir = fresh_dir("segcache");
+  const std::uint64_t env = 0xabcdef12;
+  const std::string path = ResultJournal::segment_path(dir, env, "w1");
+  auto journal = std::make_unique<ResultJournal>(
+      dir, env, ResultJournal::Mode::kAppend, "w1");
+  for (int i = 0; i < 3; ++i) {
+    journal->append(JournalCell{100 + static_cast<std::uint64_t>(i), i, 1,
+                                i});
+  }
+
+  const SegmentCacheStats before = segment_cache_stats();
+  std::vector<JournalCell> cells;
+  bool torn = true;
+  ASSERT_TRUE(read_segment_cells_cached(path, env, &cells, &torn));
+  EXPECT_EQ(cells.size(), 3u);
+  EXPECT_FALSE(torn);
+  SegmentCacheStats after = segment_cache_stats();
+  EXPECT_EQ(after.full_reads - before.full_reads, 1);
+  EXPECT_EQ(after.cells_parsed - before.cells_parsed, 3);
+
+  // Append through the live handle; the next cached read must parse only
+  // the two new records.
+  journal->append(JournalCell{200, 7, 1, 9});
+  journal->append(JournalCell{201, 8, 0, 4});
+  cells.clear();
+  ASSERT_TRUE(read_segment_cells_cached(path, env, &cells, &torn));
+  EXPECT_EQ(cells.size(), 5u);
+  EXPECT_FALSE(torn);
+  after = segment_cache_stats();
+  EXPECT_EQ(after.full_reads - before.full_reads, 1) << "no second full read";
+  EXPECT_EQ(after.incremental_reads - before.incremental_reads, 1);
+  EXPECT_EQ(after.cells_parsed - before.cells_parsed, 5);
+
+  // An unchanged file is a pure cache hit: zero records parsed.
+  cells.clear();
+  ASSERT_TRUE(read_segment_cells_cached(path, env, &cells, &torn));
+  EXPECT_EQ(cells.size(), 5u);
+  after = segment_cache_stats();
+  EXPECT_EQ(after.cells_parsed - before.cells_parsed, 5);
+  clear_segment_cache();
+}
+
+TEST(Store, SegmentCacheToleratesTornTailsAndDetectsReplacement) {
+  const std::string dir = fresh_dir("segcache_torn");
+  const std::uint64_t env = 0x777;
+  const std::string path = ResultJournal::segment_path(dir, env, "w2");
+  {
+    ResultJournal journal(dir, env, ResultJournal::Mode::kAppend, "w2");
+    journal.append(JournalCell{1, 0, 1, 1});
+    journal.append(JournalCell{2, 1, 0, 2});
+  }
+  // Crash mid-append: garbage trailing bytes shorter than a record.
+  {
+    std::ofstream torn_tail(path, std::ios::binary | std::ios::app);
+    torn_tail << "partial-record-garbage";
+  }
+  std::vector<JournalCell> cells;
+  bool torn = false;
+  ASSERT_TRUE(read_segment_cells_cached(path, env, &cells, &torn));
+  EXPECT_EQ(cells.size(), 2u) << "intact records served, tail dropped";
+  EXPECT_TRUE(torn);
+  // Torn state is not sticky in the cache: the same answer on a re-read.
+  cells.clear();
+  ASSERT_TRUE(read_segment_cells_cached(path, env, &cells, &torn));
+  EXPECT_EQ(cells.size(), 2u);
+  EXPECT_TRUE(torn);
+
+  // Append-mode recovery repairs the file through a tmp+rename (new
+  // inode) and appends one more cell: the cache must detect the
+  // replacement and re-read from scratch rather than serve stale offsets.
+  const SegmentCacheStats before = segment_cache_stats();
+  {
+    ResultJournal journal(dir, env, ResultJournal::Mode::kAppend, "w2");
+    journal.append(JournalCell{3, 2, 1, 3});
+  }
+  cells.clear();
+  ASSERT_TRUE(read_segment_cells_cached(path, env, &cells, &torn));
+  EXPECT_EQ(cells.size(), 3u);
+  EXPECT_FALSE(torn);
+  const SegmentCacheStats after = segment_cache_stats();
+  EXPECT_EQ(after.invalidations - before.invalidations, 1);
+  EXPECT_EQ(after.full_reads - before.full_reads, 1);
+
+  // Deletion (a merge retiring the segment) drops the entry.
+  fs::remove(path);
+  cells.clear();
+  EXPECT_FALSE(read_segment_cells_cached(path, env, &cells, &torn));
+  clear_segment_cache();
 }
 
 TEST(Store, GoldenDiskBudgetEvictsOldestShards) {

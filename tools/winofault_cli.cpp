@@ -1,0 +1,94 @@
+// winofault-cli — thin control client for winofaultd (core/service).
+// Figure submissions normally go through the fig drivers' --daemon mode;
+// this tool covers the operational verbs:
+//
+//   winofault-cli --socket PATH ping
+//   winofault-cli --socket PATH status JOB
+//   winofault-cli --socket PATH cancel JOB
+//   winofault-cli --socket PATH drain
+//
+// Every response is echoed as its raw JSON line; the exit code is 0 when
+// the daemon answered ok:true, 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/service/client.h"
+#include "core/service/protocol.h"
+
+namespace {
+
+void usage(const char* prog, std::FILE* to) {
+  std::fprintf(to,
+               "usage: %s --socket PATH <ping|drain|status JOB|cancel JOB>\n",
+               prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using winofault::Json;
+  using winofault::ServiceClient;
+
+  std::string socket_path;
+  std::string verb;
+  std::string job;
+  const char* prog = argc > 0 ? argv[0] : "winofault-cli";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(prog, stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --socket requires a value\n", prog);
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else if (verb.empty()) {
+      verb = argv[i];
+    } else if (job.empty()) {
+      job = argv[i];
+    } else {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", prog, argv[i]);
+      usage(prog, stderr);
+      return 2;
+    }
+  }
+  if (socket_path.empty() || verb.empty()) {
+    usage(prog, stderr);
+    return 2;
+  }
+  const bool needs_job = verb == "status" || verb == "cancel";
+  if (needs_job == job.empty()) {
+    std::fprintf(stderr, needs_job ? "%s: '%s' needs a job id\n"
+                                   : "%s: '%s' takes no job id\n",
+                 prog, verb.c_str());
+    return 2;
+  }
+  if (verb != "ping" && verb != "drain" && !needs_job) {
+    std::fprintf(stderr, "%s: unknown verb '%s'\n", prog, verb.c_str());
+    usage(prog, stderr);
+    return 2;
+  }
+
+  ServiceClient client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) {
+    std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+    return 1;
+  }
+  Json request = Json::object();
+  request.set("op", Json::str(verb));
+  if (!job.empty()) request.set("job", Json::str(job));
+  if (verb == "status") request.set("wait", Json::boolean(false));
+  const std::optional<Json> response = client.request(request, &error);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->dump().c_str());
+  const Json* ok = response->find("ok");
+  return ok != nullptr && ok->as_bool(false) ? 0 : 1;
+}
