@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/iofault/iofault.h"
 #include "common/logging.h"
 
 namespace winofault {
@@ -17,9 +18,9 @@ namespace fs = std::filesystem;
 bool write_small_file(const std::string& path, const std::string& contents) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
-  const bool ok =
-      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size() &&
-      std::fflush(f) == 0;
+  const bool ok = iofault::checked_fwrite(contents.data(), contents.size(), f,
+                                          path) == contents.size() &&
+                  std::fflush(f) == 0;
   std::fclose(f);
   return ok;
 }
@@ -61,9 +62,12 @@ bool ClaimBoard::try_claim(int bucket) {
   const std::string tmp = claim_path(bucket) + ".tmp." + tag_;
   if (!write_small_file(tmp, tag_)) return false;
   // link(2) is the atomic commit: it fails if the claim name already
-  // exists, so of any number of racing workers exactly one acquires it.
+  // exists, so of any number of racing workers exactly one acquires it. An
+  // injected link failure is indistinguishable from losing the race — the
+  // bucket is simply not ours, and assembly self-heals any bucket no
+  // worker claimed.
   std::error_code ec;
-  fs::create_hard_link(tmp, claim_path(bucket), ec);
+  iofault::checked_link(tmp, claim_path(bucket), ec);
   std::error_code ignore;
   fs::remove(tmp, ignore);
   return !ec;
@@ -81,7 +85,7 @@ bool ClaimBoard::try_steal(int bucket) {
   // ENOENT. The graveyard name is per-stealer so rivals cannot collide on
   // it either.
   const std::string grave = claim_path(bucket) + ".stolen." + tag_;
-  fs::rename(claim_path(bucket), grave, ec);
+  iofault::checked_rename(claim_path(bucket), grave, ec);
   if (ec) return false;
   std::error_code ignore;
   fs::remove(grave, ignore);

@@ -83,6 +83,17 @@ MergeStats merge_campaign_segments(const std::string& dir) {
         ++stats.cells_merged;
       }
       if (unwritable) continue;
+      // Durability barrier before retirement: the segment is the only
+      // durable copy of its cells until the canonical appends reach disk,
+      // so removing it on the strength of buffered writes would turn a
+      // power cut into data loss. A failed sync keeps the segment (a later
+      // merge re-folds it — duplicates dedup away).
+      if (!canonical->sync()) {
+        WF_WARN << "merge: canonical sync failed; keeping " << seg->path;
+        ++stats.journals_unwritable;
+        unwritable = true;
+        continue;
+      }
       ++stats.segments_merged;
       std::error_code ec;
       fs::remove(seg->path, ec);

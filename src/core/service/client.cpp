@@ -4,8 +4,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/iofault/iofault.h"
+#include "common/logging.h"
 
 namespace winofault {
 namespace {
@@ -25,6 +31,8 @@ void ServiceClient::close() {
     fd_ = -1;
   }
   buffer_.clear();
+  socket_path_.clear();
+  sock_tag_.clear();
 }
 
 bool ServiceClient::connect(const std::string& socket_path,
@@ -37,6 +45,10 @@ bool ServiceClient::connect(const std::string& socket_path,
   }
   std::strncpy(addr.sun_path, socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
+  if (iofault::connect_should_drop("client:" + socket_path)) {
+    return fail(error,
+                "connect(" + socket_path + "): " + strerror(errno));
+  }
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) return fail(error, std::string("socket(): ") + strerror(errno));
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
@@ -46,15 +58,32 @@ bool ServiceClient::connect(const std::string& socket_path,
     close();
     return fail(error, message);
   }
+  socket_path_ = socket_path;
+  sock_tag_ = "client:" + socket_path;
   return true;
+}
+
+bool ServiceClient::connect_with_retry(const std::string& socket_path,
+                                       const RetryPolicy& policy,
+                                       std::string* error) {
+  std::int64_t backoff = policy.backoff_ms;
+  const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
+  for (int attempt = 1;; ++attempt) {
+    if (connect(socket_path, error)) return true;
+    if (attempt >= attempts) return false;
+    WF_INFO << "service client: connect attempt " << attempt << "/"
+            << attempts << " failed; retrying in " << backoff << " ms";
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, policy.max_backoff_ms);
+  }
 }
 
 bool ServiceClient::send_line(const std::string& line, std::string* error) {
   if (fd_ < 0) return fail(error, "not connected");
   std::size_t sent = 0;
   while (sent < line.size()) {
-    const ssize_t n =
-        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    const ssize_t n = iofault::checked_send(fd_, line.data() + sent,
+                                            line.size() - sent, sock_tag_);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return fail(error, "daemon connection lost while sending");
@@ -74,7 +103,8 @@ bool ServiceClient::read_line(std::string* line, std::string* error) {
       buffer_.erase(0, newline + 1);
       return true;
     }
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t n = iofault::checked_recv(fd_, chunk, sizeof(chunk),
+                                            sock_tag_);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return fail(error, "daemon connection closed");
@@ -112,11 +142,17 @@ ServiceClient::SubmitOutcome ServiceClient::submit_and_wait(
   submit.set("wait", Json::boolean(true));
   std::string line = submit.dump();
   line.push_back('\n');
-  if (!send_line(line, &outcome.error)) return outcome;
+  if (!send_line(line, &outcome.error)) {
+    outcome.transport_error = true;
+    return outcome;
+  }
 
   for (;;) {
     std::string response_line;
-    if (!read_line(&response_line, &outcome.error)) return outcome;
+    if (!read_line(&response_line, &outcome.error)) {
+      outcome.transport_error = true;
+      return outcome;
+    }
     const std::optional<Json> message = Json::parse(response_line);
     if (!message.has_value() || !message->is_object()) {
       outcome.error = "malformed message from daemon";
@@ -128,6 +164,9 @@ ServiceClient::SubmitOutcome ServiceClient::submit_and_wait(
       const Json* error = message->find("error");
       outcome.error = error != nullptr ? error->as_string()
                                        : "submission rejected";
+      if (const Json* code = message->find("code")) {
+        outcome.error_code = code->as_string();
+      }
       return outcome;
     }
     const std::string kind = event->as_string();
@@ -177,6 +216,40 @@ ServiceClient::SubmitOutcome ServiceClient::submit_and_wait(
     }
     outcome.error = "unexpected event '" + kind + "'";
     return outcome;
+  }
+}
+
+ServiceClient::SubmitOutcome ServiceClient::submit_with_retry(
+    const std::string& socket_path, const std::string& client_name,
+    const ModelEnv& env, const CampaignSpec& spec, const RetryPolicy& policy,
+    const std::function<void(const CampaignProgress&)>& on_progress,
+    std::string* job_id_out) {
+  SubmitOutcome outcome;
+  std::int64_t backoff = policy.backoff_ms;
+  const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
+  for (int attempt = 1;; ++attempt) {
+    bool transport = false;
+    if (!connect(socket_path, &outcome.error)) {
+      transport = true;
+    } else {
+      outcome = submit_and_wait(client_name, env, spec, on_progress,
+                                job_id_out);
+      transport = outcome.transport_error;
+    }
+    outcome.attempts = attempt;
+    // Only connection-level failures retry: the daemon's idempotent
+    // dedup means the resubmission lands on the job the dead connection
+    // left running rather than executing the campaign again. Anything the
+    // daemon *said* (failed, overloaded, bad spec) is a real answer.
+    if (outcome.ok || !transport || attempt >= attempts) {
+      outcome.transport_error = transport;
+      return outcome;
+    }
+    WF_INFO << "service client: submit attempt " << attempt << "/" << attempts
+            << " lost its connection (" << outcome.error << "); retrying in "
+            << backoff << " ms";
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, policy.max_backoff_ms);
   }
 }
 

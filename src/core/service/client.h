@@ -32,6 +32,12 @@ class ServiceClient {
   struct SubmitOutcome {
     bool ok = false;
     std::string error;
+    std::string error_code;  // typed failure class ("overloaded", ...) if
+                             // the daemon sent one
+    bool transport_error = false;  // connection-level failure (send/recv
+                                   // died) vs a daemon-reported one —
+                                   // only the former is worth retrying
+    int attempts = 1;  // connections consumed (submit_with_retry)
     std::string job_id;
     std::string state;  // terminal job state ("done"/"failed"/"cancelled")
     CampaignResult result;
@@ -50,12 +56,42 @@ class ServiceClient {
       const std::function<void(const CampaignProgress&)>& on_progress = {},
       std::string* job_id_out = nullptr);
 
+  // Capped exponential backoff for the retrying entry points below:
+  // attempt k sleeps backoff_ms * 2^(k-1), capped at max_backoff_ms.
+  struct RetryPolicy {
+    int attempts = 3;
+    std::int64_t backoff_ms = 100;
+    std::int64_t max_backoff_ms = 2000;
+  };
+
+  // connect() with up to `policy.attempts` tries. A daemon mid-restart (or
+  // a chaos-dropped connect) succeeds on a later attempt instead of
+  // failing the whole submission path.
+  bool connect_with_retry(const std::string& socket_path,
+                          const RetryPolicy& policy, std::string* error);
+
+  // Submission hardened against connection failure: each transport error
+  // (connect lost, stream died mid-progress) reconnects and resubmits the
+  // identical (env, spec) after backoff. The daemon's idempotent-resubmit
+  // dedup makes this safe: a retry lands on the job the first attempt
+  // started — the campaign never executes twice. Daemon-REPORTED failures
+  // ("failed", "overloaded", malformed spec) are returned to the caller,
+  // not retried. `outcome.attempts` reports connections consumed.
+  SubmitOutcome submit_with_retry(
+      const std::string& socket_path, const std::string& client_name,
+      const ModelEnv& env, const CampaignSpec& spec,
+      const RetryPolicy& policy,
+      const std::function<void(const CampaignProgress&)>& on_progress = {},
+      std::string* job_id_out = nullptr);
+
  private:
   bool send_line(const std::string& line, std::string* error);
   bool read_line(std::string* line, std::string* error);
 
   int fd_ = -1;
   std::string buffer_;
+  std::string socket_path_;  // of the live connection
+  std::string sock_tag_;     // iofault target tag: "client:<socket_path>"
 };
 
 }  // namespace winofault

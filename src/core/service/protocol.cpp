@@ -722,6 +722,12 @@ Json make_error_response(const std::string& error) {
   return j;
 }
 
+Json make_error_response(const std::string& error, const std::string& code) {
+  Json j = make_error_response(error);
+  j.set("code", Json::str(code));
+  return j;
+}
+
 Json make_ok_response() {
   Json j = Json::object();
   j.set("ok", Json::boolean(true));

@@ -132,8 +132,12 @@ Json encode_campaign_result(const CampaignResult& result);
 bool decode_campaign_result(const Json& json, CampaignResult* result,
                             std::string* error);
 
-// Convenience wrappers shared by server and client.
+// Convenience wrappers shared by server and client. The two-argument form
+// adds a machine-readable "code" field ("overloaded", "draining", ...) so
+// clients can branch on the failure class — e.g. back off and retry on
+// admission-control rejection — without parsing the human-facing text.
 Json make_error_response(const std::string& error);
+Json make_error_response(const std::string& error, const std::string& code);
 Json make_ok_response();
 
 }  // namespace winofault

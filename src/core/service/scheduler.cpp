@@ -38,10 +38,15 @@ JobState ServiceJob::snapshot(CampaignProgress* p) const {
   return state;
 }
 
-bool Scheduler::enqueue(std::shared_ptr<ServiceJob> job) {
+EnqueueResult Scheduler::enqueue(std::shared_ptr<ServiceJob> job) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (draining_) return false;
+  if (draining_) return EnqueueResult::kDraining;
   auto& queue = queues_[job->client];
+  if (max_queued_per_client_ > 0 && queue.size() >= max_queued_per_client_) {
+    // An at-bound queue is necessarily non-empty, so the client is already
+    // in rotation_ — rejecting here leaves every invariant intact.
+    return EnqueueResult::kOverloaded;
+  }
   if (queue.empty() &&
       std::find(rotation_.begin(), rotation_.end(), job->client) ==
           rotation_.end()) {
@@ -50,7 +55,7 @@ bool Scheduler::enqueue(std::shared_ptr<ServiceJob> job) {
   queue.push_back(std::move(job));
   ++queued_;
   cv_.notify_one();
-  return true;
+  return EnqueueResult::kAccepted;
 }
 
 std::shared_ptr<ServiceJob> Scheduler::next() {

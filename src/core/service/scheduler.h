@@ -38,6 +38,13 @@ struct ServiceJob {
   ModelEnv env;
   CampaignSpec spec;
 
+  // Idempotent-resubmit identity: hash of (model_env_key, encoded spec).
+  // Two jobs with equal keys run the identical deterministic campaign, so
+  // the server answers a resubmission (e.g. a client retrying after a
+  // dropped connection) with the already-accepted job instead of running
+  // it twice. 0 = never deduped.
+  std::uint64_t dedup_key = 0;
+
   // Read by the campaign's workers (CampaignSpec::cancel).
   std::atomic<bool> cancel{false};
 
@@ -55,10 +62,22 @@ struct ServiceJob {
   JobState snapshot(CampaignProgress* p = nullptr) const;
 };
 
+// Admission-control outcome of Scheduler::enqueue. Anything but kAccepted
+// leaves the job untouched; the server maps the rejection to a typed error
+// reply ("draining" / "overloaded") so clients can branch without parsing
+// prose.
+enum class EnqueueResult { kAccepted, kDraining, kOverloaded };
+
 class Scheduler {
  public:
-  // False (job untouched) once draining.
-  bool enqueue(std::shared_ptr<ServiceJob> job);
+  // `max_queued_per_client` bounds each client's backlog (admission
+  // control): enqueue returns kOverloaded instead of letting one
+  // misbehaving requester grow the daemon's job memory without limit.
+  // 0 = unbounded.
+  explicit Scheduler(std::size_t max_queued_per_client = 0)
+      : max_queued_per_client_(max_queued_per_client) {}
+
+  EnqueueResult enqueue(std::shared_ptr<ServiceJob> job);
 
   // Blocks for the next queued job — round-robin across clients, FIFO
   // within one — skipping jobs cancelled while queued. Returns nullptr
@@ -75,6 +94,7 @@ class Scheduler {
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::size_t max_queued_per_client_ = 0;
   bool draining_ = false;
   std::size_t queued_ = 0;
   std::unordered_map<std::string,

@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/hash.h"
+#include "common/iofault/iofault.h"
 #include "common/logging.h"
 #include "core/store/handle_cache.h"
 
@@ -18,14 +20,15 @@ namespace {
 
 // Writes one protocol line; false when the peer is gone (streamers stop,
 // the job itself keeps running). MSG_NOSIGNAL: a dead client must not
-// SIGPIPE the daemon.
-bool send_line(int fd, const Json& message) {
+// SIGPIPE the daemon. `tag` is the iofault target ("daemon:<socket>") so a
+// chaos schedule can drop the server side of a conversation specifically.
+bool send_line(int fd, const Json& message, const std::string& tag) {
   std::string line = message.dump();
   line.push_back('\n');
   std::size_t sent = 0;
   while (sent < line.size()) {
-    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = iofault::checked_send(fd, line.data() + sent,
+                                            line.size() - sent, tag);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -39,6 +42,8 @@ bool send_line(int fd, const Json& message) {
 
 ServiceServer::ServiceServer(ServerOptions options)
     : options_(std::move(options)),
+      sock_tag_("daemon:" + options_.socket_path),
+      scheduler_(options_.max_queued_per_client),
       sessions_(options_.env_builder != nullptr
                     ? options_.env_builder
                     : default_model_env_builder(),
@@ -99,6 +104,9 @@ bool ServiceServer::start(std::string* error) {
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   monitor_thread_ = std::thread([this] { monitor_loop(); });
+  if (options_.session_idle_ttl_ms > 0) {
+    housekeeping_thread_ = std::thread([this] { housekeeping_loop(); });
+  }
   executors_.reserve(static_cast<std::size_t>(options_.concurrent_jobs));
   for (int i = 0; i < options_.concurrent_jobs; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
@@ -126,6 +134,7 @@ void ServiceServer::wait() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (monitor_thread_.joinable()) monitor_thread_.join();
+  if (housekeeping_thread_.joinable()) housekeeping_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -178,7 +187,7 @@ void ServiceServer::accept_loop() {
       break;
     }
     if (draining_.load()) {
-      send_line(fd, make_error_response("draining"));
+      send_line(fd, make_error_response("draining", "draining"), sock_tag_);
       ::close(fd);
       continue;
     }
@@ -231,6 +240,28 @@ void ServiceServer::monitor_loop() {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     drained_.store(true);
     lifecycle_cv_.notify_all();
+  }
+}
+
+void ServiceServer::housekeeping_loop() {
+  // Residency hardening: periodically evict warm sessions idle past their
+  // TTL (their goldens spill to the store first), so a daemon left
+  // resident overnight releases paper-scale network + golden memory
+  // instead of pinning it until drain.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(lifecycle_mu_);
+      lifecycle_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.housekeeping_interval_ms),
+          [this] { return draining_.load(); });
+    }
+    if (draining_.load()) return;
+    const std::size_t evicted =
+        sessions_.evict_idle(options_.session_idle_ttl_ms);
+    if (evicted > 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.sessions_ttl_evicted += static_cast<std::int64_t>(evicted);
+    }
   }
 }
 
@@ -289,10 +320,11 @@ void ServiceServer::handle_connection(Conn* conn) {
     const std::size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
       if (buffer.size() > options_.max_line_bytes) {
-        send_line(fd, make_error_response("request line too long"));
+        send_line(fd, make_error_response("request line too long"), sock_tag_);
         break;
       }
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      const ssize_t n = iofault::checked_recv(fd, chunk, sizeof(chunk),
+                                              sock_tag_);
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
         break;  // peer gone or shutdown claimed the fd
@@ -306,7 +338,8 @@ void ServiceServer::handle_connection(Conn* conn) {
 
     const std::optional<Json> request = Json::parse(line);
     if (!request.has_value() || !request->is_object()) {
-      if (!send_line(fd, make_error_response("malformed JSON request"))) {
+      if (!send_line(fd, make_error_response("malformed JSON request"),
+                     sock_tag_)) {
         break;
       }
       continue;
@@ -320,15 +353,16 @@ void ServiceServer::handle_connection(Conn* conn) {
     } else if (op == "results") {
       handle_results(fd, *request);
     } else if (op == "status") {
-      alive = send_line(fd, handle_status(*request));
+      alive = send_line(fd, handle_status(*request), sock_tag_);
     } else if (op == "cancel") {
-      alive = send_line(fd, handle_cancel(*request));
+      alive = send_line(fd, handle_cancel(*request), sock_tag_);
     } else if (op == "ping") {
-      alive = send_line(fd, handle_ping());
+      alive = send_line(fd, handle_ping(), sock_tag_);
     } else if (op == "drain") {
       handle_drain(fd);
     } else {
-      alive = send_line(fd, make_error_response("unknown op '" + op + "'"));
+      alive = send_line(fd, make_error_response("unknown op '" + op + "'"),
+                        sock_tag_);
     }
     if (!alive) break;
   }
@@ -339,47 +373,101 @@ void ServiceServer::handle_connection(Conn* conn) {
 
 void ServiceServer::handle_submit(int fd, const Json& request) {
   if (draining_.load()) {
-    send_line(fd, make_error_response("draining"));
+    send_line(fd, make_error_response("draining", "draining"), sock_tag_);
     return;
   }
   auto job = std::make_shared<ServiceJob>();
   std::string error;
   const Json* env = request.find("env");
   if (env == nullptr || !decode_model_env(*env, &job->env, &error)) {
-    send_line(fd, make_error_response("bad env: " + error));
+    send_line(fd, make_error_response("bad env: " + error), sock_tag_);
     return;
   }
   const Json* spec = request.find("spec");
   if (spec == nullptr || !decode_campaign_spec(*spec, &job->spec, &error)) {
-    send_line(fd, make_error_response("bad spec: " + error));
+    send_line(fd, make_error_response("bad spec: " + error), sock_tag_);
     return;
   }
   const Json* client = request.find("client");
   job->client = client != nullptr && !client->as_string().empty()
                     ? client->as_string()
                     : "anonymous";
+  const Json* wait_field = request.find("wait");
+  const bool wait = wait_field == nullptr || wait_field->as_bool(true);
+
+  // Idempotent resubmit: a client retrying after a dropped connection
+  // sends the exact (env, spec) it already submitted. Instead of executing
+  // it twice concurrently, the daemon attaches the retry to the LIVE
+  // (queued or running) job already covering that submission. Terminal
+  // jobs never dedup — re-running a completed spec is the warm-tier /
+  // journal-resume fast path, deliberately re-executed (bit-identical by
+  // determinism), and failures/cancellations must be retryable at all.
+  job->dedup_key = Fnv64()
+                       .str(model_env_key(job->env))
+                       .str(encode_campaign_spec(job->spec).dump())
+                       .digest();
+  std::vector<std::shared_ptr<ServiceJob>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (const auto& [id, existing] : jobs_) {
+      if (existing->dedup_key == job->dedup_key) {
+        candidates.push_back(existing);
+      }
+    }
+  }
+  for (const std::shared_ptr<ServiceJob>& existing : candidates) {
+    const JobState state = existing->snapshot();
+    if (state != JobState::kQueued && state != JobState::kRunning) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_deduped;
+    }
+    Json accepted = Json::object();
+    accepted.set("event", Json::str("accepted"));
+    accepted.set("ok", Json::boolean(true));
+    accepted.set("job", Json::str(existing->id));
+    accepted.set("deduped", Json::boolean(true));
+    if (!send_line(fd, accepted, sock_tag_)) return;
+    if (wait) stream_job(fd, existing);
+    return;
+  }
+
   job->id = "j-" + std::to_string(++next_job_id_);
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_[job->id] = job;
   }
-  if (!scheduler_.enqueue(job)) {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    jobs_.erase(job->id);
-    send_line(fd, make_error_response("draining"));
+  const EnqueueResult admitted = scheduler_.enqueue(job);
+  if (admitted != EnqueueResult::kAccepted) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_.erase(job->id);
+    }
+    if (admitted == EnqueueResult::kOverloaded) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.jobs_rejected;
+      }
+      send_line(fd,
+                make_error_response(
+                    "rejected: overloaded (client '" + job->client +
+                        "' is at its queue bound)",
+                    "overloaded"),
+                sock_tag_);
+    } else {
+      send_line(fd, make_error_response("draining", "draining"), sock_tag_);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.jobs_submitted;
   }
-  const Json* wait_field = request.find("wait");
-  const bool wait = wait_field == nullptr || wait_field->as_bool(true);
   Json accepted = Json::object();
   accepted.set("event", Json::str("accepted"));
   accepted.set("ok", Json::boolean(true));
   accepted.set("job", Json::str(job->id));
-  if (!send_line(fd, accepted)) return;
+  if (!send_line(fd, accepted, sock_tag_)) return;
   if (wait) stream_job(fd, job);
 }
 
@@ -388,7 +476,7 @@ void ServiceServer::handle_results(int fd, const Json& request) {
   std::shared_ptr<ServiceJob> job =
       id != nullptr ? find_job(id->as_string()) : nullptr;
   if (job == nullptr) {
-    send_line(fd, make_error_response("unknown job"));
+    send_line(fd, make_error_response("unknown job"), sock_tag_);
     return;
   }
   const Json* wait_field = request.find("wait");
@@ -397,7 +485,7 @@ void ServiceServer::handle_results(int fd, const Json& request) {
     stream_job(fd, job);
     return;
   }
-  send_line(fd, handle_status(request));
+  send_line(fd, handle_status(request), sock_tag_);
 }
 
 void ServiceServer::stream_job(int fd,
@@ -435,7 +523,7 @@ void ServiceServer::stream_job(int fd,
       } else {
         done.set("result", encode_campaign_result(result));
       }
-      send_line(fd, done);
+      send_line(fd, done, sock_tag_);
       return;
     }
     Json event = Json::object();
@@ -446,7 +534,7 @@ void ServiceServer::stream_job(int fd,
     event.set("total", Json::integer(progress.cells_total));
     event.set("loaded", Json::integer(progress.cells_loaded));
     event.set("deferred", Json::integer(progress.cells_deferred));
-    if (!send_line(fd, event)) return;  // client gone; job keeps running
+    if (!send_line(fd, event, sock_tag_)) return;  // client gone; job keeps running
   }
 }
 
@@ -520,6 +608,16 @@ Json ServiceServer::handle_ping() {
   response.set("sessions",
                Json::integer(static_cast<std::int64_t>(sessions_.size())));
   response.set("draining", Json::boolean(draining_.load()));
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    response.set("jobs_tracked",
+                 Json::integer(static_cast<std::int64_t>(jobs_.size())));
+  }
+  const ServerStats snapshot = stats();
+  response.set("jobs_deduped", Json::integer(snapshot.jobs_deduped));
+  response.set("jobs_rejected", Json::integer(snapshot.jobs_rejected));
+  response.set("sessions_ttl_evicted",
+               Json::integer(snapshot.sessions_ttl_evicted));
   return response;
 }
 
@@ -536,7 +634,7 @@ void ServiceServer::handle_drain(int fd) {
   response.set("jobs_cancelled", Json::integer(snapshot.jobs_cancelled));
   response.set("goldens_flushed",
                Json::integer(snapshot.goldens_flushed_at_drain));
-  send_line(fd, response);
+  send_line(fd, response, sock_tag_);
 }
 
 std::shared_ptr<ServiceJob> ServiceServer::find_job(const std::string& id) {

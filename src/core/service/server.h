@@ -47,8 +47,23 @@ struct ServerOptions {
 
   // Terminal jobs kept addressable for status/results; the oldest beyond
   // this are forgotten (clients of the streaming submit path never need
-  // the table — it exists for detached status/results lookups).
+  // the table — it exists for detached status/results lookups). Also the
+  // job-table GC bound: jobs_ holds at most this many terminal entries, so
+  // a week-resident daemon's memory is bounded by its live jobs.
   std::size_t max_finished_jobs = 256;
+
+  // Admission control: at most this many jobs queued per client; the
+  // excess is refused with a typed "overloaded" error instead of growing
+  // the backlog without bound. 0 = unbounded.
+  std::size_t max_queued_per_client = 32;
+
+  // Residency hardening: warm sessions idle longer than this are flushed
+  // (goldens spill to their store) and evicted by the housekeeping
+  // thread. 0 = sessions stay warm until LRU pressure or drain.
+  std::int64_t session_idle_ttl_ms = 0;
+
+  // Housekeeping cadence (TTL sweeps). Only meaningful with a TTL.
+  std::int64_t housekeeping_interval_ms = 500;
 
   // Environment resolver; defaults to the zoo builder. Test seam.
   ModelEnvBuilder env_builder;
@@ -59,6 +74,9 @@ struct ServerStats {
   std::int64_t jobs_done = 0;
   std::int64_t jobs_failed = 0;
   std::int64_t jobs_cancelled = 0;
+  std::int64_t jobs_deduped = 0;    // submissions served by an existing job
+  std::int64_t jobs_rejected = 0;   // admission-control refusals
+  std::int64_t sessions_ttl_evicted = 0;
   std::int64_t goldens_flushed_at_drain = 0;
 };
 
@@ -104,6 +122,7 @@ class ServiceServer {
   void reap_finished_connections();
   void executor_loop();
   void monitor_loop();
+  void housekeeping_loop();
   void handle_connection(Conn* conn);
 
   void handle_submit(int fd, const Json& request);
@@ -122,6 +141,7 @@ class ServiceServer {
   void retire_job(const std::string& id);
 
   ServerOptions options_;
+  std::string sock_tag_;  // iofault target tag: "daemon:<socket_path>"
   Scheduler scheduler_;
   SessionCache sessions_;
 
@@ -141,6 +161,7 @@ class ServiceServer {
 
   std::thread accept_thread_;
   std::thread monitor_thread_;
+  std::thread housekeeping_thread_;
   std::vector<std::thread> executors_;
   std::mutex conn_mu_;
   std::vector<std::unique_ptr<Conn>> connections_;

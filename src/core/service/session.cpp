@@ -110,6 +110,7 @@ std::shared_ptr<ServiceSession> SessionCache::get_or_build(
   ++clock_;
   if (const auto it = sessions_.find(key); it != sessions_.end()) {
     it->second.last_used = clock_;
+    it->second.last_touch = std::chrono::steady_clock::now();
     return it->second.session;
   }
   // Admit: evict the least recently used *idle* session first (a session
@@ -138,8 +139,36 @@ std::shared_ptr<ServiceSession> SessionCache::get_or_build(
   auto session = std::make_shared<ServiceSession>(env, std::move(net),
                                                   std::move(data),
                                                   golden_capacity_);
-  sessions_[key] = Slot{session, clock_};
+  sessions_[key] = Slot{session, clock_, std::chrono::steady_clock::now()};
   return session;
+}
+
+std::size_t SessionCache::evict_idle(std::int64_t ttl_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t evicted = 0;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    // use_count > 1: an executor still holds the session — a running job
+    // pins its environment warm no matter how old the last get_or_build
+    // was. (The touch happens at fetch time, so a session whose only job
+    // just finished may look older than it is; the cost of that
+    // over-eager eviction is one rebuild, paid only by the next
+    // submission of an env idle past its TTL anyway.)
+    const bool idle =
+        it->second.session.use_count() == 1 &&
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - it->second.last_touch)
+                .count() >= ttl_ms;
+    if (!idle) {
+      ++it;
+      continue;
+    }
+    WF_INFO << "service: idle TTL evicting warm session " << it->first;
+    it->second.session->flush_goldens();
+    it = sessions_.erase(it);
+    ++evicted;
+  }
+  return evicted;
 }
 
 std::int64_t SessionCache::flush_all() {

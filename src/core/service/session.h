@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -90,12 +91,21 @@ class SessionCache {
   // Flushes every session's goldens (drain); returns total spilled.
   std::int64_t flush_all();
 
+  // Residency hardening: evicts every *idle* session (use_count == 1 —
+  // no executor holds it) untouched for at least `ttl_ms`, spilling its
+  // goldens to the store first so warmth degrades to the disk tier rather
+  // than vanishing. Returns the number evicted. The daemon's housekeeping
+  // thread calls this so a long-idle daemon releases paper-scale network +
+  // golden memory instead of holding it forever.
+  std::size_t evict_idle(std::int64_t ttl_ms);
+
   std::size_t size() const;
 
  private:
   struct Slot {
     std::shared_ptr<ServiceSession> session;
     std::uint64_t last_used = 0;
+    std::chrono::steady_clock::time_point last_touch;
   };
 
   ModelEnvBuilder builder_;

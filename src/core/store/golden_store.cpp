@@ -7,7 +7,10 @@
 #include <cstring>
 #include <filesystem>
 
+#include <cerrno>
+
 #include "common/hash.h"
+#include "common/iofault/iofault.h"
 #include "common/logging.h"
 
 namespace winofault {
@@ -187,6 +190,10 @@ std::string GoldenStore::shard_path(std::int64_t image,
 
 void GoldenStore::save(std::int64_t image, ConvPolicy policy,
                        const GoldenCache& golden) noexcept {
+  // ENOSPC degradation: once the disk is full the spill tier turns itself
+  // off (warned once) and the campaign keeps computing — every further
+  // save would fail the same way, and a rebuild-on-miss is always correct.
+  if (spill_disabled_.load(std::memory_order_relaxed)) return;
   // The whole body is exception-guarded: callers (GoldenLru spill paths)
   // rely on save never throwing, and even the path strings / in-flight
   // set below allocate. A failed spill only costs a later rebuild.
@@ -194,6 +201,14 @@ void GoldenStore::save(std::int64_t image, ConvPolicy policy,
     save_impl(image, policy, golden);
   } catch (...) {
     WF_WARN << "golden store: spill failed; the entry will rebuild instead";
+  }
+}
+
+void GoldenStore::disable_spills(const char* why) {
+  if (!spill_disabled_.exchange(true)) {
+    WF_WARN << "golden store: " << why << " under " << dir_
+            << "; disabling the spill tier (campaign continues, evicted "
+               "goldens rebuild on miss)";
   }
 }
 
@@ -259,17 +274,28 @@ void GoldenStore::save_impl(std::int64_t image, ConvPolicy policy,
       std::FILE* f = std::fopen(tmp.c_str(), "wb");
       bool wrote = f != nullptr;
       if (wrote) {
-        wrote = std::fwrite(&header, sizeof(header), 1, f) == 1 &&
+        errno = 0;
+        wrote = iofault::checked_fwrite(&header, sizeof(header), f, tmp) ==
+                    sizeof(header) &&
                 (payload.empty() ||
-                 std::fwrite(payload.data(), payload.size(), 1, f) == 1);
-        // fclose flushes the stdio buffer; on ENOSPC the failure surfaces
-        // here, and a truncated temp must never be renamed into place.
+                 iofault::checked_fwrite(payload.data(), payload.size(), f,
+                                         tmp) == payload.size());
+        // fsync before rename: publication is the rename, and a crash
+        // right after it must not be able to surface a zero-length or
+        // partial shard under the final name. On ENOSPC the failure
+        // surfaces here, and a truncated temp must never be renamed into
+        // place.
+        wrote = iofault::checked_fsync(f, tmp) && wrote;
+        const int saved_errno = errno;
         wrote = (std::fclose(f) == 0) && wrote;
+        if (!wrote && (saved_errno == ENOSPC || errno == ENOSPC)) {
+          disable_spills("disk full (ENOSPC)");
+        }
       }
 
       std::lock_guard<std::mutex> lock(mu_);
       if (wrote && !std::filesystem::exists(path, ec)) {
-        std::filesystem::rename(tmp, path, ec);
+        iofault::checked_rename(tmp, path, ec);
         if (!ec) {
           index_.push_back(ShardRef{path, total});
           spills_.fetch_add(1, std::memory_order_relaxed);
@@ -297,7 +323,8 @@ std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
 
   ShardHeader header{};
   std::string payload;
-  bool ok = std::fread(&header, sizeof(header), 1, f) == 1 &&
+  bool ok = iofault::checked_fread(&header, sizeof(header), f, path) ==
+                sizeof(header) &&
             header.magic == kShardMagic && header.env_hash == env_hash_ &&
             header.image == static_cast<std::uint64_t>(image) &&
             header.policy == static_cast<std::uint64_t>(policy);
@@ -321,7 +348,8 @@ std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
     try {
       payload.resize(static_cast<std::size_t>(header.payload_size));
       ok = payload.empty() ||
-           std::fread(payload.data(), payload.size(), 1, f) == 1;
+           iofault::checked_fread(payload.data(), payload.size(), f, path) ==
+               payload.size();
       ok = ok && fnv64(payload.data(), payload.size()) == header.payload_crc;
     } catch (...) {
       ok = false;
@@ -338,13 +366,18 @@ std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
     }
   }
   if (!golden.has_value()) {
-    // Corrupt/stale shard: delete it so the entry rebuilds (and respills)
-    // cleanly instead of failing every future restore.
-    WF_WARN << "golden store: rejecting corrupt shard " << path;
+    // Corrupt/stale shard: quarantine it (rename to *.quarantine, which the
+    // startup indexer ignores) so the entry rebuilds (and respills) cleanly
+    // instead of failing every future restore, while the evidence survives
+    // for post-mortem instead of being destroyed. Deletion is the fallback
+    // when even the rename fails.
+    WF_WARN << "golden store: quarantining corrupt shard " << path;
     rejects_.fetch_add(1, std::memory_order_relaxed);
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     std::error_code ec;
-    std::filesystem::remove(path, ec);
+    iofault::checked_rename(path, path + ".quarantine", ec);
+    if (ec) std::filesystem::remove(path, ec);
     const auto it = std::find_if(
         index_.begin(), index_.end(),
         [&](const ShardRef& shard) { return shard.path == path; });

@@ -51,7 +51,8 @@ class GoldenStore {
             const GoldenCache& golden) noexcept;
 
   // Restores the (image, policy) shard; nullopt when absent or rejected
-  // (rejected shards are deleted so the caller's rebuild self-heals).
+  // (rejected shards are quarantined as *.quarantine — deleted only if the
+  // rename fails — so the caller's rebuild self-heals).
   std::optional<GoldenCache> load(std::int64_t image, ConvPolicy policy);
 
   std::string shard_path(std::int64_t image, ConvPolicy policy) const;
@@ -59,8 +60,13 @@ class GoldenStore {
   std::int64_t spills() const { return spills_.load(); }
   std::int64_t restores() const { return restores_.load(); }
   std::int64_t rejects() const { return rejects_.load(); }
+  std::int64_t quarantines() const { return quarantines_.load(); }
   std::int64_t budget_evictions() const { return budget_evictions_.load(); }
   std::uint64_t bytes_on_disk() const { return bytes_.load(); }
+
+  // True once an ENOSPC turned the spill tier off for this store's
+  // lifetime (campaign continues, evicted goldens rebuild on miss).
+  bool spill_disabled() const { return spill_disabled_.load(); }
 
  private:
   struct ShardRef {
@@ -70,6 +76,8 @@ class GoldenStore {
 
   void save_impl(std::int64_t image, ConvPolicy policy,
                  const GoldenCache& golden);
+  // Turns the spill tier off permanently (idempotent; warns once).
+  void disable_spills(const char* why);
 
   std::string dir_;
   std::uint64_t env_hash_;
@@ -81,7 +89,9 @@ class GoldenStore {
   std::atomic<std::int64_t> spills_{0};
   std::atomic<std::int64_t> restores_{0};
   std::atomic<std::int64_t> rejects_{0};
+  std::atomic<std::int64_t> quarantines_{0};
   std::atomic<std::int64_t> budget_evictions_{0};
+  std::atomic<bool> spill_disabled_{false};
 };
 
 }  // namespace winofault

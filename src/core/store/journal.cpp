@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "common/hash.h"
+#include "common/iofault/iofault.h"
 #include "common/logging.h"
 
 namespace winofault {
@@ -127,7 +128,8 @@ bool ResultJournal::read_cells_from(const std::string& path,
   }
   if (offset == 0) {
     RawHeader header{};
-    if (std::fread(&header, sizeof(header), 1, f) != 1 ||
+    if (iofault::checked_fread(&header, sizeof(header), f, path) !=
+            sizeof(header) ||
         header.magic != kJournalMagic || header.env_hash != env_hash) {
       std::fclose(f);
       return false;
@@ -140,7 +142,10 @@ bool ResultJournal::read_cells_from(const std::string& path,
   }
   long records_read = 0;
   RawRecord r{};
-  while (std::fread(&r, sizeof(r), 1, f) == 1) {
+  // An injected read fault (EIO, bit flip) fails the CRC below, so a
+  // chaosed read degrades exactly like a torn tail: intact prefix served,
+  // the rest re-executed.
+  while (iofault::checked_fread(&r, sizeof(r), f, path) == sizeof(r)) {
     if (r.crc != record_crc(r, env_hash)) break;  // torn/corrupt tail
     ++records_read;
     JournalCell cell;
@@ -198,8 +203,10 @@ void ResultJournal::recover_and_open(Mode mode) {
 
   // Pass 2: open for appending — via a rewrite of header + every recovered
   // record when the existing file is absent, torn, or foreign. The rewrite
-  // goes through a temp file + rename so a kill during recovery can never
-  // destroy the intact records of the original journal.
+  // goes through a temp file + fsync + rename so neither a kill nor a
+  // power cut during recovery can destroy the intact records of the
+  // original journal (rename without fsync can publish an empty file after
+  // a crash).
   if (!header_ok || torn) {
     const std::string tmp = path_ + ".tmp";
     std::FILE* out = std::fopen(tmp.c_str(), "wb");
@@ -209,18 +216,20 @@ void ResultJournal::recover_and_open(Mode mode) {
       return;
     }
     const RawHeader header{kJournalMagic, env_hash_};
-    std::fwrite(&header, sizeof(header), 1, out);
+    bool wrote = iofault::checked_fwrite(&header, sizeof(header), out, tmp) ==
+                 sizeof(header);
     for (const auto& [key, cell] : cells_) {
+      if (!wrote) break;
       RawRecord r{cell.point_hash, static_cast<std::uint64_t>(cell.image),
                   static_cast<std::uint64_t>(cell.correct),
                   static_cast<std::uint64_t>(cell.flips), 0};
       r.crc = record_crc(r, env_hash_);
-      std::fwrite(&r, sizeof(r), 1, out);
+      wrote = iofault::checked_fwrite(&r, sizeof(r), out, tmp) == sizeof(r);
     }
-    const bool flushed = std::fflush(out) == 0;
+    const bool flushed = wrote && iofault::checked_fsync(out, tmp);
     std::fclose(out);
     std::error_code ec;
-    if (flushed) std::filesystem::rename(tmp, path_, ec);
+    if (flushed) iofault::checked_rename(tmp, path_, ec);
     if (!flushed || ec) {
       WF_WARN << "journal: cannot replace " << path_
               << "; cells will not persist";
@@ -258,7 +267,7 @@ void ResultJournal::append(const JournalCell& cell) {
   // will truncate — along with everything appended after it. Stop claiming
   // durability at the first failure instead of silently losing every
   // later checkpoint.
-  if (std::fwrite(&r, sizeof(r), 1, file_) != 1 ||
+  if (iofault::checked_fwrite(&r, sizeof(r), file_, path_) != sizeof(r) ||
       std::fflush(file_) != 0) {
     WF_WARN << "journal: write to " << path_
             << " failed; further cells will not persist";
@@ -269,6 +278,12 @@ void ResultJournal::append(const JournalCell& cell) {
   // A kill after this point loses nothing.
   cells_[journal_cell_key(cell.point_hash, cell.image)] = cell;
   ++appended_;
+}
+
+bool ResultJournal::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return false;
+  return iofault::checked_fsync(file_, path_);
 }
 
 }  // namespace winofault

@@ -78,6 +78,13 @@ class ResultJournal {
   // Always false in kReadOnly mode.
   bool can_append() const { return file_ != nullptr; }
 
+  // Durability barrier: fsyncs the append handle. False when not open for
+  // appending or the sync failed. The segment-merge path calls this before
+  // retiring a folded segment — deleting the only durable copy of its
+  // cells on the strength of an unsynced append would turn a power cut
+  // into data loss.
+  bool sync();
+
   // Cells recovered from disk when the journal was opened (appends since
   // then are not counted).
   std::int64_t recovered_cells() const { return recovered_; }

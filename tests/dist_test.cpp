@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/iofault/iofault.h"
 #include "core/campaign/campaign.h"
 #include "core/dist/buckets.h"
 #include "core/dist/claim_board.h"
@@ -337,6 +338,93 @@ TEST(Dist, MergeRejectsCorruptAndTruncatesTornSegments) {
   ResultJournal canonical(dir, env, ResultJournal::Mode::kReadOnly);
   EXPECT_EQ(canonical.recovered_cells(), 2);
   EXPECT_TRUE(canonical.lookup(5, 1));
+}
+
+// ---- (c') chaos (common/iofault): merge keeps cells durable under faults
+
+// Installs a fault schedule for one scope and always clears it afterwards.
+class ScopedChaos {
+ public:
+  explicit ScopedChaos(const std::string& spec) {
+    std::string error;
+    auto parsed = iofault::FaultSchedule::parse(spec, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    iofault::set_schedule(std::move(parsed));
+  }
+  ~ScopedChaos() { iofault::set_schedule(std::nullopt); }
+};
+
+TEST(Dist, MergeUnderTornCanonicalAppendKeepsSegmentAndSelfHeals) {
+  const std::string dir = fresh_dir("chaos_merge_torn");
+  const std::uint64_t env = 0x5150;
+  {
+    ResultJournal seg(dir, env, ResultJournal::Mode::kAppend, "wA");
+    seg.append(JournalCell{21, 0, 1, 1});
+    seg.append(JournalCell{21, 1, 0, 2});
+    seg.append(JournalCell{21, 2, 1, 3});
+  }
+  {
+    // The second canonical append (cell for image 1) tears mid-record:
+    // the fold must stop counting, keep the segment — it is the only
+    // durable copy of the unfolded cells — and report the journal
+    // unwritable rather than pretend the merge finished.
+    ScopedChaos chaos("5:torn(20)@write:*.journal#2");
+    const MergeStats stats = merge_campaign_segments(dir);
+    EXPECT_EQ(stats.journals_unwritable, 1);
+    EXPECT_EQ(stats.segments_merged, 0);
+    EXPECT_EQ(stats.cells_merged, 1);  // only the append that reached disk
+    EXPECT_EQ(count_segments(dir), 1);
+  }
+  // A later clean merge self-heals: canonical recovery truncates the torn
+  // record, the kept segment re-folds, duplicates dedup away.
+  const MergeStats clean = merge_campaign_segments(dir);
+  EXPECT_EQ(clean.segments_merged, 1);
+  EXPECT_EQ(clean.cells_merged, 2);
+  EXPECT_EQ(clean.cells_duplicate, 1);
+  EXPECT_EQ(count_segments(dir), 0);
+  ResultJournal canonical(dir, env, ResultJournal::Mode::kReadOnly);
+  EXPECT_EQ(canonical.recovered_cells(), 3);
+  EXPECT_TRUE(canonical.lookup(21, 1));
+}
+
+TEST(Dist, MergeUnderFsyncEioRetiresNoSegmentUntilDurable) {
+  const std::string dir = fresh_dir("chaos_merge_fsync");
+  const std::uint64_t env = 0x6001;
+  {
+    ResultJournal seg(dir, env, ResultJournal::Mode::kAppend, "wB");
+    seg.append(JournalCell{31, 0, 1, 4});
+    seg.append(JournalCell{31, 1, 1, 6});
+  }
+  {
+    // Every append lands, but the durability barrier before segment
+    // retirement fails: the segment must survive (a power cut now would
+    // otherwise lose both cells).
+    ScopedChaos chaos("5:eio@fsync:*.journal#1");
+    const MergeStats stats = merge_campaign_segments(dir);
+    EXPECT_EQ(stats.cells_merged, 2);
+    EXPECT_EQ(stats.segments_merged, 0);
+    EXPECT_EQ(stats.journals_unwritable, 1);
+    EXPECT_EQ(count_segments(dir), 1);
+  }
+  const MergeStats clean = merge_campaign_segments(dir);
+  EXPECT_EQ(clean.segments_merged, 1);
+  EXPECT_EQ(clean.cells_duplicate, 2);  // both already durable
+  EXPECT_EQ(clean.cells_merged, 0);
+  EXPECT_EQ(count_segments(dir), 0);
+}
+
+TEST(Dist, InjectedClaimLinkFailureReadsAsLosingTheRace) {
+  const std::string dir = fresh_dir("chaos_claim");
+  fs::create_directories(dir);
+  ClaimBoard a(dir, 42, "wA", 60000);
+  {
+    ScopedChaos chaos("5:eio@link:*.claim#1");
+    EXPECT_FALSE(a.try_claim(0));  // injected EIO == someone else won
+  }
+  // The worker just moves on; the bucket stays claimable and the next
+  // attempt (fault passed) succeeds.
+  EXPECT_TRUE(a.try_claim(0));
+  EXPECT_TRUE(a.has_claim(0));
 }
 
 // ---- (d) cost buckets ----

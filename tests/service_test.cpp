@@ -19,12 +19,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/iofault/iofault.h"
 #include "common/rng.h"
 #include "core/campaign/campaign.h"
 #include "core/service/client.h"
@@ -123,11 +126,14 @@ void expect_same_results(const CampaignResult& a, const CampaignResult& b) {
 // Server bound to a fresh socket with the test builder; joined on scope
 // exit.
 struct TestServer {
-  explicit TestServer(const std::string& dir, int jobs = 1) {
+  explicit TestServer(const std::string& dir, int jobs = 1,
+                      const std::function<void(ServerOptions&)>& configure =
+                          std::function<void(ServerOptions&)>()) {
     ServerOptions options;
     options.socket_path = dir + "/winofaultd.sock";
     options.concurrent_jobs = jobs;
     options.env_builder = test_env_builder();
+    if (configure) configure(options);
     server = std::make_unique<ServiceServer>(options);
     std::string error;
     ok = server->start(&error);
@@ -315,17 +321,17 @@ TEST(ServiceScheduler, RoundRobinAcrossClientsFifoWithin) {
     j->id = id;
     return j;
   };
-  ASSERT_TRUE(scheduler.enqueue(job("alice", "a1")));
-  ASSERT_TRUE(scheduler.enqueue(job("alice", "a2")));
-  ASSERT_TRUE(scheduler.enqueue(job("alice", "a3")));
-  ASSERT_TRUE(scheduler.enqueue(job("bob", "b1")));
-  ASSERT_TRUE(scheduler.enqueue(job("bob", "b2")));
+  ASSERT_EQ(EnqueueResult::kAccepted, scheduler.enqueue(job("alice", "a1")));
+  ASSERT_EQ(EnqueueResult::kAccepted, scheduler.enqueue(job("alice", "a2")));
+  ASSERT_EQ(EnqueueResult::kAccepted, scheduler.enqueue(job("alice", "a3")));
+  ASSERT_EQ(EnqueueResult::kAccepted, scheduler.enqueue(job("bob", "b1")));
+  ASSERT_EQ(EnqueueResult::kAccepted, scheduler.enqueue(job("bob", "b2")));
   std::vector<std::string> order;
   for (int i = 0; i < 5; ++i) order.push_back(scheduler.next()->id);
   EXPECT_EQ(order,
             (std::vector<std::string>{"a1", "b1", "a2", "b2", "a3"}));
   scheduler.drain();
-  EXPECT_FALSE(scheduler.enqueue(job("alice", "a4")));
+  EXPECT_EQ(EnqueueResult::kDraining, scheduler.enqueue(job("alice", "a4")));
   EXPECT_EQ(scheduler.next(), nullptr);
 }
 
@@ -337,8 +343,8 @@ TEST(ServiceScheduler, CancelledQueuedJobIsDiscarded) {
   auto b = std::make_shared<ServiceJob>();
   b->client = "c";
   b->id = "b";
-  ASSERT_TRUE(scheduler.enqueue(a));
-  ASSERT_TRUE(scheduler.enqueue(b));
+  ASSERT_EQ(EnqueueResult::kAccepted, scheduler.enqueue(a));
+  ASSERT_EQ(EnqueueResult::kAccepted, scheduler.enqueue(b));
   a->finish(JobState::kCancelled, CampaignResult(), "cancelled");
   EXPECT_EQ(scheduler.next()->id, "b");
   EXPECT_EQ(scheduler.queued(), 0u);
@@ -497,6 +503,287 @@ TEST(Service, TwoConcurrentClientsGetIdenticalCorrectResults) {
     ASSERT_TRUE(outcomes[c].ok) << outcomes[c].error;
     expect_same_results(direct, outcomes[c].result);
   }
+}
+
+// ---- (g) residency hardening + chaos ----
+
+// Installs a fault schedule for one scope and always clears it afterwards.
+class ScopedChaos {
+ public:
+  explicit ScopedChaos(const std::string& spec) {
+    std::string error;
+    auto parsed = iofault::FaultSchedule::parse(spec, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    iofault::set_schedule(std::move(parsed));
+  }
+  ~ScopedChaos() { iofault::set_schedule(std::nullopt); }
+};
+
+TEST(Service, IdleSessionTtlEvictionSpillsGoldensToStore) {
+  const std::string dir = fresh_dir("ttl");
+  const std::string store_dir = dir + "/store";
+  TestServer ts(dir, /*jobs=*/1, [](ServerOptions& o) {
+    o.session_idle_ttl_ms = 150;
+    o.housekeeping_interval_ms = 25;
+  });
+  CampaignSpec spec;
+  spec.points = small_grid();
+  spec.store.dir = store_dir;
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+  const auto outcome = client.submit_and_wait("test", test_env(), spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(ts.server->sessions(), 1u);
+
+  // Housekeeping must flush the idle session within a few TTL periods.
+  // The cache empties before the stat increments (separate locks), so
+  // poll both — checking sessions() alone races the counter update.
+  for (int i = 0; i < 200 && (ts.server->sessions() != 0 ||
+                              ts.server->stats().sessions_ttl_evicted < 1);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_EQ(ts.server->sessions(), 0u);
+  EXPECT_GE(ts.server->stats().sessions_ttl_evicted, 1);
+  // Warmth degraded to the disk tier, not vanished: the goldens landed as
+  // shards, and an identical resubmission restores instead of rebuilding.
+  int shards = 0;
+  for (const auto& entry : fs::directory_iterator(store_dir)) {
+    shards += entry.path().extension() == ".shard";
+  }
+  EXPECT_GT(shards, 0);
+  const auto warm = client.submit_and_wait("test", test_env(), spec);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.result.stats.golden_builds, 0);
+  expect_same_results(outcome.result, warm.result);
+}
+
+TEST(Service, JobTableGcForgetsOldestTerminalJobs) {
+  const std::string dir = fresh_dir("job_gc");
+  TestServer ts(dir, /*jobs=*/1, [](ServerOptions& o) {
+    o.max_finished_jobs = 2;
+  });
+  CampaignSpec spec;
+  spec.points = small_grid(/*trials=*/1);
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    // Distinct specs (different seed) so the submissions are three jobs,
+    // not dedup candidates.
+    CampaignSpec distinct = spec;
+    distinct.points[0].seed = 100 + i;
+    std::string id;
+    const auto outcome =
+        client.submit_and_wait("test", test_env(), distinct, {}, &id);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    ids.push_back(id);
+  }
+  const auto status_of = [&](const std::string& id) {
+    Json request = Json::object();
+    request.set("op", Json::str("status"));
+    request.set("job", Json::str(id));
+    const auto response = client.request(request, &error);
+    EXPECT_TRUE(response.has_value()) << error;
+    const Json* err = response->find("error");
+    return err == nullptr ? std::string() : err->as_string();
+  };
+  // The GC bound is 2: the oldest terminal job is forgotten, the two
+  // youngest stay addressable. The executor retires a job just after the
+  // client's done event, so poll briefly.
+  bool forgotten = false;
+  for (int i = 0; i < 200 && !forgotten; ++i) {
+    forgotten = status_of(ids[0]).find("unknown job") != std::string::npos;
+    if (!forgotten) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(forgotten);
+  EXPECT_EQ(status_of(ids[1]), "");
+  EXPECT_EQ(status_of(ids[2]), "");
+}
+
+TEST(Service, QueueBoundRejectsWithTypedOverloadedError) {
+  const std::string dir = fresh_dir("overload");
+  // One executor, one queued job per client; the first build blocks until
+  // released so the queue state is deterministic.
+  std::atomic<bool> building{false};
+  std::atomic<bool> release{false};
+  TestServer ts(dir, /*jobs=*/1, [&](ServerOptions& o) {
+    o.max_queued_per_client = 1;
+    o.env_builder = [&](const ModelEnv& env, Network* net, Dataset* data,
+                        std::string* err) {
+      building = true;
+      while (!release) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return test_env_builder()(env, net, data, err);
+    };
+  });
+  CampaignSpec spec;
+  spec.points = small_grid(/*trials=*/1);
+
+  // Job 1 occupies the executor (blocked inside the session build).
+  std::thread first([&] {
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+    const auto outcome = client.submit_and_wait("alice", test_env(), spec);
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+  });
+  for (int i = 0; i < 400 && !building; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(building.load());
+
+  // Job 2 fills alice's queue slot. Distinct seed: dedup must not collapse
+  // it onto job 1.
+  CampaignSpec queued = spec;
+  queued.points[0].seed = 999;
+  std::thread second([&] {
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+    const auto outcome = client.submit_and_wait("alice", test_env(), queued);
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Job 3 exceeds the bound: typed rejection, not a transport error and
+  // not a hang.
+  CampaignSpec excess = spec;
+  excess.points[0].seed = 1000;
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+  const auto rejected = client.submit_and_wait("alice", test_env(), excess);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error_code, "overloaded");
+  EXPECT_FALSE(rejected.transport_error);
+  EXPECT_NE(rejected.error.find("overloaded"), std::string::npos)
+      << rejected.error;
+
+  release = true;
+  first.join();
+  second.join();
+  EXPECT_GE(ts.server->stats().jobs_rejected, 1);
+}
+
+TEST(Service, IdenticalConcurrentSubmissionDedupsOntoTheLiveJob) {
+  const std::string dir = fresh_dir("dedup");
+  std::atomic<bool> building{false};
+  std::atomic<bool> release{false};
+  TestServer ts(dir, /*jobs=*/1, [&](ServerOptions& o) {
+    o.env_builder = [&](const ModelEnv& env, Network* net, Dataset* data,
+                        std::string* err) {
+      building = true;
+      while (!release) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return test_env_builder()(env, net, data, err);
+    };
+  });
+  CampaignSpec spec;
+  spec.points = small_grid();
+
+  std::string first_id;
+  ServiceClient::SubmitOutcome first_outcome;
+  std::thread first([&] {
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+    first_outcome =
+        client.submit_and_wait("alice", test_env(), spec, {}, &first_id);
+  });
+  for (int i = 0; i < 400 && !building; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(building.load());
+
+  // An identical (env, spec) submission — a client retrying after a lost
+  // connection — lands on the live job instead of executing twice.
+  std::string second_id;
+  ServiceClient::SubmitOutcome second_outcome;
+  std::thread second([&] {
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+    second_outcome =
+        client.submit_and_wait("bob", test_env(), spec, {}, &second_id);
+  });
+  for (int i = 0; i < 400 && ts.server->stats().jobs_deduped == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  release = true;
+  first.join();
+  second.join();
+  ASSERT_TRUE(first_outcome.ok) << first_outcome.error;
+  ASSERT_TRUE(second_outcome.ok) << second_outcome.error;
+  EXPECT_EQ(first_id, second_id);
+  EXPECT_EQ(ts.server->stats().jobs_deduped, 1);
+  expect_same_results(first_outcome.result, second_outcome.result);
+}
+
+TEST(Service, SubmitWithRetrySurvivesInjectedConnectionDrop) {
+  const Fixture f = make_fixture();
+  CampaignSpec spec;
+  spec.points = small_grid();
+  const CampaignResult direct = run_campaign(f.net, f.data, spec);
+
+  const std::string dir = fresh_dir("retry_drop");
+  TestServer ts(dir);
+  // The first client-side send dies under the message — the submit
+  // request never reaches the daemon. submit_with_retry reconnects,
+  // resubmits, and completes; the caller sees one successful submission.
+  ScopedChaos chaos("5:drop@send:client:*#1");
+  ServiceClient client;
+  ServiceClient::RetryPolicy policy;
+  policy.backoff_ms = 10;
+  const auto outcome = client.submit_with_retry(
+      ts.socket_path, "test", test_env(), spec, policy);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_GE(outcome.attempts, 2);
+  expect_same_results(direct, outcome.result);
+  ASSERT_NE(iofault::schedule(), nullptr);
+  EXPECT_EQ(iofault::schedule()->injections(), 1);
+}
+
+TEST(Service, RetryAfterMidStreamDropDedupsOntoTheRunningJob) {
+  const std::string dir = fresh_dir("retry_dedup");
+  // The first build blocks until the dedup hit is observed, so the first
+  // job is reliably still live when the retry resubmits.
+  std::atomic<bool> release{false};
+  TestServer ts(dir, /*jobs=*/1, [&](ServerOptions& o) {
+    o.env_builder = [&](const ModelEnv& env, Network* net, Dataset* data,
+                        std::string* err) {
+      while (!release) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return test_env_builder()(env, net, data, err);
+    };
+  });
+  CampaignSpec spec;
+  spec.points = small_grid();
+  std::thread releaser([&] {
+    for (int i = 0; i < 2000 && ts.server->stats().jobs_deduped == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    release = true;
+  });
+  // The first response read dies after the submit reached the daemon: the
+  // job is live when the retry resubmits, so idempotent-resubmit dedup
+  // must land the retry on that job — the campaign executes once.
+  ScopedChaos chaos("5:drop@recv:client:*#1");
+  ServiceClient client;
+  ServiceClient::RetryPolicy policy;
+  policy.backoff_ms = 10;
+  const auto outcome = client.submit_with_retry(
+      ts.socket_path, "test", test_env(), spec, policy);
+  releaser.join();
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_GE(outcome.attempts, 2);
+  EXPECT_EQ(ts.server->stats().jobs_deduped, 1);
+  EXPECT_EQ(ts.server->stats().jobs_submitted, 1);
 }
 
 }  // namespace

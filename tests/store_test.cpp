@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/iofault/iofault.h"
 #include "core/analysis/network_sweep.h"
 #include "core/campaign/campaign.h"
 #include "core/store/golden_store.h"
@@ -637,6 +638,133 @@ TEST(Store, SegmentCacheToleratesTornTailsAndDetectsReplacement) {
   cells.clear();
   EXPECT_FALSE(read_segment_cells_cached(path, env, &cells, &torn));
   clear_segment_cache();
+}
+
+// ---- chaos (common/iofault): self-healing responses to injected faults --
+
+// Installs a fault schedule for one scope and always clears it afterwards.
+class ScopedChaos {
+ public:
+  explicit ScopedChaos(const std::string& spec) {
+    std::string error;
+    auto parsed = iofault::FaultSchedule::parse(spec, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    iofault::set_schedule(std::move(parsed));
+  }
+  ~ScopedChaos() { iofault::set_schedule(std::nullopt); }
+};
+
+TEST(Store, CorruptShardIsQuarantinedForPostMortem) {
+  const Fixture f = make_fixture(2);
+  const std::string dir = fresh_dir("quarantine");
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const GoldenCache golden =
+      f.net.make_golden(f.data.images[0], ConvPolicy::kDirect);
+  GoldenStore store(dir, env, 1ULL << 30);
+  store.save(0, ConvPolicy::kDirect, golden);
+  const std::string shard = store.shard_path(0, ConvPolicy::kDirect);
+  {
+    std::fstream file(shard, std::ios::binary | std::ios::in | std::ios::out);
+    char byte = 0;
+    file.seekg(100);
+    file.get(byte);
+    file.seekp(100);
+    file.put(static_cast<char>(byte ^ 0x40));
+  }
+  EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+  EXPECT_EQ(store.quarantines(), 1);
+  EXPECT_FALSE(fs::exists(shard));  // out of the way of the rebuild
+  EXPECT_TRUE(fs::exists(shard + ".quarantine"));  // kept for post-mortem
+
+  // Startup indexing skips quarantined files, and the slot respills
+  // cleanly over the vacated path.
+  GoldenStore reopened(dir, env, 1ULL << 30);
+  reopened.save(0, ConvPolicy::kDirect, golden);
+  EXPECT_TRUE(reopened.load(0, ConvPolicy::kDirect).has_value());
+  EXPECT_EQ(reopened.quarantines(), 0);
+  EXPECT_TRUE(fs::exists(shard + ".quarantine"));
+}
+
+TEST(Store, EnospcDisablesSpillTierButStoreStaysUsable) {
+  const Fixture f = make_fixture(2);
+  const std::string dir = fresh_dir("enospc");
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const GoldenCache golden =
+      f.net.make_golden(f.data.images[0], ConvPolicy::kDirect);
+  ScopedChaos chaos("1:enospc@write:*.tmp#1+");  // every spill hits ENOSPC
+  GoldenStore store(dir, env, 1ULL << 30);
+  store.save(0, ConvPolicy::kDirect, golden);
+  EXPECT_TRUE(store.spill_disabled());
+  EXPECT_FALSE(store.load(0, ConvPolicy::kDirect).has_value());
+  EXPECT_EQ(store.bytes_on_disk(), 0u);
+  // Later saves are skipped outright — no temp files accumulate and no
+  // further ENOSPC is even provoked (the tier is off, not limping).
+  ASSERT_NE(iofault::schedule(), nullptr);
+  const std::int64_t before = iofault::schedule()->injections();
+  store.save(1, ConvPolicy::kDirect, golden);
+  EXPECT_EQ(iofault::schedule()->injections(), before);
+  EXPECT_TRUE(fs::is_empty(dir));
+}
+
+TEST(Store, ChaosTornJournalAppendIsDroppedOnRecovery) {
+  const std::string dir = fresh_dir("chaos_journal");
+  const std::uint64_t env = 0x123;
+  {
+    ScopedChaos chaos("3:torn(12)@write:*.journal#2");
+    ResultJournal journal(dir, env, ResultJournal::Mode::kAppend);
+    journal.append(JournalCell{1, 0, 1, 1});
+    journal.append(JournalCell{2, 1, 0, 2});  // torn 12 bytes in
+    EXPECT_FALSE(journal.can_append());  // durability honestly renounced
+    EXPECT_EQ(journal.appended_cells(), 1);
+    journal.append(JournalCell{3, 2, 1, 3});  // silently dropped, no crash
+    EXPECT_EQ(journal.appended_cells(), 1);
+  }
+  // Recovery truncates the torn record and reopens for appending.
+  ResultJournal recovered(dir, env, ResultJournal::Mode::kAppend);
+  EXPECT_EQ(recovered.recovered_cells(), 1);
+  EXPECT_TRUE(recovered.lookup(1, 0, nullptr));
+  EXPECT_FALSE(recovered.lookup(2, 1, nullptr));
+  EXPECT_TRUE(recovered.can_append());
+}
+
+TEST(Store, CampaignUnderChaosCompletesBitIdenticalAndReplaysExactly) {
+  // The acceptance oracle for the whole chaos subsystem: a campaign under
+  // a mixed fault schedule (torn journal append, shard-read EIO, spill
+  // ENOSPC) must still complete with results bit-identical to a clean
+  // run, and re-running the same spec over a fresh store must reproduce
+  // the exact injection sequence.
+  const Fixture f = make_fixture();
+  CampaignSpec plain;
+  plain.points = small_grid();
+  plain.golden_capacity = 1;  // constant spill/restore traffic to fault
+  plain.threads = 1;          // deterministic op stream for the log replay
+  const CampaignResult reference = run_campaign(f.net, f.data, plain);
+
+  const std::string spec =
+      "11:torn(20)@write:*.journal#2;eio@read:*.shard#1;enospc@write:*.tmp#5";
+  CampaignSpec stored = plain;
+  stored.store.dir = fresh_dir("chaos_campaign");
+  std::string first_log;
+  {
+    ScopedChaos chaos(spec);
+    const CampaignResult under_chaos = run_campaign(f.net, f.data, stored);
+    expect_same_results(reference, under_chaos);
+    ASSERT_NE(iofault::schedule(), nullptr);
+    EXPECT_GT(iofault::schedule()->injections(), 0);
+    first_log = iofault::schedule()->log_text(/*with_paths=*/false);
+  }
+  {
+    CampaignSpec again = plain;
+    again.store.dir = fresh_dir("chaos_campaign_replay");
+    ScopedChaos chaos(spec);
+    const CampaignResult replay = run_campaign(f.net, f.data, again);
+    expect_same_results(reference, replay);
+    EXPECT_EQ(iofault::schedule()->log_text(/*with_paths=*/false), first_log);
+  }
+  // A clean rerun over the chaos-damaged store self-heals: the torn
+  // journal tail truncates, missing cells re-execute, totals unchanged.
+  const CampaignResult healed = run_campaign(f.net, f.data, stored);
+  expect_same_results(reference, healed);
 }
 
 TEST(Store, GoldenDiskBudgetEvictsOldestShards) {

@@ -7,7 +7,7 @@
 // every warm golden spills to its store before exit.
 //
 //   winofaultd --socket /tmp/winofault.sock [--jobs N] [--sessions N]
-//              [--golden-capacity N]
+//              [--golden-capacity N] [--session-ttl MS] [--queue-bound N]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -28,13 +28,17 @@ void usage(const char* prog, std::FILE* to) {
   std::fprintf(
       to,
       "usage: %s --socket PATH [--jobs N] [--sessions N] "
-      "[--golden-capacity N]\n"
+      "[--golden-capacity N] [--session-ttl MS] [--queue-bound N]\n"
       "  --socket PATH        Unix-domain socket to serve (required)\n"
       "  --jobs N             campaigns executed concurrently (default 2)\n"
       "  --sessions N         warm (model, dataset) environments kept\n"
       "                       resident (default 4)\n"
       "  --golden-capacity N  initial warm golden-LRU entries per session\n"
       "                       (default: minimal; campaigns grow it)\n"
+      "  --session-ttl MS     evict warm sessions idle this long, spilling\n"
+      "                       their goldens first (default: no TTL)\n"
+      "  --queue-bound N      per-client queued-job bound; the excess is\n"
+      "                       refused as 'overloaded' (default 32, 0 = off)\n"
       "SIGTERM/SIGINT or a client 'drain' request stops gracefully:\n"
       "running jobs finish and warm goldens spill to their stores.\n",
       prog);
@@ -80,6 +84,10 @@ int main(int argc, char** argv) {
       options.max_sessions = static_cast<std::size_t>(int_value(i));
     } else if (std::strcmp(argv[i], "--golden-capacity") == 0) {
       options.golden_capacity = static_cast<std::size_t>(int_value(i));
+    } else if (std::strcmp(argv[i], "--session-ttl") == 0) {
+      options.session_idle_ttl_ms = static_cast<std::int64_t>(int_value(i));
+    } else if (std::strcmp(argv[i], "--queue-bound") == 0) {
+      options.max_queued_per_client = static_cast<std::size_t>(int_value(i));
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, argv[i]);
       usage(prog, stderr);
