@@ -6,12 +6,24 @@
 // im2col + blocked GEMM fast path the engine now routes through — so the
 // fast path's speedup is visible in the same table, as is the cost of a
 // cached incremental replay trial next to a scratch forward.
+//
+// On top of the google-benchmark table, main() hand-times the SIMD
+// dispatch levels (scalar vs AVX2 vs AVX-512 GEMM) and the batched golden
+// build (batch-4 vs batch-1) and writes the numbers to BENCH_kernels.json
+// for the CI perf trajectory. Each timed comparison doubles as a
+// bit-identity oracle — the process exits non-zero if any ISA level or the
+// batched path diverges from the reference output.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
 #include "common/rng.h"
 #include "conv/direct_conv.h"
 #include "conv/dwm.h"
 #include "conv/engine.h"
+#include "conv/gemm_kernel.h"
 #include "fault/site_sampler.h"
 #include "nn/evaluator.h"
 #include "tensor/quantize.h"
@@ -69,6 +81,26 @@ void BM_DirectConvGemm(benchmark::State& state) {
     benchmark::DoNotOptimize(direct_forward_gemm(p.desc, p.data()));
   }
   state.SetItemsProcessed(state.iterations() * p.desc.macs());
+}
+
+// The blocked GEMM at a forced dispatch level (arg 2: GemmIsa value).
+// Levels the CPU cannot execute are skipped, not silently clamped, so an
+// AVX2-only runner's table can't masquerade as AVX-512 numbers.
+void BM_DirectConvGemmIsa(benchmark::State& state) {
+  const GemmIsa isa = static_cast<GemmIsa>(state.range(2));
+  if (isa > best_supported_gemm_isa()) {
+    state.SkipWithError("ISA not supported on this CPU");
+    return;
+  }
+  const GemmIsa prev = active_gemm_isa();
+  set_gemm_isa(isa);
+  state.SetLabel(gemm_isa_name(isa));
+  const Problem p = make_problem(state.range(0), state.range(1), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct_forward_gemm(p.desc, p.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * p.desc.macs());
+  set_gemm_isa(prev);
 }
 
 void BM_WinogradF2(benchmark::State& state) {
@@ -163,17 +195,183 @@ void BM_TrialCachedReplay(benchmark::State& state) {
   }
 }
 
+// Deep tower for the batched-golden comparison: most of its MACs sit in
+// 4x4/2x2-extent convolutions (VGG-19's deep half), where a single image
+// offers fewer GEMM columns than one vector register holds — the regime
+// wave-batched golden builds exist for. Shallow nets (trial_net) see no
+// gain: their per-image column counts already saturate the SIMD width.
+Network deep_net() {
+  Network net("bench-deep", DType::kInt16);
+  Rng rng(43);
+  int x = net.add_input(Shape{1, 3, 32, 32});
+  x = net.add_conv(x, 32, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 64, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 96, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 128, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 160, 3, 1, 1, rng);
+  x = net.add_conv(x, 160, 3, 1, 1, rng);
+  x = net.add_conv(x, 160, 3, 1, 1, rng);
+  x = net.add_conv(x, 160, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 10, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 2, 12));
+  return net;
+}
+
+// Golden build throughput at a given batch size (arg 0): batch-1 loops
+// make_golden per image, larger batches run the one-wide-GEMM-per-layer
+// path the campaign runner primes waves through.
+void BM_GoldenBuildBatch(benchmark::State& state) {
+  const Network net = deep_net();
+  const std::int64_t batch = state.range(0);
+  const std::vector<TensorF> images =
+      make_images(net.input_shape(), static_cast<int>(batch), 9);
+  for (auto _ : state) {
+    if (batch == 1) {
+      benchmark::DoNotOptimize(
+          net.make_golden(images[0], ConvPolicy::kDirect));
+    } else {
+      benchmark::DoNotOptimize(
+          net.make_golden_batch(images, ConvPolicy::kDirect));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
 BENCHMARK(BM_DirectConvRef)->Args({16, 32})->Args({64, 16});
 BENCHMARK(BM_DirectConvGemm)->Args({16, 32})->Args({64, 16});
+BENCHMARK(BM_DirectConvGemmIsa)
+    ->Args({64, 16, 0})
+    ->Args({64, 16, 1})
+    ->Args({64, 16, 2});
 BENCHMARK(BM_WinogradF2)->Args({16, 32})->Args({64, 16});
 BENCHMARK(BM_WinogradF4)->Args({16, 32})->Args({64, 16});
 BENCHMARK(BM_Direct5x5)->Args({16, 16});
 BENCHMARK(BM_Dwm5x5)->Args({16, 16});
 BENCHMARK(BM_WinogradFaultReplay);
+BENCHMARK(BM_GoldenBuildBatch)->Arg(1)->Arg(4);
 BENCHMARK(BM_TrialScratch);
 BENCHMARK(BM_TrialCachedReplay);
+
+// ---- BENCH_kernels.json: hand-timed perf trajectory ----------------------
+
+// Seconds per call of `fn`, amortized: repeats until >= `min_s` of wall
+// time so fast kernels aren't quantized to the clock resolution.
+template <typename Fn>
+double time_per_call(Fn&& fn, double min_s = 0.2) {
+  fn();  // warm caches, resolve dispatch
+  std::int64_t reps = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::int64_t r = 0; r < reps; ++r) fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (s >= min_s) return s / static_cast<double>(reps);
+    reps = s > 0 ? std::max<std::int64_t>(
+                       reps * 2,
+                       static_cast<std::int64_t>(
+                           static_cast<double>(reps) * min_s / s * 1.2))
+                 : reps * 16;
+  }
+}
+
+// Per-ISA GEMM GMAC/s + batched-vs-batch-1 golden builds/s, with every
+// compared output checked bit-identical to the reference. Returns false
+// (and the process exits 1) on any divergence — the perf file must never
+// report throughput of a kernel that computes different bits.
+bool write_bench_kernels_json() {
+  bool ok = true;
+  bench::JsonObject json;
+  const GemmIsa best = best_supported_gemm_isa();
+  json.field("best_isa", std::string(gemm_isa_name(best)));
+
+  // GEMM dispatch levels on the VGG-ish shape (64c 16x16 3x3).
+  const Problem p = make_problem(64, 16, 3);
+  const TensorI32 reference = direct_forward_reference(p.desc, p.data());
+  const double gmacs_scale =
+      static_cast<double>(p.desc.macs()) / 1e9;
+  const GemmIsa isas[] = {GemmIsa::kScalar, GemmIsa::kAvx2,
+                          GemmIsa::kAvx512};
+  for (const GemmIsa isa : isas) {
+    const std::string key =
+        std::string("gemm_") + gemm_isa_name(isa) + "_gmacs";
+    if (isa > best) {
+      json.field(key, 0.0);
+      continue;
+    }
+    set_gemm_isa(isa);
+    if (!(direct_forward_gemm(p.desc, p.data()) == reference)) {
+      std::fprintf(stderr,
+                   "FAIL: %s GEMM diverges from instrumented reference\n",
+                   gemm_isa_name(isa));
+      ok = false;
+    }
+    json.field(key, gmacs_scale /
+                        time_per_call([&] {
+                          benchmark::DoNotOptimize(
+                              direct_forward_gemm(p.desc, p.data()));
+                        }));
+  }
+  set_gemm_isa(best);
+
+  // Batched golden build (the campaign wave-priming path) vs batch-1, on
+  // the deep tower whose small-extent layers are the path's raison d'etre.
+  const Network net = deep_net();
+  constexpr int kBatch = 4;
+  const std::vector<TensorF> images =
+      make_images(net.input_shape(), kBatch, 9);
+  const std::vector<GoldenCache> batched =
+      net.make_golden_batch(images, ConvPolicy::kDirect);
+  for (int b = 0; b < kBatch; ++b) {
+    const GoldenCache single =
+        net.make_golden(images[static_cast<std::size_t>(b)],
+                        ConvPolicy::kDirect);
+    const GoldenCache& wide = batched[static_cast<std::size_t>(b)];
+    bool equal = single.logits() == wide.logits() &&
+                 single.prediction() == wide.prediction();
+    for (int n = 0; equal && n < net.num_nodes(); ++n) {
+      equal = single.node_output(n).tensor == wide.node_output(n).tensor;
+    }
+    if (!equal) {
+      std::fprintf(stderr,
+                   "FAIL: batched golden image %d diverges from batch-1\n",
+                   b);
+      ok = false;
+    }
+  }
+  const double batch1_s = time_per_call([&] {
+    for (const TensorF& image : images) {
+      benchmark::DoNotOptimize(net.make_golden(image, ConvPolicy::kDirect));
+    }
+  });
+  const double batchn_s = time_per_call([&] {
+    benchmark::DoNotOptimize(
+        net.make_golden_batch(images, ConvPolicy::kDirect));
+  });
+  json.field("golden_batch1_builds_per_s",
+             static_cast<double>(kBatch) / batch1_s);
+  json.field("golden_batch4_builds_per_s",
+             static_cast<double>(kBatch) / batchn_s);
+  json.field("golden_batch_speedup", batch1_s / batchn_s);
+  json.field("bit_identity_ok", static_cast<std::int64_t>(ok ? 1 : 0));
+  json.write("BENCH_kernels.json");
+  return ok;
+}
 
 }  // namespace
 }  // namespace winofault
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return winofault::write_bench_kernels_json() ? 0 : 1;
+}

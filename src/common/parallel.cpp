@@ -3,7 +3,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
-#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -12,13 +11,26 @@ namespace {
 
 thread_local bool tl_in_parallel_region = false;
 
-// One parallel_for invocation: shards are claimed atomically under the pool
-// lock; completion is signalled when the last claimed shard finishes.
+// One parallel_for invocation. Unclaimed work lives in the per-slot ranges;
+// a chunk leaves its range (under the slot lock) exactly once, so body(i)
+// runs exactly once per index no matter how ranges migrate between slots.
 struct Job {
-  int shards = 0;
-  int next = 0;  // next unclaimed shard (guarded by the pool mutex)
-  std::atomic<int> done{0};
-  const std::function<void(int)>* shard = nullptr;
+  // Padded so two slots' locks never share a cache line.
+  struct alignas(64) Slot {
+    std::mutex m;
+    std::int64_t lo = 0;  // unclaimed range [lo, hi)
+    std::int64_t hi = 0;
+  };
+
+  std::int64_t n = 0;
+  int parts = 0;
+  std::int64_t grain = 1;
+  BodyFn body = nullptr;
+  void* ctx = nullptr;
+  std::vector<Slot> slots;            // sized once in run(); never resized
+  std::atomic<int> next_slot{0};      // participant slot assignment
+  std::atomic<std::int64_t> unclaimed{0};  // indices still inside slots
+  std::atomic<std::int64_t> done{0};       // indices fully executed
   std::condition_variable finished;
 };
 
@@ -29,24 +41,36 @@ class ThreadPool {
     return pool;
   }
 
-  void run(int shards, const std::function<void(int)>& shard) {
+  void run(std::int64_t n, int parts, BodyFn body, void* ctx) {
     auto job = std::make_shared<Job>();
-    job->shards = shards;
-    job->shard = &shard;
+    job->n = n;
+    job->parts = parts;
+    // Chunks small enough to balance, big enough to amortize the slot
+    // lock; heavy bodies (campaign cells) get grain 1 automatically.
+    job->grain = std::clamp<std::int64_t>(n / (std::int64_t{parts} * 16), 1,
+                                          1024);
+    job->body = body;
+    job->ctx = ctx;
+    job->slots = std::vector<Job::Slot>(static_cast<std::size_t>(parts));
+    for (int t = 0; t < parts; ++t) {
+      job->slots[static_cast<std::size_t>(t)].lo = n * t / parts;
+      job->slots[static_cast<std::size_t>(t)].hi = n * (t + 1) / parts;
+    }
+    job->unclaimed.store(n, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       jobs_.push_back(job);
     }
     work_available_.notify_all();
 
-    // The caller drains its own job alongside the workers, then waits for
-    // shards claimed by workers to finish.
+    // The caller drains the job alongside the workers, then waits for
+    // chunks claimed by workers to finish.
     tl_in_parallel_region = true;
-    execute_until_claimed(*job);
+    participate(*job);
     tl_in_parallel_region = false;
     std::unique_lock<std::mutex> lock(mutex_);
     job->finished.wait(lock, [&] {
-      return job->done.load(std::memory_order_acquire) == job->shards;
+      return job->done.load(std::memory_order_acquire) == job->n;
     });
   }
 
@@ -67,23 +91,86 @@ class ThreadPool {
     }
   }
 
-  // Claims and executes shards of `job` until none remain unclaimed.
-  void execute_until_claimed(Job& job) {
-    for (;;) {
-      int shard;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (job.next >= job.shards) return;
-        shard = job.next++;
-      }
-      (*job.shard)(shard);
-      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-          job.shards) {
-        // Last shard: wake the owner (lock ensures the owner is waiting).
-        std::lock_guard<std::mutex> lock(mutex_);
-        job.finished.notify_all();
-      }
+  // Runs `count` indices starting at c0 and signals completion of the last.
+  void execute(Job& job, std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t i = c0; i < c1; ++i) job.body(job.ctx, i);
+    if (job.done.fetch_add(c1 - c0, std::memory_order_acq_rel) + (c1 - c0) ==
+        job.n) {
+      // Last chunk: wake the owner (lock ensures the owner is waiting).
+      std::lock_guard<std::mutex> lock(mutex_);
+      job.finished.notify_all();
     }
+  }
+
+  // Claims and executes chunks until no unclaimed work remains anywhere.
+  // Participants beyond the slot count (late-joining workers) own no range
+  // and live entirely off grain-sized steals.
+  void participate(Job& job) {
+    const int self = job.next_slot.fetch_add(1, std::memory_order_relaxed);
+    const bool has_slot = self < job.parts;
+    for (;;) {
+      std::int64_t c0 = 0, c1 = 0;
+      if (has_slot) {
+        Job::Slot& s = job.slots[static_cast<std::size_t>(self)];
+        std::lock_guard<std::mutex> lock(s.m);
+        if (s.lo < s.hi) {
+          c0 = s.lo;
+          c1 = std::min(s.hi, s.lo + job.grain);
+          s.lo = c1;
+        }
+      }
+      if (c0 == c1) {
+        if (job.unclaimed.load(std::memory_order_acquire) == 0) return;
+        if (!steal(job, self, has_slot, &c0, &c1)) {
+          // Sweep found nothing: either fully claimed now, or a racing
+          // thief is mid-migration of the last range — re-check, retry.
+          if (job.unclaimed.load(std::memory_order_acquire) == 0) return;
+          continue;
+        }
+      }
+      job.unclaimed.fetch_sub(c1 - c0, std::memory_order_acq_rel);
+      execute(job, c0, c1);
+    }
+  }
+
+  // One sweep over the other slots. A thief with its own (empty) slot
+  // migrates the victim's back half there and takes the first grain; a
+  // slotless thief takes a single grain off the victim's back. Never holds
+  // two slot locks at once.
+  bool steal(Job& job, int self, bool has_slot, std::int64_t* c0,
+             std::int64_t* c1) {
+    for (int off = 1; off <= job.parts; ++off) {
+      const std::size_t vi =
+          static_cast<std::size_t>((self + off) % job.parts);
+      if (has_slot && static_cast<int>(vi) == self) continue;
+      std::int64_t s0 = 0, s1 = 0;
+      {
+        Job::Slot& v = job.slots[vi];
+        std::lock_guard<std::mutex> lock(v.m);
+        if (v.lo >= v.hi) continue;
+        const std::int64_t take =
+            has_slot ? std::max(job.grain, (v.hi - v.lo + 1) / 2)
+                     : job.grain;
+        s0 = std::max(v.lo, v.hi - take);
+        s1 = v.hi;
+        v.hi = s0;  // owner keeps the front it is streaming through
+      }
+      *c0 = s0;
+      *c1 = std::min(s1, s0 + job.grain);
+      if (*c1 < s1 && has_slot) {
+        // Park the remainder in our own slot. Only the owner ever inserts
+        // into a slot, so it is still empty; thieves may immediately start
+        // taking from the back of it, which is the point.
+        Job::Slot& s = job.slots[static_cast<std::size_t>(self)];
+        std::lock_guard<std::mutex> lock(s.m);
+        s.lo = *c1;
+        s.hi = s1;
+      } else {
+        *c1 = s1;  // small remainder (or slotless): run the whole steal
+      }
+      return true;
+    }
+    return false;
   }
 
   void worker_loop() {
@@ -97,12 +184,12 @@ class ThreadPool {
         });
         if (stop_) return;
         job = jobs_.front();
-        if (job->next >= job->shards) {
+        if (job->unclaimed.load(std::memory_order_acquire) == 0) {
           jobs_.pop_front();
           continue;
         }
       }
-      execute_until_claimed(*job);
+      participate(*job);
     }
   }
 
@@ -117,8 +204,8 @@ class ThreadPool {
 
 bool inside_parallel_region() { return tl_in_parallel_region; }
 
-void pool_run(int shards, const std::function<void(int)>& shard) {
-  ThreadPool::instance().run(shards, shard);
+void pool_run(std::int64_t n, int parts, BodyFn body, void* ctx) {
+  ThreadPool::instance().run(n, parts, body, ctx);
 }
 
 }  // namespace winofault::detail

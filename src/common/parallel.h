@@ -1,21 +1,33 @@
-// Deterministic parallel-for over a persistent worker pool. Splits [0, n)
-// into `threads` strided shards (shard t handles i = t, t+threads, ...), so
-// the index->shard mapping — and therefore any per-index RNG derivation —
-// is identical for every thread count and pool size. Used by the evaluator
-// to run independent images concurrently and by the conv engines for
-// tile/row parallelism.
+// Work-stealing parallel-for over a persistent worker pool. [0, n) is
+// split into `threads` contiguous initial ranges, one per participant
+// slot; each participant pops grain-sized chunks from the FRONT of its own
+// range (sequential, cache-friendly), and a participant whose range drains
+// steals the BACK half of a victim's remaining range. Static strided
+// sharding (the previous scheme) stalls the whole call on the slowest
+// shard — a real imbalance here, where one campaign cell can replay a
+// full-cone fault while its neighbors requantize away instantly.
 //
-// The pool threads are spawned once and reused across calls; before this
-// rewrite every parallel_for paid a thread-spawn/join per call, which
-// dominated small per-layer loops. Nested calls (a parallel_for issued from
-// inside a pool shard) run inline on the calling worker: the outer loop
-// already owns the cores, and inlining keeps nesting deadlock-free.
+// Determinism contract: body(i) runs exactly once for every i, but WHICH
+// participant runs it — and in what interleaving — varies run to run. A
+// body must therefore key everything observable on the index alone:
+// derive per-index RNG streams from i (never from a thread id), and write
+// results only to i's slot in a pre-sized container. Every caller in this
+// repo already satisfies this (it was required for the index->shard
+// mapping to be thread-count-invariant under the old scheme too).
+//
+// The pool threads are spawned once and reused across calls; nested calls
+// (a parallel_for issued from inside a pool participant) run inline on the
+// calling worker — the outer loop already owns the cores, and inlining
+// keeps nesting deadlock-free. The body is passed down as a raw
+// context-pointer thunk, not a std::function: per-layer loops are hot
+// enough that type-erasure allocation showed up in campaign profiles.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <thread>
+#include <type_traits>
 
 namespace winofault {
 
@@ -26,12 +38,15 @@ inline int default_thread_count() {
 
 namespace detail {
 
-// True on a pool worker (or a caller currently draining its own shards).
+// True on a pool worker (or a caller currently draining a job).
 bool inside_parallel_region();
 
-// Executes shard(t) for t in [0, shards) on the persistent pool; the caller
-// participates, so completion never waits on workers occupied elsewhere.
-void pool_run(int shards, const std::function<void(int)>& shard);
+using BodyFn = void (*)(void* ctx, std::int64_t i);
+
+// Executes body(ctx, i) for every i in [0, n) across `parts` work-stealing
+// participant slots on the persistent pool; the caller participates, so
+// completion never waits on workers occupied elsewhere.
+void pool_run(std::int64_t n, int parts, BodyFn body, void* ctx);
 
 }  // namespace detail
 
@@ -45,9 +60,11 @@ void parallel_for(std::int64_t n, int threads, Body&& body) {
     for (std::int64_t i = 0; i < n; ++i) body(i);
     return;
   }
-  detail::pool_run(threads, [&body, threads, n](int t) {
-    for (std::int64_t i = t; i < n; i += threads) body(i);
-  });
+  using B = std::remove_reference_t<Body>;
+  detail::pool_run(
+      n, threads,
+      [](void* ctx, std::int64_t i) { (*static_cast<B*>(ctx))(i); },
+      static_cast<void*>(std::addressof(body)));
 }
 
 }  // namespace winofault

@@ -1,0 +1,61 @@
+// Explicit SIMD microkernel behind the direct engine's blocked int64 GEMM
+// (gemm_acc in direct_conv.cpp). One accumulator-tile kernel per ISA level
+// — scalar, AVX2, AVX-512 — selected once at startup from CPU capability,
+// overridable via WINOFAULT_ISA for CI and via set_gemm_isa() for tests.
+//
+// Bit-identity contract: every variant computes, for each (row j, column
+// e), the exact int64 sum  acc[j][e] += sum_r w[j][r] * col[r][e].
+// Products are exact (int32 x int32 fits int64) and int64 addition of
+// exact terms is associative and commutative, so any summation order —
+// increasing r in the tile kernels, lane-strided r in the dot kernels —
+// produces identical bits. The instrumented reference (direct_output_acc)
+// stays the oracle for every dispatch level (tests/simd_kernel_test.cpp
+// pins this under WINOFAULT_ISA forcing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace winofault {
+
+enum class GemmIsa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* gemm_isa_name(GemmIsa isa);
+
+// Highest ISA level this CPU can execute.
+GemmIsa best_supported_gemm_isa();
+
+// The dispatch level in effect: resolved once on first use to the best
+// supported level, unless WINOFAULT_ISA ("scalar" | "avx2" | "avx512" |
+// "native") overrides it. A request above the CPU's capability clamps down
+// with a warning (so a CI matrix leg can export WINOFAULT_ISA=avx512
+// everywhere and still run on AVX2-only machines).
+GemmIsa active_gemm_isa();
+
+// Forces the dispatch level (clamped to supported); returns the level
+// actually installed. Test hook for the ISA exactness matrix — swap only
+// between campaigns/forwards, not while GEMMs are in flight.
+GemmIsa set_gemm_isa(GemmIsa isa);
+
+// The microkernel: accumulates
+//   acc[j*acc_stride + e] += sum_{r<window} w[j*w_stride + r] *
+//                            col[r*col_stride + e]
+// for j in [0, rows), e in [0, eb), exactly in int64. `rows` is at most 4
+// (the register-tile height); callers block their output channels in fours.
+void gemm_microkernel(std::int64_t* acc, std::int64_t acc_stride, int rows,
+                      std::int64_t eb, const std::int32_t* col,
+                      std::int64_t col_stride, const std::int32_t* w,
+                      std::int64_t w_stride, std::int64_t window);
+
+// Narrow-output companion: same accumulation for eb below the vector width
+// (deep layers with 1x1/2x2 spatial extent), where gemm_microkernel would
+// run scalar. Vectorizes over the window axis instead and reads the
+// transposed column matrix, colT[e * window + r] == col[r][e]. The
+// summation order over r differs, but int64 addition of exact terms is
+// associative and commutative, so the accumulator bits are identical.
+void gemm_microkernel_dot(std::int64_t* acc, std::int64_t acc_stride,
+                          int rows, std::int64_t eb, const std::int32_t* colT,
+                          const std::int32_t* w, std::int64_t w_stride,
+                          std::int64_t window);
+
+}  // namespace winofault

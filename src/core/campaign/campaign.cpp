@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <chrono>
 #include <csignal>
@@ -340,6 +341,122 @@ GoldenLru::Ptr GoldenLru::get_or_build(
   return ptr;
 }
 
+void GoldenLru::prime(std::span<const std::int64_t> images, ConvPolicy policy,
+                      const std::function<std::vector<GoldenCache>(
+                          std::span<const std::int64_t>)>& build_batch) {
+  GoldenStore* const store = store_.load();
+  // Claim every absent key under ONE lock acquisition, running the same
+  // eviction-spill dance as get_or_build. Keys already present (ready or in
+  // flight) belong to their builder and are skipped without an LRU bump —
+  // the wave's execute_cell lookups will bump them.
+  struct Claim {
+    std::int64_t image;
+    Key key;
+    std::uint64_t owner;
+    std::promise<Ptr> promise;
+  };
+  std::vector<Claim> claims;
+  std::vector<std::pair<Key, Ptr>> spill;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::int64_t image : images) {
+      const Key key = pack_golden_key(image, policy);
+      if (map_.find(key) != map_.end()) continue;
+      Claim claim;
+      claim.image = image;
+      claim.key = key;
+      claim.owner = ++next_owner_;
+      std::shared_future<Ptr> future = claim.promise.get_future().share();
+      lru_.push_front(key);
+      map_.emplace(key, Entry{future, lru_.begin(), claim.owner});
+      claims.push_back(std::move(claim));
+      while (map_.size() > capacity_) {
+        const Key victim = lru_.back();
+        const auto vit = map_.find(victim);
+        if (store != nullptr &&
+            vit->second.future.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+          try {
+            if (Ptr ready = vit->second.future.get()) {
+              spill.emplace_back(victim, std::move(ready));
+            }
+          } catch (...) {
+            // failed build: nothing to spill
+          }
+        }
+        map_.erase(vit);
+        lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (auto& [victim, ready] : spill) {
+    store->save(golden_key_image(victim), golden_key_policy(victim), *ready);
+  }
+  if (claims.empty()) return;
+  // Resolves one claim: publish to waiters, then — exactly as in
+  // get_or_build — spill to the store if the entry was evicted while
+  // unready (the evictor could not).
+  const auto finish = [&](Claim& claim, Ptr ptr) {
+    claim.promise.set_value(ptr);
+    if (store != nullptr) {
+      bool still_cached;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = map_.find(claim.key);
+        still_cached = it != map_.end() && it->second.owner == claim.owner;
+      }
+      if (!still_cached) store->save(claim.image, policy, *ptr);
+    }
+  };
+  std::vector<bool> resolved(claims.size(), false);
+  try {
+    // Tier-2 restores first; only true misses reach the batched build.
+    std::vector<std::int64_t> miss_images;
+    std::vector<std::size_t> miss_idx;
+    for (std::size_t k = 0; k < claims.size(); ++k) {
+      if (store != nullptr) {
+        if (std::optional<GoldenCache> restored =
+                store->load(claims[k].image, policy)) {
+          finish(claims[k],
+                 std::make_shared<const GoldenCache>(std::move(*restored)));
+          resolved[k] = true;
+          continue;
+        }
+      }
+      miss_images.push_back(claims[k].image);
+      miss_idx.push_back(k);
+    }
+    if (!miss_images.empty()) {
+      builds_.fetch_add(static_cast<std::int64_t>(miss_images.size()),
+                        std::memory_order_relaxed);
+      std::vector<GoldenCache> built = build_batch(miss_images);
+      WF_CHECK(built.size() == miss_images.size());
+      for (std::size_t j = 0; j < miss_idx.size(); ++j) {
+        finish(claims[miss_idx[j]],
+               std::make_shared<const GoldenCache>(std::move(built[j])));
+        resolved[miss_idx[j]] = true;
+      }
+    }
+  } catch (...) {
+    // Propagate the real error to concurrent waiters of every unresolved
+    // claim and drop those entries so later lookups retry (owner check as
+    // in get_or_build).
+    const std::exception_ptr error = std::current_exception();
+    for (std::size_t k = 0; k < claims.size(); ++k) {
+      if (resolved[k]) continue;
+      claims[k].promise.set_exception(error);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const auto it = map_.find(claims[k].key);
+          it != map_.end() && it->second.owner == claims[k].owner) {
+        lru_.erase(it->second.lru_it);
+        map_.erase(it);
+      }
+    }
+    throw;
+  }
+}
+
 std::int64_t GoldenLru::flush_to_store() {
   GoldenStore* const store = store_.load();
   if (store == nullptr) return 0;
@@ -508,6 +625,11 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
     std::uint32_t a;  // index into `active`
   };
   std::vector<Unit> units;
+  // End offset of each wave's unit slice: wave k owns
+  // units[wave_bounds[k-1], wave_bounds[k]). Slices are contiguous by
+  // construction (units append wave by wave) and drive the per-wave
+  // batched golden priming below.
+  std::vector<std::size_t> wave_bounds;
   units.reserve(static_cast<std::size_t>(images) * active.size());
   for (std::int64_t wave = 0; wave < images; wave += wave_width) {
     const std::int64_t wave_end = std::min(images, wave + wave_width);
@@ -525,6 +647,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
         units.push_back(Unit{i, static_cast<std::uint32_t>(a)});
       }
     }
+    wave_bounds.push_back(units.size());
   }
   // The budget only applies when an appendable journal exists to pick up
   // the deferred cells: without one (store disabled, or the journal file
@@ -566,25 +689,68 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   };
   emit_progress();  // totals up front, even for fully journal-served runs
 
-  parallel_for(cells_total, threads, [&](std::int64_t u) {
-    if (spec.cancel != nullptr &&
-        spec.cancel->load(std::memory_order_relaxed)) {
-      cancelled.fetch_add(1, std::memory_order_relaxed);
-      return;
+  // Wave-sliced execution. Before a wave's cells run, every (image, policy)
+  // golden the wave will reuse is primed through ONE batched golden build
+  // per policy (Network::make_golden_batch — bit-identical to per-image
+  // builds), so conv layers amortize their im2col/GEMM launch cost across
+  // the whole image wave instead of paying it once per image. Keys another
+  // thread already holds (warm daemon tier) and tier-2 restores are honored
+  // by prime; execute_cell's get_or_build then hits ready futures. A wave
+  // truncated by the cell budget primes only the cells it actually kept.
+  std::size_t wave_begin = 0;
+  for (const std::size_t bound : wave_bounds) {
+    const std::size_t wave_end = std::min(bound, units.size());
+    if (wave_begin >= wave_end) continue;
+    const bool cancel_now = spec.cancel != nullptr &&
+                            spec.cancel->load(std::memory_order_relaxed);
+    if (!cancel_now) {
+      // Distinct wave images per policy; 3 mirrors `seen[3]` above (the
+      // ConvPolicy value count).
+      std::array<std::vector<std::int64_t>, 3> wave_images;
+      for (std::size_t u = wave_begin; u < wave_end; ++u) {
+        const CampaignPoint& point = spec.points[active[units[u].a]];
+        if (!point.reuse_golden) continue;
+        wave_images[static_cast<int>(point.policy)].push_back(units[u].image);
+      }
+      for (int pol = 0; pol < 3; ++pol) {
+        std::vector<std::int64_t>& imgs = wave_images[pol];
+        if (imgs.empty()) continue;
+        std::sort(imgs.begin(), imgs.end());
+        imgs.erase(std::unique(imgs.begin(), imgs.end()), imgs.end());
+        const ConvPolicy policy = static_cast<ConvPolicy>(pol);
+        lru.prime(imgs, policy, [&](std::span<const std::int64_t> miss) {
+          std::vector<TensorF> batch;
+          batch.reserve(miss.size());
+          for (const std::int64_t m : miss) {
+            batch.push_back(dataset_.images[static_cast<std::size_t>(m)]);
+          }
+          return network_.make_golden_batch(batch, policy);
+        });
+      }
     }
-    const std::int64_t i = units[static_cast<std::size_t>(u)].image;
-    const std::size_t a = units[static_cast<std::size_t>(u)].a;
-    const std::size_t p = active[a];
-    const JournalCell cell =
-        execute_cell(network_, dataset_, spec.points[p],
-                     point_hashes.empty() ? 0 : point_hashes[p], i, lru);
-    if (journal != nullptr) journal->append(cell);
-    correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
-    flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
-    inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
-    done.fetch_add(1, std::memory_order_relaxed);
-    emit_progress();
-  });
+    parallel_for(static_cast<std::int64_t>(wave_end - wave_begin), threads,
+                 [&, wave_begin](std::int64_t w) {
+      const std::size_t u = wave_begin + static_cast<std::size_t>(w);
+      if (spec.cancel != nullptr &&
+          spec.cancel->load(std::memory_order_relaxed)) {
+        cancelled.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const std::int64_t i = units[u].image;
+      const std::size_t a = units[u].a;
+      const std::size_t p = active[a];
+      const JournalCell cell =
+          execute_cell(network_, dataset_, spec.points[p],
+                       point_hashes.empty() ? 0 : point_hashes[p], i, lru);
+      if (journal != nullptr) journal->append(cell);
+      correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
+      flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
+      inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_relaxed);
+      emit_progress();
+    });
+    wave_begin = wave_end;
+  }
   result.stats.cells_deferred += cancelled.load();
 
   for (std::size_t a = 0; a < active.size(); ++a) {

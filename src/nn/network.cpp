@@ -1,5 +1,7 @@
 #include "nn/network.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/hash.h"
@@ -15,6 +17,8 @@
 namespace winofault {
 namespace {
 
+std::atomic<bool> g_sparse_replay{true};
+
 int argmax_logit(const TensorI32& logits) {
   int best = 0;
   for (std::int64_t i = 1; i < logits.numel(); ++i) {
@@ -24,6 +28,14 @@ int argmax_logit(const TensorI32& logits) {
 }
 
 }  // namespace
+
+void set_sparse_replay_enabled(bool enabled) {
+  g_sparse_replay.store(enabled, std::memory_order_relaxed);
+}
+
+bool sparse_replay_enabled() {
+  return g_sparse_replay.load(std::memory_order_relaxed);
+}
 
 TensorF he_init_conv(std::int64_t out_c, std::int64_t in_c, std::int64_t k,
                      Rng& rng) {
@@ -298,6 +310,56 @@ GoldenCache Network::make_golden(const TensorF& image,
   return cache;
 }
 
+std::vector<GoldenCache> Network::make_golden_batch(
+    std::span<const TensorF> images, ConvPolicy policy) const {
+  WF_CHECK(calibrated_);
+  const std::size_t batch = images.size();
+  std::vector<GoldenCache> caches(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    caches[b].policy_ = policy;
+    caches[b].acts_.resize(nodes_.size());
+    caches[b].acts_[0].tensor = quantize_input(images[b]);
+    caches[b].acts_[0].quant = input_quant_;
+  }
+  ExecContext ctx;
+  ctx.policy = policy;
+  for (std::size_t id = 1; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (const auto* conv = dynamic_cast<const ConvLayer*>(node.layer.get())) {
+      std::vector<const NodeOutput*> ins;
+      ins.reserve(batch);
+      const std::size_t in_id = static_cast<std::size_t>(node.inputs[0]);
+      for (std::size_t b = 0; b < batch; ++b) {
+        ins.push_back(&caches[b].acts_[in_id]);
+      }
+      std::vector<TensorI32> outs = conv->forward_batch(ins, node.quant,
+                                                        policy);
+      for (std::size_t b = 0; b < batch; ++b) {
+        caches[b].acts_[id].tensor = std::move(outs[b]);
+        caches[b].acts_[id].quant = node.quant;
+      }
+    } else {
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::vector<const NodeOutput*> ins;
+        ins.reserve(node.inputs.size());
+        for (const int in : node.inputs) {
+          ins.push_back(&caches[b].acts_[static_cast<std::size_t>(in)]);
+        }
+        caches[b].acts_[id].tensor =
+            node.layer->forward(ins, node.quant, ctx, node.prot_index);
+        caches[b].acts_[id].quant = node.quant;
+      }
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    caches[b].logits_ =
+        caches[b].acts_[static_cast<std::size_t>(output_node_)].tensor;
+    apply_logit_centering(caches[b].logits_);
+    caches[b].prediction_ = argmax_logit(caches[b].logits_);
+  }
+  return caches;
+}
+
 TensorI32 Network::forward_replay(const GoldenCache& golden,
                                   FaultSession& session) const {
   WF_CHECK(calibrated_);
@@ -334,6 +396,12 @@ TensorI32 Network::forward_replay(const GoldenCache& golden,
       ins.push_back(dirty[i] ? &replay[i] : &golden.acts_[i]);
     }
     TensorI32 out;
+    bool computed = false;
+    // Output positions that could differ from golden (sorted, unique).
+    // When known, the post-recompute diff touches only these instead of
+    // scanning the whole activation.
+    std::vector<std::int64_t> candidates;
+    bool have_candidates = false;
     if (op_level && node.prot_index >= 0) {
       const std::span<const FaultSite> sites(faults->sites);
       if (const auto* conv =
@@ -354,9 +422,44 @@ TensorI32 Network::forward_replay(const GoldenCache& golden,
                                          sites, cached);
       }
     } else {
+      const bool sparse = sparse_replay_enabled();
       if (!inputs_dirty && node.prot_index >= 0) {
+        // Faults on an otherwise-clean node: start from the cached
+        // activation; only the flipped neurons can differ from golden.
         out = golden.acts_[id].tensor;
-      } else {
+        computed = true;
+        have_candidates = sparse;
+      } else if (sparse) {
+        if (const auto* conv =
+                dynamic_cast<const ConvLayer*>(node.layer.get())) {
+          // Dirty-input conv in neuron mode: the op-level delta engine with
+          // no sites is a bit-identical sparse forward (only outputs whose
+          // receptive field touches a changed input recompute).
+          const std::size_t in_id = static_cast<std::size_t>(node.inputs[0]);
+          out = conv->replay_delta(
+              *ins[0], node.quant, golden.policy_, {},
+              golden.acts_[id].tensor,
+              std::span<const std::int64_t>(changed[in_id]));
+          computed = true;
+        } else {
+          std::vector<std::span<const std::int64_t>> in_ch;
+          in_ch.reserve(node.inputs.size());
+          for (const int in : node.inputs) {
+            const std::size_t i = static_cast<std::size_t>(in);
+            in_ch.push_back(dirty[i]
+                                ? std::span<const std::int64_t>(changed[i])
+                                : std::span<const std::int64_t>());
+          }
+          if (auto patched = node.layer->replay_sparse(
+                  ins, in_ch, node.quant, golden.acts_[id].tensor,
+                  &candidates)) {
+            out = std::move(*patched);
+            computed = true;
+            have_candidates = true;
+          }
+        }
+      }
+      if (!computed) {
         ExecContext ctx;
         ctx.policy = golden.policy_;
         out = node.layer->forward(ins, node.quant, ctx, -1);
@@ -367,6 +470,12 @@ TensorI32 Network::forward_replay(const GoldenCache& golden,
         for (const NeuronFault& f : faults->neurons) {
           out[f.index] = static_cast<std::int32_t>(
               flip_bit(out[f.index], f.bit, width));
+          if (have_candidates) candidates.push_back(f.index);
+        }
+        if (have_candidates && !faults->neurons.empty()) {
+          std::sort(candidates.begin(), candidates.end());
+          candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                           candidates.end());
         }
       }
     }
@@ -374,8 +483,14 @@ TensorI32 Network::forward_replay(const GoldenCache& golden,
     // perturbation requantized away and the node is clean after all.
     const TensorI32& gold = golden.acts_[id].tensor;
     std::vector<std::int64_t> delta;
-    for (std::int64_t i = 0; i < out.numel(); ++i) {
-      if (out[i] != gold[i]) delta.push_back(i);
+    if (have_candidates) {
+      for (const std::int64_t i : candidates) {
+        if (out[i] != gold[i]) delta.push_back(i);
+      }
+    } else {
+      for (std::int64_t i = 0; i < out.numel(); ++i) {
+        if (out[i] != gold[i]) delta.push_back(i);
+      }
     }
     if (delta.empty()) continue;
     replay[id] = NodeOutput{std::move(out), node.quant};

@@ -75,6 +75,15 @@ class Network {
   // Computes the fault-free activations of `image` under `policy`, shared
   // read-only by all subsequent replay trials on this image.
   GoldenCache make_golden(const TensorF& image, ConvPolicy policy) const;
+  // Batched golden build: runs the graph once with every conv layer
+  // computing all images as one wide GEMM (ConvLayer::forward_batch);
+  // non-conv layers loop per image. result[b] is bit-identical to
+  // make_golden(images[b], policy) — batching changes arithmetic cost, not
+  // a single activation bit — so caches stay per-image keyed and replay
+  // semantics are untouched. The campaign runner primes each image wave
+  // through this path.
+  std::vector<GoldenCache> make_golden_batch(std::span<const TensorF> images,
+                                             ConvPolicy policy) const;
   // One injection trial against the cache: pre-samples the session's faults
   // (consuming its RNG exactly as a scratch forward would), reuses cached
   // activations upstream of the earliest faulted layer, and recomputes only
@@ -137,5 +146,14 @@ class Network {
 // He-normal initialized conv weight tensor [out_c, in_c, k, k].
 TensorF he_init_conv(std::int64_t out_c, std::int64_t in_c, std::int64_t k,
                      Rng& rng);
+
+// Process-wide switch for the index-propagating sparse replay paths in
+// forward_replay (Layer::replay_sparse + the neuron-mode conv delta).
+// Enabled by default; results are bit-identical either way (the sparse
+// paths patch exactly the outputs a dense recompute could change —
+// tests/sparse_replay_test.cpp diffs both). Exists so tests and A/B
+// debugging can force the dense path.
+void set_sparse_replay_enabled(bool enabled);
+bool sparse_replay_enabled();
 
 }  // namespace winofault

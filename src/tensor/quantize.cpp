@@ -34,12 +34,4 @@ TensorF dequantize(const TensorI32& stored, const QuantParams& params) {
   return out;
 }
 
-std::int32_t requantize_value(std::int64_t acc, double acc_scale,
-                              const QuantParams& out_params) {
-  const double real = static_cast<double>(acc) * acc_scale;
-  const double stored = real / out_params.scale;
-  return clamp_to(out_params.dtype,
-                  static_cast<std::int64_t>(std::llround(stored)));
-}
-
 }  // namespace winofault

@@ -4,6 +4,7 @@
 // requantization so int8 and int16 behave exactly like narrow registers.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "tensor/dtype.h"
@@ -31,7 +32,14 @@ TensorF dequantize(const TensorI32& stored, const QuantParams& params);
 // real-value scale of the accumulator (product of input scales for a conv).
 // Implemented as double multiply + round + clamp; deterministic across
 // engines, which is what makes direct and Winograd outputs bit-identical.
-std::int32_t requantize_value(std::int64_t acc, double acc_scale,
-                              const QuantParams& out_params);
+// Defined inline: it sits on the requantization edge of every GEMM sink,
+// called once per output element.
+inline std::int32_t requantize_value(std::int64_t acc, double acc_scale,
+                                     const QuantParams& out_params) {
+  const double real = static_cast<double>(acc) * acc_scale;
+  const double stored = real / out_params.scale;
+  return clamp_to(out_params.dtype,
+                  static_cast<std::int64_t>(std::llround(stored)));
+}
 
 }  // namespace winofault

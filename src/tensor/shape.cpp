@@ -12,9 +12,4 @@ std::string Shape::to_string() const {
   return buf;
 }
 
-std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
-                          std::int64_t stride, std::int64_t pad) {
-  return (in + 2 * pad - kernel) / stride + 1;
-}
-
 }  // namespace winofault

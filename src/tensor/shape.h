@@ -27,8 +27,10 @@ struct Shape {
 };
 
 // Spatial output size of a convolution/pool window: standard formula with
-// symmetric padding.
-std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
-                          std::int64_t stride, std::int64_t pad);
+// symmetric padding. Inline: index math on replay hot paths.
+constexpr std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                                    std::int64_t stride, std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
 
 }  // namespace winofault

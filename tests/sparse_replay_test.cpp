@@ -1,0 +1,191 @@
+// Equivalence proofs for index-propagating sparse replay: forward_replay
+// with the sparse paths enabled (changed-index sets flowing through relu /
+// pool / eltwise / concat, and conv patching via replay_delta) must be
+// bit-identical to BOTH the dense-recompute replay (sparse disabled) and a
+// scratch forward with the same fault session — on graphs where the dirty
+// cone crosses pooling, residual Adds, and channel-concatenations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/evaluator.h"
+#include "nn/network.h"
+#include "test_util.h"
+
+namespace winofault {
+namespace {
+
+using testing::expect_tensors_equal;
+
+// Restores the process-wide default even when an assertion bails out of a
+// test mid-loop.
+struct SparseGuard {
+  ~SparseGuard() { set_sparse_replay_enabled(true); }
+};
+
+// Residual graph: the cone from the trunk conv reaches the Add through two
+// paths of different depth, and pooling shrinks the index sets downstream.
+Network eltwise_net() {
+  Network net("sparse-eltwise", DType::kInt16);
+  Rng rng(171);
+  int x = net.add_input(Shape{1, 3, 12, 12});
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  const int trunk = net.add_conv(x, 8, 3, 1, 1, rng);
+  const int branch = net.add_conv(trunk, 8, 3, 1, 1, rng);
+  x = net.add_add(trunk, branch);
+  x = net.add_maxpool(x, 2, 2);
+  x = net.add_conv(x, 12, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 5, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 3, 18));
+  return net;
+}
+
+// Concat graph: two conv branches of different widths merge channel-wise,
+// so a dirty cone entering from branch B must re-base its indices by A's
+// channel count — the concat edge case the index propagation must get
+// right. Branch convs are most of the protectable layers, so nearly every
+// faulted trial drives a cone across the concat.
+Network concat_net() {
+  Network net("sparse-concat", DType::kInt16);
+  Rng rng(173);
+  int x = net.add_input(Shape{1, 3, 12, 12});
+  const int stem = net.add_conv(x, 6, 3, 1, 1, rng);
+  const int a = net.add_conv(stem, 4, 3, 1, 1, rng);
+  const int b = net.add_conv(stem, 6, 5, 1, 2, rng);
+  x = net.add_concat({a, b});
+  x = net.add_conv(x, 10, 3, 1, 1, rng);
+  x = net.add_avgpool(x, 2, 2);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 5, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 3, 19));
+  return net;
+}
+
+// Pool-heavy graph: max, avg, and global-avg pooling back to back, with
+// padding so window marking must respect edge clamping.
+Network pool_net() {
+  Network net("sparse-pool", DType::kInt16);
+  Rng rng(177);
+  int x = net.add_input(Shape{1, 3, 16, 16});
+  x = net.add_conv(x, 8, 3, 1, 1, rng);
+  x = net.add_maxpool(x, 3, 2, 1);
+  x = net.add_conv(x, 12, 3, 1, 1, rng);
+  x = net.add_avgpool(x, 2, 2);
+  x = net.add_conv(x, 12, 3, 1, 1, rng);
+  x = net.add_global_avgpool(x);
+  x = net.add_flatten(x);
+  x = net.add_linear(x, 5, rng);
+  net.set_output(x);
+  net.calibrate(make_images(net.input_shape(), 3, 20));
+  return net;
+}
+
+// For each (policy, image, seed): scratch forward, dense replay (sparse
+// disabled), and sparse replay must all be bit-identical with identical
+// flip accounting. Returns how many trials actually flipped bits, so
+// callers can assert the sweep wasn't vacuously fault-free.
+int check_sparse_dense_scratch(const Network& net, const FaultConfig& config,
+                               int seeds, const char* what) {
+  SparseGuard guard;
+  int faulted_trials = 0;
+  const std::vector<TensorF> images = make_images(net.input_shape(), 2, 91);
+  for (const ConvPolicy policy :
+       {ConvPolicy::kDirect, ConvPolicy::kWinograd2, ConvPolicy::kWinograd4}) {
+    for (const TensorF& image : images) {
+      const GoldenCache golden = net.make_golden(image, policy);
+      for (int seed = 1; seed <= seeds; ++seed) {
+        FaultSession scratch_session(config, static_cast<std::uint64_t>(seed));
+        ExecContext ctx;
+        ctx.policy = policy;
+        ctx.session = &scratch_session;
+        const TensorI32 scratch = net.forward(image, ctx);
+
+        set_sparse_replay_enabled(false);
+        FaultSession dense_session(config, static_cast<std::uint64_t>(seed));
+        const TensorI32 dense = net.forward_replay(golden, dense_session);
+
+        set_sparse_replay_enabled(true);
+        FaultSession sparse_session(config, static_cast<std::uint64_t>(seed));
+        const TensorI32 sparse = net.forward_replay(golden, sparse_session);
+
+        expect_tensors_equal(scratch, dense, what);
+        expect_tensors_equal(dense, sparse, what);
+        EXPECT_EQ(dense_session.total_flips(), sparse_session.total_flips())
+            << what << " flip accounting (seed " << seed << ")";
+        faulted_trials += sparse_session.total_flips() > 0;
+      }
+    }
+  }
+  return faulted_trials;
+}
+
+TEST(SparseReplay, EltwiseGraphNeuronFaults) {
+  const Network net = eltwise_net();
+  FaultConfig config;
+  config.ber = 1e-4;
+  config.mode = InjectionMode::kNeuronLevel;
+  EXPECT_GT(check_sparse_dense_scratch(net, config, 12, "eltwise neuron"),
+            20);
+}
+
+TEST(SparseReplay, EltwiseGraphOpFaults) {
+  const Network net = eltwise_net();
+  FaultConfig config;
+  config.ber = 1e-6;
+  EXPECT_GT(check_sparse_dense_scratch(net, config, 12, "eltwise op"), 10);
+}
+
+TEST(SparseReplay, ConeCrossesConcat) {
+  const Network net = concat_net();
+  FaultConfig config;
+  config.ber = 1e-4;
+  config.mode = InjectionMode::kNeuronLevel;
+  EXPECT_GT(check_sparse_dense_scratch(net, config, 16, "concat neuron"),
+            25);
+}
+
+TEST(SparseReplay, ConcatGraphOpFaults) {
+  const Network net = concat_net();
+  FaultConfig config;
+  config.ber = 1e-6;
+  EXPECT_GT(check_sparse_dense_scratch(net, config, 12, "concat op"), 10);
+}
+
+TEST(SparseReplay, PoolGraphBothModes) {
+  const Network net = pool_net();
+  FaultConfig neuron;
+  neuron.ber = 1e-4;
+  neuron.mode = InjectionMode::kNeuronLevel;
+  EXPECT_GT(check_sparse_dense_scratch(net, neuron, 10, "pool neuron"), 15);
+  FaultConfig op;
+  op.ber = 1e-6;
+  EXPECT_GT(check_sparse_dense_scratch(net, op, 10, "pool op"), 8);
+}
+
+TEST(SparseReplay, HighFootprintFallsBackDenseAndStaysExact) {
+  // A destruction-adjacent BER makes nearly every index dirty: the sparse
+  // paths must bail to dense recomputes without changing a bit.
+  const Network net = pool_net();
+  FaultConfig config;
+  config.ber = 1e-3;
+  config.mode = InjectionMode::kNeuronLevel;
+  EXPECT_GT(check_sparse_dense_scratch(net, config, 6, "high footprint"),
+            30);
+}
+
+TEST(SparseReplay, ToggleRoundTrip) {
+  EXPECT_TRUE(sparse_replay_enabled());
+  set_sparse_replay_enabled(false);
+  EXPECT_FALSE(sparse_replay_enabled());
+  set_sparse_replay_enabled(true);
+  EXPECT_TRUE(sparse_replay_enabled());
+}
+
+}  // namespace
+}  // namespace winofault

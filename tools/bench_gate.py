@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Hard perf-regression gate over the BENCH_*.json trajectory files.
+
+Compares the current run's flat JSON against the cached baseline from the
+previous run and FAILS (exit 1) when any gated metric drops by more than
+the failure threshold. The threshold is variance-calibrated: when the
+current file carries a `noise_cv` field (bench_campaign repeats its cheap
+sweep and reports the coefficient of variation of the wall time), the gate
+fails at max(floor, sigmas * noise_cv) — so the gate is exactly as strict
+as the runner is quiet. Files without noise_cv use the floor.
+
+Usage:
+  bench_gate.py --baseline DIR --current DIR SPEC [SPEC ...]
+
+Each SPEC is  file.json:metric[,metric...]  — metrics are higher-is-better
+rates/speedups. A missing baseline file skips that spec (first run on a
+fresh cache); a missing metric in either file is an error, so a renamed
+field cannot silently un-gate itself.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Failure floor: a drop this large is never runner noise on these
+# workloads, even on the noisiest shared runner observed so far.
+FAIL_FLOOR = 0.25
+# Warn threshold (annotation only, never fails).
+WARN_AT = 0.10
+# Calibration: fail at this many noise standard deviations. 6 sigma of the
+# sweep-repeat CV keeps the false-positive rate negligible while still
+# catching any real integer-factor regression.
+SIGMAS = 6.0
+# Calibrated thresholds are capped: past this, halved throughput would pass
+# on a pathologically noisy runner and the gate would be meaningless.
+FAIL_CAP = 0.45
+
+
+def gate_file(base_path, curr_path, metrics):
+    if not os.path.exists(base_path):
+        print(f"[gate] {base_path}: no baseline (first run); skipping")
+        return []
+    with open(base_path) as f:
+        base = json.load(f)
+    with open(curr_path) as f:
+        curr = json.load(f)
+
+    noise_cv = float(curr.get("noise_cv", 0.0))
+    fail_at = min(max(FAIL_FLOOR, SIGMAS * noise_cv), FAIL_CAP)
+    name = os.path.basename(curr_path)
+    print(f"[gate] {name}: fail threshold {fail_at*100:.1f}% "
+          f"(noise_cv={noise_cv:.4f}, floor={FAIL_FLOOR*100:.0f}%)")
+
+    failures = []
+    for metric in metrics:
+        if metric not in base:
+            print(f"[gate] {name}: baseline lacks '{metric}'; treating as "
+                  "first run for this metric")
+            continue
+        if metric not in curr:
+            failures.append(f"{name}:{metric} missing from current run")
+            print(f"::error title=bench_gate::{name}: metric '{metric}' "
+                  "missing from current run")
+            continue
+        prev, now = float(base[metric]), float(curr[metric])
+        if prev <= 0:
+            continue
+        delta = (now - prev) / prev
+        line = f"[gate] {name}: {metric}: {prev:.2f} -> {now:.2f} ({delta:+.1%})"
+        if delta < -fail_at:
+            failures.append(f"{name}:{metric} dropped {-delta:.1%}")
+            print(line + "  FAIL")
+            print(f"::error title=bench_gate::{name}: {metric} dropped "
+                  f"{-delta:.1%} (> {fail_at:.1%} gate)")
+        elif delta < -WARN_AT:
+            print(line + "  warn")
+            print(f"::warning title=bench_gate::{name}: {metric} dropped "
+                  f"{-delta:.1%}")
+        else:
+            print(line)
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the previous run's JSONs")
+    parser.add_argument("--current", required=True,
+                        help="directory holding this run's JSONs")
+    parser.add_argument("specs", nargs="+",
+                        help="file.json:metric[,metric...]")
+    args = parser.parse_args()
+
+    failures = []
+    for spec in args.specs:
+        try:
+            fname, metrics = spec.split(":", 1)
+        except ValueError:
+            sys.exit(f"bad spec '{spec}': expected file.json:metric,...")
+        failures += gate_file(os.path.join(args.baseline, fname),
+                              os.path.join(args.current, fname),
+                              [m for m in metrics.split(",") if m])
+    if failures:
+        sys.exit("bench gate FAILED: " + "; ".join(failures))
+    print("[gate] all gated metrics within threshold")
+
+
+if __name__ == "__main__":
+    main()
