@@ -53,6 +53,18 @@ std::vector<CampaignPoint> campaign_points(const std::vector<double>& bers,
   return points;
 }
 
+// The same grid under a registry fault model (fault/models): `spec` must
+// parse — these are compile-time-chosen literals, so a failure is a bug.
+std::vector<CampaignPoint> model_points(const std::vector<double>& bers,
+                                        std::uint64_t seed,
+                                        const char* spec) {
+  const std::optional<FaultModelSpec> model = FaultModelSpec::parse(spec);
+  WF_CHECK(model.has_value());
+  std::vector<CampaignPoint> points = campaign_points(bers, 1, seed, true);
+  for (CampaignPoint& point : points) point.fault.model = *model;
+  return points;
+}
+
 double timed(const std::function<double()>& body, double* checksum) {
   const auto start = std::chrono::steady_clock::now();
   const double sum = body();
@@ -137,6 +149,23 @@ int main(int argc, char** argv) {
   const double sweep_percall_s = timed(
       [&] { return run_per_call(m.net, m.data, sweep); }, &sweep_percall_sum);
 
+  // Fault-model regimes (fault/models): the same sweep-shaped grid under a
+  // transient weight model (per-trial sampling + dense weight-faulted
+  // recompute) and a permanent one (per-point overlay + variant-golden
+  // build, then free replays). The two bracket the registry's cost space;
+  // CI tracks both trajectories.
+  const auto model_transient =
+      model_points(bers, env.seed, "stuck0@weight");
+  const auto model_permanent =
+      model_points(bers, env.seed, "stuck0@weight#perm");
+  double model_transient_sum = 0, model_permanent_sum = 0;
+  const double model_transient_s = timed(
+      [&] { return run_unified(m.net, m.data, model_transient, nullptr); },
+      &model_transient_sum);
+  const double model_permanent_s = timed(
+      [&] { return run_unified(m.net, m.data, model_permanent, nullptr); },
+      &model_permanent_sum);
+
   // Runner noise calibration: repeat the cheap sweep campaign and report
   // the coefficient of variation of its wall time. The CI regression gate
   // (tools/bench_gate.py) scales its failure threshold from this, so the
@@ -183,6 +212,13 @@ int main(int argc, char** argv) {
   table.add_row({"sweep", "per_call_cache", Table::fmt(sweep_percall_s, 3),
                  Table::fmt(sweep_inferences / sweep_percall_s, 1),
                  Table::fmt(sweep_percall_sum, 6)});
+  table.add_row({"model", "stuck0@weight", Table::fmt(model_transient_s, 3),
+                 Table::fmt(sweep_inferences / model_transient_s, 1),
+                 Table::fmt(model_transient_sum, 6)});
+  table.add_row({"model", "stuck0@weight#perm",
+                 Table::fmt(model_permanent_s, 3),
+                 Table::fmt(sweep_inferences / model_permanent_s, 1),
+                 Table::fmt(model_permanent_sum, 6)});
   emit(table, "Campaign throughput: unified campaign vs per-call cache vs "
               "scratch vs seed kernels (VGG19 int16, op-level FI)",
        "bench_campaign");
@@ -225,6 +261,12 @@ int main(int argc, char** argv) {
       .field("seed_equiv_inferences_per_s", seed_ips, 2)
       .field("sweep_campaign_wall_s", sweep_campaign_s)
       .field("sweep_percall_wall_s", sweep_percall_s)
+      .field("model_transient_wall_s", model_transient_s)
+      .field("model_transient_inferences_per_s",
+             sweep_inferences / model_transient_s, 2)
+      .field("model_permanent_wall_s", model_permanent_s)
+      .field("model_permanent_inferences_per_s",
+             sweep_inferences / model_permanent_s, 2)
       .field("golden_builds", stats.golden_builds)
       .field("golden_hits", stats.golden_hits)
       .field("speedup_vs_percall", speedup_vs_percall, 3)

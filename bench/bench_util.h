@@ -63,6 +63,8 @@
 #include "core/service/protocol.h"
 #include "core/store/hash.h"
 #include "core/store/store.h"
+#include "fault/models/model_spec.h"
+#include "fault/models/storage_bridge.h"
 #include "nn/dataset.h"
 #include "nn/models/zoo.h"
 
@@ -122,6 +124,9 @@ struct CliOptions {
   std::string out_dir;
   std::string store_dir;
   std::string daemon_socket;  // --daemon PATH: submit to winofaultd
+  // --fault-model SPEC (repeatable): fault-model registry specs
+  // (fault/models), validated by parse_cli (malformed => usage + exit 2).
+  std::vector<std::string> fault_models;
   int workers = 0;      // --workers N: coordinator for N local workers
   int shard_index = 0;  // --shard i/N: this process is worker i of N
   int shard_count = 0;
@@ -145,9 +150,19 @@ inline void print_usage(const char* prog, std::FILE* to) {
       "                   this Unix socket instead of executing inline\n"
       "                   (warm cross-submission goldens; also via the\n"
       "                   WINOFAULT_DAEMON environment variable)\n"
+      "  --fault-model SPEC\n"
+      "                   fault model to sweep (repeatable; each silicon\n"
+      "                   spec adds a curve set). Grammar:\n"
+      "                   model[(arg)]@target[#persistence] — e.g. flip@op\n"
+      "                   (the default), stuck0@weight#perm, toggle@accum,\n"
+      "                   stuck1(0.001)@weight#perm. @store specs (slow,\n"
+      "                   flip, medium) configure the storage fault tier\n"
+      "                   instead of joining the sweep. Also via the\n"
+      "                   WINOFAULT_FAULT_MODEL environment variable\n"
       "env knobs: WINOFAULT_IMAGES, WINOFAULT_FULL, WINOFAULT_SEED,\n"
       "           WINOFAULT_WIDTH, WINOFAULT_STORE, WINOFAULT_CELL_BUDGET,\n"
-      "           WINOFAULT_CLAIM_STALE_MS, WINOFAULT_DAEMON\n",
+      "           WINOFAULT_CLAIM_STALE_MS, WINOFAULT_DAEMON,\n"
+      "           WINOFAULT_FAULT_MODEL\n",
       prog);
 }
 
@@ -178,6 +193,7 @@ inline CliOptions parse_cli(int argc, char** argv) {
   };
   std::string workers_value;
   std::string shard_value;
+  std::string model_value;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
@@ -189,9 +205,35 @@ inline CliOptions parse_cli(int argc, char** argv) {
     if (flag_value("--daemon", i, &cli.daemon_socket)) continue;
     if (flag_value("--workers", i, &workers_value)) continue;
     if (flag_value("--shard", i, &shard_value)) continue;
+    if (flag_value("--fault-model", i, &model_value)) {
+      cli.fault_models.push_back(model_value);
+      continue;
+    }
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, argv[i]);
     print_usage(prog, stderr);
     std::exit(2);
+  }
+  // Malformed model specs fail up front — a typo'd spec silently sweeping
+  // the default model would produce figures labeled with a model that
+  // never ran. The env knob gets the same strictness in bench drivers
+  // (the library proper only warns, so tests/tools stay usable).
+  for (const std::string& raw : cli.fault_models) {
+    std::string model_error;
+    if (!FaultModelSpec::parse(raw, &model_error).has_value()) {
+      std::fprintf(stderr, "%s: --fault-model '%s': %s\n", prog, raw.c_str(),
+                   model_error.c_str());
+      print_usage(prog, stderr);
+      std::exit(2);
+    }
+  }
+  if (const std::string env_spec = env_string("WINOFAULT_FAULT_MODEL", "");
+      !env_spec.empty()) {
+    std::string model_error;
+    if (!FaultModelSpec::parse(env_spec, &model_error).has_value()) {
+      std::fprintf(stderr, "%s: WINOFAULT_FAULT_MODEL '%s': %s\n", prog,
+                   env_spec.c_str(), model_error.c_str());
+      std::exit(2);
+    }
   }
   if (cli.store_dir.empty()) {
     cli.store_dir = env_string("WINOFAULT_STORE", "");
@@ -261,6 +303,46 @@ inline CliOptions parse_cli(int argc, char** argv) {
     output_dir_ref() = cli.out_dir;
   }
   return cli;
+}
+
+// Resolves the validated --fault-model specs into the driver's silicon
+// model list. @store specs are routed to the storage-tier bridge
+// (fault/models/storage_bridge.h) — they change how the campaign store
+// behaves, not what the silicon computes — and do not join the list. With
+// no CLI silicon spec the list is the process default (the
+// WINOFAULT_FAULT_MODEL knob, else the builtin flip@op), so every driver
+// sweeps exactly one model by default and its outputs stay byte-identical
+// to the pre-registry ones.
+inline std::vector<FaultModelSpec> resolve_fault_models(
+    const CliOptions& cli) {
+  std::vector<FaultModelSpec> models;
+  const auto add = [&](const FaultModelSpec& spec) {
+    if (spec.target == FaultTarget::kStore) {
+      std::string error;
+      if (!install_storage_fault_model(spec, &error)) {
+        std::fprintf(stderr, "fault-model: %s\n", error.c_str());
+        std::exit(2);
+      }
+      return;
+    }
+    models.push_back(spec);
+  };
+  for (const std::string& raw : cli.fault_models) {
+    add(*FaultModelSpec::parse(raw));  // validated by parse_cli
+  }
+  if (models.empty()) {
+    // env @store specs install the bridge here too; process_default()
+    // then falls back to the builtin silicon model for the sweeps.
+    const std::string env_spec = env_string("WINOFAULT_FAULT_MODEL", "");
+    if (!env_spec.empty()) {
+      if (const auto parsed = FaultModelSpec::parse(env_spec);
+          parsed.has_value() && parsed->target == FaultTarget::kStore) {
+        add(*parsed);
+      }
+    }
+    models.push_back(FaultModelSpec::process_default());
+  }
+  return models;
 }
 
 // StoreOptions from the shared CLI/env surface: the store directory plus
@@ -552,6 +634,12 @@ struct FigureCtx {
   std::string store_dir;      // "" => persistence disabled
   DistOptions dist;           // worker shard identity (--shard i/N)
   std::string daemon_socket;  // "" => inline execution (no daemon)
+  // Silicon fault models to sweep (resolve_fault_models): always at least
+  // one entry; exactly {builtin flip@op} unless --fault-model or
+  // WINOFAULT_FAULT_MODEL says otherwise. Drivers loop their figure body
+  // per model; non-default models suffix their CSV names with the model
+  // slug so the default outputs keep their historical names and bytes.
+  std::vector<FaultModelSpec> fault_models = {FaultModelSpec{}};
 
   std::uint64_t seed(int stream = 0) const {
     static constexpr int kBaseOffset[] = {0, 1, 2, 3, 4, 5, 7, 8};
@@ -581,6 +669,7 @@ inline FigureCtx figure_ctx(int figure, int argc, char** argv) {
   run_local_coordinator(cli);
   FigureCtx ctx{bench_env(), figure, cli.store_dir, dist_options(cli),
                 cli.daemon_socket};
+  ctx.fault_models = resolve_fault_models(cli);
   if (!ctx.daemon_socket.empty()) {
     // Every campaign this driver builds now submits to the daemon; the
     // driver keeps doing everything else (tables, CSV/JSON) locally.

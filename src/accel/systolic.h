@@ -30,6 +30,22 @@ struct SystolicConfig {
   int bytes_per_element = 2;      // int16 datapath
 };
 
+// ---- Accumulator-register fault-target hooks (fault/models) ----
+// Output-stationary dataflow: each output element accumulates in exactly
+// one of the rows*cols PE accumulator registers, and successive output
+// tiles reuse the registers round-robin. These two hooks define the
+// register file's size and the output->register mapping that accumulator-
+// target fault models (e.g. "stuck1@accum#perm") inject through.
+constexpr int accumulator_registers(const SystolicConfig& config) {
+  return config.rows * config.cols;
+}
+constexpr int accum_register_for_output(const SystolicConfig& config,
+                                        std::int64_t flat_index) {
+  return static_cast<int>(flat_index %
+                          static_cast<std::int64_t>(
+                              accumulator_registers(config)));
+}
+
 struct LayerTiming {
   std::int64_t compute_cycles = 0;    // systolic GEMM cycles
   std::int64_t transform_cycles = 0;  // vector-unit Winograd transforms

@@ -17,6 +17,7 @@ CampaignSpec sweep_campaign(std::span<const SweepOptions> options) {
       CampaignPoint point;
       point.fault.ber = ber;
       point.fault.mode = sweep.mode;
+      point.fault.model = sweep.model;
       point.policy = sweep.policy;
       point.seed = sweep.seed;
       point.trials = sweep.trials;

@@ -23,6 +23,9 @@ struct SweepOptions {
   std::vector<double> bers;
   ConvPolicy policy = ConvPolicy::kDirect;
   InjectionMode mode = InjectionMode::kOpLevel;
+  // Fault model to sweep (fault/models): defaults to WINOFAULT_FAULT_MODEL
+  // when set, else the builtin flip@op.
+  FaultModelSpec model = FaultModelSpec::process_default();
   std::uint64_t seed = 1;
   int threads = 0;
   int trials = 1;  // injection trials per (image, BER) point

@@ -7,6 +7,7 @@ OpTypeResult op_type_sensitivity(const Network& network,
                                  const OpTypeOptions& options) {
   CampaignPoint all;
   all.fault.ber = options.ber;
+  all.fault.model = options.model;
   all.policy = options.policy;
   all.seed = options.seed;
   all.trials = options.trials;

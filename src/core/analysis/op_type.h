@@ -15,6 +15,11 @@ namespace winofault {
 struct OpTypeOptions {
   double ber = 0.0;
   ConvPolicy policy = ConvPolicy::kDirect;
+  // Fault model (fault/models): defaults to WINOFAULT_FAULT_MODEL when
+  // set, else the builtin flip@op. only_kind applies to op-datapath
+  // models; weight/accum-target models ignore it (their cells are storage,
+  // not mul/add ops).
+  FaultModelSpec model = FaultModelSpec::process_default();
   std::uint64_t seed = 1;
   int threads = 0;
   int trials = 1;  // injection trials per (image, configuration) point

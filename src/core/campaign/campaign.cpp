@@ -24,6 +24,7 @@
 #include "core/store/journal.h"
 #include "core/store/segment_cache.h"
 #include "fault/fault_model.h"
+#include "fault/models/overlay.h"
 
 namespace winofault {
 
@@ -60,7 +61,8 @@ std::optional<EvalResult> destruction_short_circuit(
     const Network& network, const Dataset& dataset,
     const CampaignPoint& point) {
   if (point.fault.mode != InjectionMode::kOpLevel ||
-      !point.fault.protection.empty() || point.fault.fault_free_layer >= 0 ||
+      !point.fault.model.is_default() || !point.fault.protection.empty() ||
+      point.fault.fault_free_layer >= 0 ||
       point.fault.only_kind.has_value() || dataset.num_classes <= 1) {
     return std::nullopt;
   }
@@ -91,11 +93,14 @@ constexpr ConvPolicy golden_key_policy(std::uint64_t key) {
 }
 
 // Integer tallies of one (point, image) cell over the point's trials —
-// the unit both execution paths schedule and journal.
+// the unit both execution paths schedule and journal. A non-null `overlay`
+// (permanent-fault model, pure function of the point) keys the golden into
+// its faulted-weights variant and counts its defective cells as the
+// trial's flips; transient models leave it null.
 JournalCell execute_cell(const Network& network, const Dataset& dataset,
                          const CampaignPoint& point,
                          std::uint64_t point_hash, std::int64_t i,
-                         GoldenLru& lru) {
+                         GoldenLru& lru, const FaultOverlay* overlay) {
   const TensorF& image = dataset.images[static_cast<std::size_t>(i)];
   const int label = dataset.labels[static_cast<std::size_t>(i)];
   // Every (point, image, trial) derives its own fault stream, so the
@@ -104,14 +109,17 @@ JournalCell execute_cell(const Network& network, const Dataset& dataset,
   JournalCell cell;
   cell.point_hash = point_hash;
   cell.image = i;
+  const std::int64_t overlay_flips =
+      overlay != nullptr ? overlay->site_count : 0;
   if (point.reuse_golden) {
-    const GoldenLru::Ptr golden = lru.get_or_build(i, point.policy, [&] {
-      return network.make_golden(image, point.policy);
-    });
+    const GoldenLru::Ptr golden = lru.get_or_build(
+        i, point.policy,
+        [&] { return network.make_golden(image, point.policy, overlay); },
+        overlay != nullptr ? overlay->digest : 0);
     for (int t = 0; t < point.trials; ++t) {
       FaultSession session(point.fault, fault_stream_seed(point.seed, i, t));
       cell.correct += network.predict_replay(*golden, session) == label;
-      cell.flips += session.total_flips();
+      cell.flips += session.total_flips() + overlay_flips;
     }
   } else {
     for (int t = 0; t < point.trials; ++t) {
@@ -119,11 +127,32 @@ JournalCell execute_cell(const Network& network, const Dataset& dataset,
       ExecContext ctx;
       ctx.policy = point.policy;
       ctx.session = &session;
+      ctx.overlay = overlay;
       cell.correct += network.predict(image, ctx) == label;
-      cell.flips += session.total_flips();
+      cell.flips += session.total_flips() + overlay_flips;
     }
   }
   return cell;
+}
+
+// Per-point permanent-fault overlays, parallel to spec.points (null for
+// transient/default models and for overlays that sampled zero defects — an
+// empty overlay IS clean silicon, so those points share the variant-0
+// goldens). Each overlay is a pure function of (model, ber, point.seed,
+// network geometry), so every worker, resume, and daemon session derives
+// the identical defect set without communicating.
+std::vector<std::unique_ptr<FaultOverlay>> build_point_overlays(
+    const Network& network, const CampaignSpec& spec,
+    const std::vector<std::size_t>& active) {
+  std::vector<std::unique_ptr<FaultOverlay>> overlays(spec.points.size());
+  for (const std::size_t p : active) {
+    const CampaignPoint& point = spec.points[p];
+    if (!point.fault.model.uses_overlay()) continue;
+    auto overlay = std::make_unique<FaultOverlay>(
+        build_fault_overlay(network, point.fault, point.seed));
+    if (!overlay->empty()) overlays[p] = std::move(overlay);
+  }
+  return overlays;
 }
 
 // Relative execution cost of one (point, image) cell, for bucket balance
@@ -233,11 +262,11 @@ void GoldenLru::ensure_capacity(std::size_t capacity) {
 
 GoldenLru::Ptr GoldenLru::get_or_build(
     std::int64_t image, ConvPolicy policy,
-    const std::function<GoldenCache()>& build) {
+    const std::function<GoldenCache()>& build, std::uint64_t variant) {
   // One consistent view of the spill target for this whole call: a
   // concurrent set_store only affects later calls.
   GoldenStore* const store = store_.load();
-  const Key key = pack_golden_key(image, policy);
+  const Key key{pack_golden_key(image, policy), variant};
   std::promise<Ptr> promise;
   std::shared_future<Ptr> future;
   std::uint64_t owner = 0;
@@ -248,8 +277,8 @@ GoldenLru::Ptr GoldenLru::get_or_build(
   std::vector<std::pair<Key, Ptr>> spill;
   const auto flush_spill = [&] {
     for (auto& [victim, ready] : spill) {
-      store->save(golden_key_image(victim), golden_key_policy(victim),
-                  *ready);
+      store->save(golden_key_image(victim.base),
+                  golden_key_policy(victim.base), *ready, victim.variant);
     }
     spill.clear();
   };
@@ -300,7 +329,8 @@ GoldenLru::Ptr GoldenLru::get_or_build(
   Ptr ptr;
   try {
     if (store != nullptr) {
-      if (std::optional<GoldenCache> restored = store->load(image, policy)) {
+      if (std::optional<GoldenCache> restored =
+              store->load(image, policy, variant)) {
         ptr = std::make_shared<const GoldenCache>(std::move(*restored));
       }
     }
@@ -336,7 +366,7 @@ GoldenLru::Ptr GoldenLru::get_or_build(
       const auto it = map_.find(key);
       still_cached = it != map_.end() && it->second.owner == owner;
     }
-    if (!still_cached) store->save(image, policy, *ptr);
+    if (!still_cached) store->save(image, policy, *ptr, variant);
   }
   return ptr;
 }
@@ -360,7 +390,9 @@ void GoldenLru::prime(std::span<const std::int64_t> images, ConvPolicy policy,
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const std::int64_t image : images) {
-      const Key key = pack_golden_key(image, policy);
+      // Wave priming serves the clean-silicon tier only; variant goldens
+      // (permanent-fault points) build on demand through get_or_build.
+      const Key key{pack_golden_key(image, policy), 0};
       if (map_.find(key) != map_.end()) continue;
       Claim claim;
       claim.image = image;
@@ -391,7 +423,8 @@ void GoldenLru::prime(std::span<const std::int64_t> images, ConvPolicy policy,
     }
   }
   for (auto& [victim, ready] : spill) {
-    store->save(golden_key_image(victim), golden_key_policy(victim), *ready);
+    store->save(golden_key_image(victim.base), golden_key_policy(victim.base),
+                *ready, victim.variant);
   }
   if (claims.empty()) return;
   // Resolves one claim: publish to waiters, then — exactly as in
@@ -477,7 +510,8 @@ std::int64_t GoldenLru::flush_to_store() {
     }
   }
   for (const auto& [key, p] : ready) {
-    store->save(golden_key_image(key), golden_key_policy(key), *p);
+    store->save(golden_key_image(key.base), golden_key_policy(key.base), *p,
+                key.variant);
   }
   return static_cast<std::int64_t>(ready.size());
 }
@@ -562,6 +596,9 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   const std::vector<std::size_t> active =
       resolve_active_points(network_, dataset_, spec, &result);
   if (active.empty()) return result;
+
+  const std::vector<std::unique_ptr<FaultOverlay>> overlays =
+      build_point_overlays(network_, spec, active);
 
   // Wave width: how many images are "live" at once. Concurrent shards land
   // on distinct images of the wave, so golden builds parallelize across
@@ -708,8 +745,11 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
       // ConvPolicy value count).
       std::array<std::vector<std::int64_t>, 3> wave_images;
       for (std::size_t u = wave_begin; u < wave_end; ++u) {
-        const CampaignPoint& point = spec.points[active[units[u].a]];
-        if (!point.reuse_golden) continue;
+        const std::size_t p = active[units[u].a];
+        const CampaignPoint& point = spec.points[p];
+        // Overlay points use variant goldens, which prime cannot serve —
+        // they build on demand inside execute_cell.
+        if (!point.reuse_golden || overlays[p] != nullptr) continue;
         wave_images[static_cast<int>(point.policy)].push_back(units[u].image);
       }
       for (int pol = 0; pol < 3; ++pol) {
@@ -741,7 +781,8 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
       const std::size_t p = active[a];
       const JournalCell cell =
           execute_cell(network_, dataset_, spec.points[p],
-                       point_hashes.empty() ? 0 : point_hashes[p], i, lru);
+                       point_hashes.empty() ? 0 : point_hashes[p], i, lru,
+                       overlays[p].get());
       if (journal != nullptr) journal->append(cell);
       correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
       flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
@@ -827,6 +868,11 @@ CampaignResult CampaignRunner::run_distributed(
   const std::vector<std::size_t> active =
       resolve_active_points(network_, dataset_, spec, &result);
   if (active.empty()) return result;
+
+  // Overlays are derived, not communicated: every worker computes the
+  // identical per-point defect sets from the spec alone.
+  const std::vector<std::unique_ptr<FaultOverlay>> overlays =
+      build_point_overlays(network_, spec, active);
 
   if (spec.store.cell_budget > 0) {
     WF_WARN << "campaign: cell_budget is ignored under distributed "
@@ -970,8 +1016,9 @@ CampaignResult CampaignRunner::run_distributed(
   };
   const auto execute_unit = [&](const Unit& unit) {
     const std::size_t p = active[unit.a];
-    const JournalCell cell = execute_cell(
-        network_, dataset_, spec.points[p], point_hashes[p], unit.image, lru);
+    const JournalCell cell =
+        execute_cell(network_, dataset_, spec.points[p], point_hashes[p],
+                     unit.image, lru, overlays[p].get());
     segment->append(cell);  // no-op if the segment is unwritable
     inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
     const std::int64_t n =
@@ -1154,9 +1201,9 @@ CampaignResult CampaignRunner::run_distributed(
             << " cell(s) missing from every segment; re-executing locally";
     for (const Unit& unit : missing) {
       const std::size_t p = active[unit.a];
-      const JournalCell cell = execute_cell(network_, dataset_,
-                                            spec.points[p], point_hashes[p],
-                                            unit.image, lru);
+      const JournalCell cell =
+          execute_cell(network_, dataset_, spec.points[p], point_hashes[p],
+                       unit.image, lru, overlays[p].get());
       segment->append(cell);
       inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
       correct[unit.a].fetch_add(cell.correct, std::memory_order_relaxed);

@@ -169,12 +169,16 @@ class GoldenLru {
   explicit GoldenLru(std::size_t capacity, GoldenStore* store = nullptr)
       : capacity_(capacity == 0 ? 1 : capacity), store_(store) {}
 
-  // Returns the cached golden for (image, policy), building it via `build`
-  // on a miss (after trying the tier-2 store, when attached). Thread-safe;
-  // deterministic because make_golden is a pure function of (image,
-  // policy) and disk restores are byte-exact.
+  // Returns the cached golden for (image, policy, variant), building it via
+  // `build` on a miss (after trying the tier-2 store, when attached).
+  // `variant` is the FaultOverlay digest for permanent-fault golden
+  // variants (fault/models/overlay.h); 0 — clean silicon — is the
+  // historical key space. Thread-safe; deterministic because make_golden
+  // is a pure function of (image, policy, overlay) and disk restores are
+  // byte-exact.
   Ptr get_or_build(std::int64_t image, ConvPolicy policy,
-                   const std::function<GoldenCache()>& build);
+                   const std::function<GoldenCache()>& build,
+                   std::uint64_t variant = 0);
 
   // Wave prebuild: claims every (image, policy) pair not already cached or
   // in flight, restores what the tier-2 store holds, and computes the
@@ -212,7 +216,23 @@ class GoldenLru {
   std::int64_t evictions() const { return evictions_.load(); }
 
  private:
-  using Key = std::uint64_t;  // (image << 8) | policy
+  // Cache key: (image, policy) packed into `base`, plus the golden-variant
+  // digest (FaultOverlay::digest under permanent-fault models; 0 = clean
+  // silicon). Variants are independent entries — a clean-silicon replay
+  // can never be served a defective-silicon golden or vice versa.
+  struct Key {
+    std::uint64_t base = 0;     // (image << 8) | policy
+    std::uint64_t variant = 0;  // overlay digest; 0 = clean
+    bool operator==(const Key& o) const {
+      return base == o.base && variant == o.variant;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>((k.base * 0x9e3779b97f4a7c15ULL) ^
+                                      k.variant);
+    }
+  };
   struct Entry {
     std::shared_future<Ptr> future;
     std::list<Key>::iterator lru_it;
@@ -225,7 +245,7 @@ class GoldenLru {
   std::atomic<GoldenStore*> store_;
   std::mutex mu_;
   std::list<Key> lru_;  // front = most recently used
-  std::unordered_map<Key, Entry> map_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
   std::uint64_t next_owner_ = 0;
   std::atomic<std::int64_t> builds_{0};
   std::atomic<std::int64_t> hits_{0};

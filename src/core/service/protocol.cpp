@@ -539,6 +539,12 @@ Json encode_campaign_spec(const CampaignSpec& spec) {
       }
       p.set("protection", std::move(prot));
     }
+    // Only non-default fault models travel: omitting the field for the
+    // builtin flip@op keeps the wire bytes (and old-daemon compatibility)
+    // identical to the pre-registry protocol.
+    if (!point.fault.model.is_default()) {
+      p.set("fault_model", Json::str(point.fault.model.to_string()));
+    }
     p.set("policy", Json::str(policy_name(point.policy)));
     p.set("seed", Json::unsigned_integer(point.seed));
     p.set("trials", Json::integer(point.trials));
@@ -622,6 +628,19 @@ bool decode_campaign_spec(const Json& json, CampaignSpec* spec,
         }
         point.fault.protection[static_cast<int>(layer->as_int(0))] = set;
       }
+    }
+    // The wire default is the BUILTIN flip@op, not the submitting
+    // process's WINOFAULT_FAULT_MODEL: a daemon must execute the spec the
+    // client sent, never reinterpret it under its own environment.
+    point.fault.model = FaultModelSpec{};
+    if (const Json* model = p.find("fault_model")) {
+      std::string parse_error;
+      const std::optional<FaultModelSpec> parsed =
+          FaultModelSpec::parse(model->as_string(), &parse_error);
+      if (!parsed.has_value()) {
+        return fail(error, "point.fault_model: " + parse_error);
+      }
+      point.fault.model = *parsed;
     }
     const std::string policy =
         p.find("policy") != nullptr ? p.find("policy")->as_string() : "direct";

@@ -179,17 +179,28 @@ GoldenStore::GoldenStore(std::string dir, std::uint64_t env_hash,
   }
 }
 
-std::string GoldenStore::shard_path(std::int64_t image,
-                                    ConvPolicy policy) const {
-  char name[80];
-  std::snprintf(name, sizeof(name), "golden_%016llx_%lld_%d.shard",
-                static_cast<unsigned long long>(env_hash_),
-                static_cast<long long>(image), static_cast<int>(policy));
+std::string GoldenStore::shard_path(std::int64_t image, ConvPolicy policy,
+                                    std::uint64_t variant) const {
+  char name[100];
+  if (variant == 0) {
+    std::snprintf(name, sizeof(name), "golden_%016llx_%lld_%d.shard",
+                  static_cast<unsigned long long>(env_hash_),
+                  static_cast<long long>(image), static_cast<int>(policy));
+  } else {
+    // Permanent-fault golden variant: the overlay digest in the name keys
+    // the shard apart from the clean golden of the same (image, policy),
+    // stably across dist workers and daemon sessions.
+    std::snprintf(name, sizeof(name), "golden_%016llx_%lld_%d_v%016llx.shard",
+                  static_cast<unsigned long long>(env_hash_),
+                  static_cast<long long>(image), static_cast<int>(policy),
+                  static_cast<unsigned long long>(variant));
+  }
   return dir_ + "/" + name;
 }
 
 void GoldenStore::save(std::int64_t image, ConvPolicy policy,
-                       const GoldenCache& golden) noexcept {
+                       const GoldenCache& golden,
+                       std::uint64_t variant) noexcept {
   // ENOSPC degradation: once the disk is full the spill tier turns itself
   // off (warned once) and the campaign keeps computing — every further
   // save would fail the same way, and a rebuild-on-miss is always correct.
@@ -198,7 +209,7 @@ void GoldenStore::save(std::int64_t image, ConvPolicy policy,
   // rely on save never throwing, and even the path strings / in-flight
   // set below allocate. A failed spill only costs a later rebuild.
   try {
-    save_impl(image, policy, golden);
+    save_impl(image, policy, golden, variant);
   } catch (...) {
     WF_WARN << "golden store: spill failed; the entry will rebuild instead";
   }
@@ -213,8 +224,9 @@ void GoldenStore::disable_spills(const char* why) {
 }
 
 void GoldenStore::save_impl(std::int64_t image, ConvPolicy policy,
-                            const GoldenCache& golden) {
-  const std::string path = shard_path(image, policy);
+                            const GoldenCache& golden,
+                            std::uint64_t variant) {
+  const std::string path = shard_path(image, policy, variant);
   std::error_code ec;
 
   // Short-circuit BEFORE encoding: re-evictions of an already-spilled
@@ -238,8 +250,11 @@ void GoldenStore::save_impl(std::int64_t image, ConvPolicy policy,
   bool published = false;
   try {
     const std::string payload = GoldenCodec::encode(golden);
+    // The header's env word binds the variant too (env_hash ^ variant):
+    // variant 0 keeps the pre-registry header byte-identical, and a shard
+    // renamed across variants fails the binding check like a stale env.
     ShardHeader header{kShardMagic,
-                       env_hash_,
+                       env_hash_ ^ variant,
                        static_cast<std::uint64_t>(image),
                        static_cast<std::uint64_t>(policy),
                        payload.size(),
@@ -316,8 +331,9 @@ void GoldenStore::save_impl(std::int64_t image, ConvPolicy policy,
 }
 
 std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
-                                             ConvPolicy policy) {
-  const std::string path = shard_path(image, policy);
+                                             ConvPolicy policy,
+                                             std::uint64_t variant) {
+  const std::string path = shard_path(image, policy, variant);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::nullopt;  // absent: plain miss, no reject
 
@@ -325,7 +341,8 @@ std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
   std::string payload;
   bool ok = iofault::checked_fread(&header, sizeof(header), f, path) ==
                 sizeof(header) &&
-            header.magic == kShardMagic && header.env_hash == env_hash_ &&
+            header.magic == kShardMagic &&
+            header.env_hash == (env_hash_ ^ variant) &&
             header.image == static_cast<std::uint64_t>(image) &&
             header.policy == static_cast<std::uint64_t>(policy);
   if (ok) {

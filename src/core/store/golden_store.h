@@ -46,16 +46,21 @@ class GoldenStore {
   // Serializes `golden` to its shard file unless one already exists (shard
   // content is deterministic) or the budget cannot fit it; oldest shards
   // are dropped to make room. Thread-safe and never throws — a failed
-  // spill degrades to a warning and a later rebuild.
-  void save(std::int64_t image, ConvPolicy policy,
-            const GoldenCache& golden) noexcept;
+  // spill degrades to a warning and a later rebuild. `variant` is the
+  // FaultOverlay digest for permanent-fault golden variants; 0 (clean
+  // silicon) keeps the exact pre-variant shard name and header, so stores
+  // written before the fault-model registry stay readable.
+  void save(std::int64_t image, ConvPolicy policy, const GoldenCache& golden,
+            std::uint64_t variant = 0) noexcept;
 
-  // Restores the (image, policy) shard; nullopt when absent or rejected
-  // (rejected shards are quarantined as *.quarantine — deleted only if the
-  // rename fails — so the caller's rebuild self-heals).
-  std::optional<GoldenCache> load(std::int64_t image, ConvPolicy policy);
+  // Restores the (image, policy[, variant]) shard; nullopt when absent or
+  // rejected (rejected shards are quarantined as *.quarantine — deleted
+  // only if the rename fails — so the caller's rebuild self-heals).
+  std::optional<GoldenCache> load(std::int64_t image, ConvPolicy policy,
+                                  std::uint64_t variant = 0);
 
-  std::string shard_path(std::int64_t image, ConvPolicy policy) const;
+  std::string shard_path(std::int64_t image, ConvPolicy policy,
+                         std::uint64_t variant = 0) const;
 
   std::int64_t spills() const { return spills_.load(); }
   std::int64_t restores() const { return restores_.load(); }
@@ -75,7 +80,7 @@ class GoldenStore {
   };
 
   void save_impl(std::int64_t image, ConvPolicy policy,
-                 const GoldenCache& golden);
+                 const GoldenCache& golden, std::uint64_t variant);
   // Turns the spill tier off permanently (idempotent; warns once).
   void disable_spills(const char* why);
 

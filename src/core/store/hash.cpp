@@ -46,6 +46,17 @@ std::uint64_t campaign_point_hash(const CampaignPoint& point) {
   h.u8(static_cast<std::uint8_t>(point.policy));
   h.u64(point.seed);
   h.i32(point.trials);
+  // Fault-model registry axis (fault/models). Appended ONLY for
+  // non-default models so every pre-registry journal keeps replaying for
+  // the points it describes — the default flip@op model hashes exactly as
+  // it always has.
+  if (!point.fault.model.is_default()) {
+    h.u64(0x57464d44ULL);  // "WFMD" domain tag
+    h.u8(static_cast<std::uint8_t>(point.fault.model.kind));
+    h.u8(static_cast<std::uint8_t>(point.fault.model.target));
+    h.u8(static_cast<std::uint8_t>(point.fault.model.persistence));
+    h.f64(point.fault.model.arg);
+  }
   return h.digest();
 }
 

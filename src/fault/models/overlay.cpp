@@ -1,0 +1,89 @@
+#include "fault/models/overlay.h"
+
+#include "accel/systolic.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/fault_session.h"
+#include "nn/network.h"
+
+namespace winofault {
+namespace {
+
+// Overlay RNG stream: derived from the campaign point's seed but disjoint
+// from fault_stream_seed's per-(image, trial) streams, so a permanent
+// model's defect map never correlates with transient draws.
+constexpr std::uint64_t kOverlayStreamSalt = 0x57464f564c41590dULL;  // WFOVLAY
+
+std::uint64_t overlay_digest(const FaultOverlay& overlay) {
+  if (overlay.site_count == 0) return 0;
+  Fnv64 h;
+  h.u64(0x57464f56ULL);  // "WFOV"
+  h.u8(static_cast<std::uint8_t>(overlay.kind));
+  h.u64(overlay.weights.size());
+  for (const std::vector<WeightFault>& layer : overlay.weights) {
+    h.u64(layer.size());
+    for (const WeightFault& f : layer) h.i64(f.index).i32(f.bit);
+  }
+  h.u64(overlay.accum_bits.size());
+  for (const std::vector<int>& bits : overlay.accum_bits) {
+    h.u64(bits.size());
+    for (const int bit : bits) h.i32(bit);
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+FaultOverlay build_fault_overlay(const Network& network,
+                                 const FaultConfig& config,
+                                 std::uint64_t seed) {
+  WF_CHECK(config.model.uses_overlay());
+  FaultOverlay overlay;
+  overlay.kind = config.model.kind;
+  const double rate = config.model.arg > 0.0 ? config.model.arg : config.ber;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL ^ kOverlayStreamSalt);
+  const int width = bit_width(network.dtype());
+
+  if (config.model.target == FaultTarget::kWeight) {
+    overlay.weights.resize(
+        static_cast<std::size_t>(network.num_protectable()));
+    for (int p = 0; p < network.num_protectable(); ++p) {
+      if (rate <= 0.0) continue;
+      if (p == config.fault_free_layer) continue;
+      const std::int64_t bit_space =
+          network.protectable_param_count(p) * width;
+      if (bit_space <= 0) continue;
+      const std::int64_t defects = rng.binomial(bit_space, rate);
+      std::vector<WeightFault>& layer =
+          overlay.weights[static_cast<std::size_t>(p)];
+      layer.reserve(static_cast<std::size_t>(defects));
+      for (std::int64_t i = 0; i < defects; ++i) {
+        const std::uint64_t draw =
+            rng.next_below(static_cast<std::uint64_t>(bit_space));
+        layer.push_back(WeightFault{static_cast<std::int64_t>(draw) / width,
+                                    static_cast<int>(draw % width)});
+      }
+      overlay.site_count += defects;
+    }
+  } else {  // kAccum: defects in the PE accumulator register file
+    const int registers = accumulator_registers(SystolicConfig{});
+    const std::int64_t bit_space =
+        static_cast<std::int64_t>(registers) * width;
+    overlay.accum_bits.resize(static_cast<std::size_t>(registers));
+    if (rate > 0.0) {
+      const std::int64_t defects = rng.binomial(bit_space, rate);
+      for (std::int64_t i = 0; i < defects; ++i) {
+        const std::uint64_t draw =
+            rng.next_below(static_cast<std::uint64_t>(bit_space));
+        overlay.accum_bits[static_cast<std::size_t>(draw) / width].push_back(
+            static_cast<int>(draw % width));
+      }
+      overlay.site_count += defects;
+    }
+  }
+  overlay.digest = overlay_digest(overlay);
+  return overlay;
+}
+
+}  // namespace winofault

@@ -1,0 +1,51 @@
+#include "fault/models/storage_bridge.h"
+
+#include <cstdio>
+
+#include "common/iofault/iofault.h"
+#include "common/logging.h"
+
+namespace winofault {
+namespace {
+
+// Fixed schedule seed: @store models are a named menu, not a sweep axis,
+// so one canonical seed keeps "slow(5)@store" meaning the same replayable
+// schedule everywhere.
+constexpr std::uint64_t kStorageBridgeSeed = 7;
+
+}  // namespace
+
+std::string storage_fault_rule(const FaultModelSpec& spec) {
+  WF_CHECK(spec.target == FaultTarget::kStore);
+  const bool permanent = spec.persistence == FaultPersistence::kPermanent;
+  switch (spec.kind) {
+    case FaultModelKind::kSlow: {
+      const int ms = spec.arg > 0.0 ? static_cast<int>(spec.arg) : 5;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "slow(%d)@any#1+", ms);
+      return buf;
+    }
+    case FaultModelKind::kFlip:
+      return permanent ? "flip@read#1+" : "flip@read#1";
+    case FaultModelKind::kMedium:
+      return permanent ? "eio@read#1+" : "eio@read#1";
+    default:
+      WF_CHECK(false && "not a storage-tier fault kind");
+      return "";
+  }
+}
+
+bool install_storage_fault_model(const FaultModelSpec& spec,
+                                 std::string* error) {
+  const std::string chaos =
+      std::to_string(kStorageBridgeSeed) + ":" + storage_fault_rule(spec);
+  std::optional<iofault::FaultSchedule> schedule =
+      iofault::FaultSchedule::parse(chaos, error);
+  if (!schedule.has_value()) return false;
+  WF_INFO << "storage fault model " << spec.to_string()
+          << " installed as chaos schedule '" << chaos << "'";
+  iofault::set_schedule(std::move(schedule));
+  return true;
+}
+
+}  // namespace winofault

@@ -1,0 +1,36 @@
+// Storage-tier bridge: maps @store fault-model specs (AchillesBench's
+// slow-disk / bit-flip / medium-error menu) onto the common/iofault chaos
+// rules, so the one model grammar drives both silicon and infrastructure
+// faults. @store models are NOT campaign axes — they perturb the store/
+// dist/service IO paths, whose self-healing keeps results byte-identical —
+// so they never join FaultConfig or campaign_point_hash; bench drivers
+// install them process-wide before running.
+//
+//   slow(ms)@store   every IO delayed `ms` ms      -> slow(ms)@any#1+
+//   flip@store       one read bit-flip             -> flip@read#1
+//   flip@store#perm  every read bit-flipped        -> flip@read#1+
+//   medium@store     one read fails with EIO       -> eio@read#1
+//   medium@store#perm  every read fails with EIO   -> eio@read#1+
+//
+// Transient persistence means a single injected fault (trigger #1);
+// permanent means the fault condition holds for the process lifetime
+// (trigger #1+). slow is inherently a condition, so it is always #1+.
+#pragma once
+
+#include <string>
+
+#include "fault/models/model_spec.h"
+
+namespace winofault {
+
+// Renders the iofault rule (without the seed prefix) for an @store spec.
+std::string storage_fault_rule(const FaultModelSpec& spec);
+
+// Installs `spec` (which must have target kStore) as the process-wide
+// iofault schedule under a fixed seed, composing the rule above. Returns
+// false and fills *error if the composed schedule fails to parse (only
+// possible if the rule table here drifts from the iofault grammar).
+bool install_storage_fault_model(const FaultModelSpec& spec,
+                                 std::string* error);
+
+}  // namespace winofault

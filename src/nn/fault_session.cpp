@@ -1,14 +1,81 @@
 #include "nn/fault_session.h"
 
+#include "conv/direct_conv.h"
 #include "nn/network.h"
 
 namespace winofault {
+namespace {
+
+// Shared by the scratch path (apply) and the pre-sampling path (plan):
+// binomial count over `bit_space` then uniform (index, bit) draws — the
+// identical draw sequence both sides must make for replay to be
+// bit-identical to scratch injection.
+template <typename FaultT>
+std::int64_t sample_cell_faults(Rng& rng, std::int64_t units, int width,
+                                double ber, std::vector<FaultT>* out) {
+  if (units <= 0) return 0;
+  const std::int64_t bit_space = units * width;
+  const std::int64_t flips = rng.binomial(bit_space, ber);
+  out->reserve(out->size() + static_cast<std::size_t>(flips));
+  for (std::int64_t i = 0; i < flips; ++i) {
+    const std::uint64_t draw =
+        rng.next_below(static_cast<std::uint64_t>(bit_space));
+    out->push_back(FaultT{static_cast<std::int64_t>(draw) / width,
+                          static_cast<int>(draw % width)});
+  }
+  return flips;
+}
+
+}  // namespace
 
 void FaultSession::apply(int prot_index, const ConvEngine& engine,
                          const ConvDesc& desc, const ConvData& data,
                          TensorI32& out) {
   if (config_.ber <= 0.0) return;
   if (prot_index == config_.fault_free_layer) return;
+  // Permanent silicon models inject through the campaign's FaultOverlay
+  // (applied during the forward itself); the session samples nothing.
+  if (config_.model.uses_overlay()) return;
+
+  if (config_.model.target == FaultTarget::kWeight) {
+    // Transient weight-memory upsets: corrupt a copy of the quantized
+    // weights, then recompute this layer densely. The direct GEMM is the
+    // policy-independent reference (fault-free outputs are bit-identical
+    // across engines for ANY weights); the cached Winograd filter banks
+    // transform the CLEAN weights, so they must not be reused here.
+    const int width = bit_width(data.dtype);
+    std::vector<WeightFault> faults;
+    total_flips_ += sample_cell_faults(rng_, data.weights->numel(), width,
+                                       config_.ber, &faults);
+    if (faults.empty()) return;
+    TensorI32 corrupted = *data.weights;
+    for (const WeightFault& f : faults) {
+      corrupted[f.index] = static_cast<std::int32_t>(
+          apply_fault_kind(config_.model.kind, corrupted[f.index], f.bit,
+                           width));
+    }
+    ConvData wdata = data;
+    wdata.weights = &corrupted;
+    wdata.wg_bank_f2 = nullptr;
+    wdata.wg_bank_f4 = nullptr;
+    out = direct_forward_gemm(desc, wdata);
+    return;
+  }
+
+  if (config_.model.target == FaultTarget::kAccum) {
+    // Transient accumulator-register upsets: each output element is struck
+    // while resident in its PE's accumulator, so the sample space is the
+    // output tensor's bits at the stored width.
+    const int width = bit_width(data.dtype);
+    std::vector<NeuronFault> faults;
+    total_flips_ +=
+        sample_cell_faults(rng_, out.numel(), width, config_.ber, &faults);
+    for (const NeuronFault& f : faults) {
+      out[f.index] = static_cast<std::int32_t>(
+          apply_fault_kind(config_.model.kind, out[f.index], f.bit, width));
+    }
+    return;
+  }
 
   if (config_.mode == InjectionMode::kNeuronLevel) {
     // Neuron-level platforms flip stored activation bits; they see the same
@@ -44,9 +111,20 @@ FaultPlan FaultSession::plan(const Network& network, ConvPolicy policy) {
   for (int p = 0; p < network.num_protectable(); ++p) {
     if (config_.ber <= 0.0) continue;
     if (p == config_.fault_free_layer) continue;
+    if (config_.model.uses_overlay()) continue;  // overlay injects, not us
     FaultPlan::LayerFaults& faults = plan.layers[static_cast<std::size_t>(p)];
 
-    if (config_.mode == InjectionMode::kNeuronLevel) {
+    if (config_.model.target == FaultTarget::kWeight) {
+      const int width = bit_width(network.dtype());
+      total_flips_ +=
+          sample_cell_faults(rng_, network.protectable_param_count(p), width,
+                             config_.ber, &faults.weights);
+    } else if (config_.model.target == FaultTarget::kAccum) {
+      const int width = bit_width(network.dtype());
+      total_flips_ +=
+          sample_cell_faults(rng_, network.protectable_shape(p).numel(),
+                             width, config_.ber, &faults.accums);
+    } else if (config_.mode == InjectionMode::kNeuronLevel) {
       const int width = bit_width(network.dtype());
       const std::int64_t numel = network.protectable_shape(p).numel();
       if (numel == 0) continue;

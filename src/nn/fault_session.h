@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "conv/engine.h"
 #include "fault/fault_model.h"
+#include "fault/models/model_spec.h"
 #include "fault/neuron_injector.h"
 #include "fault/protection_set.h"
 #include "fault/site_sampler.h"
@@ -37,6 +38,14 @@ struct FaultConfig {
   int fault_free_layer = -1;
   // Fine-grained TMR protection per protectable-layer ordinal (Sec 4.1).
   std::unordered_map<int, ProtectionSet> protection;
+  // Which fault model injects (fault/models/model_spec.h). The built-in
+  // default (flip@op) reproduces seed semantics bit-for-bit and keeps
+  // hashes unchanged; non-default models hash as extra fields. For
+  // @weight/@accum targets `mode`, `only_kind`, and `protection` are
+  // op-datapath concepts and are ignored; `ber` and `fault_free_layer`
+  // apply to every target. Permanent models inject through a per-point
+  // FaultOverlay (campaign-built), not through the session.
+  FaultModelSpec model = FaultModelSpec::process_default();
 };
 
 // One neuron-level flip: bit `bit` of the activation at flat index `index`.
@@ -54,7 +63,12 @@ struct FaultPlan {
   struct LayerFaults {
     std::vector<FaultSite> sites;      // operation-level injection
     std::vector<NeuronFault> neurons;  // neuron-level injection
-    bool faulted() const { return !sites.empty() || !neurons.empty(); }
+    std::vector<WeightFault> weights;  // transient weight-memory faults
+    std::vector<NeuronFault> accums;   // transient accumulator faults
+    bool faulted() const {
+      return !sites.empty() || !neurons.empty() || !weights.empty() ||
+             !accums.empty();
+    }
   };
   std::vector<LayerFaults> layers;  // indexed by protectable-layer ordinal
   int first_faulted = -1;           // earliest faulted ordinal, or -1

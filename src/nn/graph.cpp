@@ -29,4 +29,12 @@ TensorI32 Layer::forward_replay(std::span<const NodeOutput* const>,
   return {};
 }
 
+TensorI32 Layer::forward_weight_faulted(std::span<const NodeOutput* const>,
+                                        const QuantParams&, FaultModelKind,
+                                        std::span<const WeightFault>) const {
+  WF_CHECK(false &&
+           "forward_weight_faulted is only defined for layers with weights");
+  return {};
+}
+
 }  // namespace winofault

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "conv/engine.h"
+#include "fault/models/model_spec.h"
 #include "fault/op_space.h"
 #include "tensor/quantize.h"
 #include "tensor/shape.h"
@@ -18,6 +19,7 @@
 namespace winofault {
 
 class FaultSession;
+struct FaultOverlay;
 class Fnv64;
 
 // A produced activation: quantized values + their scale.
@@ -30,6 +32,11 @@ struct NodeOutput {
 struct ExecContext {
   ConvPolicy policy = ConvPolicy::kDirect;
   FaultSession* session = nullptr;  // null => fault-free run
+  // Permanent-fault overlay (fault/models/overlay.h): stuck/flipped weight
+  // cells and accumulator-register bits applied inside protectable layers'
+  // forward. Null => pristine silicon. A golden built with an overlay is a
+  // *faulted-weights golden variant* (keyed separately in GoldenLru/store).
+  const FaultOverlay* overlay = nullptr;
 };
 
 class Layer {
@@ -64,6 +71,10 @@ class Layer {
   // Op space under the engine the policy selects (protectable layers only).
   virtual OpSpace op_space(DType dtype, ConvPolicy policy) const;
 
+  // Number of learned quantized weight cells — the sample space of
+  // weight-memory fault models (protectable layers only; 0 otherwise).
+  virtual std::int64_t param_count() const { return 0; }
+
   // Executes the layer; `prot_index` is the protectable-layer ordinal used
   // by the fault session (-1 for non-protectable layers).
   virtual TensorI32 forward(std::span<const NodeOutput* const> ins,
@@ -79,6 +90,14 @@ class Layer {
                                    ConvPolicy policy,
                                    std::span<const FaultSite> sites,
                                    const TensorI32* golden) const;
+
+  // Replay execution with pre-sampled transient weight-memory faults
+  // (protectable layers only): recomputes the layer with `faults` applied
+  // to a copy of the quantized weights under `kind`. Must be bit-identical
+  // to the scratch path (FaultSession::apply's weight-target branch).
+  virtual TensorI32 forward_weight_faulted(
+      std::span<const NodeOutput* const> ins, const QuantParams& out_quant,
+      FaultModelKind kind, std::span<const WeightFault> faults) const;
 
   // Index-propagating sparse replay (Network::forward_replay, for
   // non-protectable layers in a faulted cone). `in_changed[k]` lists the

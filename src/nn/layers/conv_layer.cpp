@@ -2,14 +2,38 @@
 
 #include <cmath>
 
+#include "accel/systolic.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "conv/direct_conv.h"
 #include "conv/fault_hook.h"
 #include "conv/winograd_conv.h"
+#include "fault/models/overlay.h"
 #include "nn/fault_session.h"
 
 namespace winofault {
+namespace {
+
+// Permanent accumulator-register defects: every output element takes the
+// stuck/toggled bits of the PE register it accumulated in (accel/systolic
+// output-stationary mapping).
+void apply_accum_overlay(const FaultOverlay& overlay, int width,
+                         TensorI32& out) {
+  const SystolicConfig config{};
+  WF_CHECK(static_cast<int>(overlay.accum_bits.size()) ==
+           accumulator_registers(config));
+  for (std::int64_t j = 0; j < out.numel(); ++j) {
+    const std::vector<int>& bits =
+        overlay.accum_bits[static_cast<std::size_t>(
+            accum_register_for_output(config, j))];
+    for (const int bit : bits) {
+      out[j] = static_cast<std::int32_t>(
+          apply_fault_kind(overlay.kind, out[j], bit, width));
+    }
+  }
+}
+
+}  // namespace
 
 ConvLayer::ConvLayer(ConvDesc desc, const TensorF& weights,
                      std::vector<float> bias, DType dtype)
@@ -82,18 +106,63 @@ TensorI32 ConvLayer::forward(std::span<const NodeOutput* const> ins,
   ConvData data = make_data(*ins[0], out_quant, bias_acc);
   const ConvEngine& engine = select_engine(ctx.policy, desc_);
   attach_wg_bank(data, engine);
-  // The policy engine defines the op space and the fault semantics, but its
-  // fault-free output is bit-identical to the direct GEMM's (the project's
-  // core invariant), so the base forward always takes the fastest path;
-  // session->apply re-derives any faulted outputs in the policy engine's
-  // own domain on top.
-  TensorI32 out = seed_equivalent_kernels()
-                      ? engine.forward(desc_, data)
-                      : direct_forward_gemm(desc_, data);
+  const std::vector<WeightFault>* defects = nullptr;
+  if (ctx.overlay != nullptr && prot_index >= 0 &&
+      static_cast<std::size_t>(prot_index) < ctx.overlay->weights.size() &&
+      !ctx.overlay->weights[static_cast<std::size_t>(prot_index)].empty()) {
+    defects = &ctx.overlay->weights[static_cast<std::size_t>(prot_index)];
+  }
+  TensorI32 out;
+  TensorI32 corrupted;
+  if (defects != nullptr) {
+    // Permanent weight defects: dense direct GEMM on a corrupted copy.
+    // Policy-independent by the core invariant; the cached Winograd banks
+    // transform the CLEAN weights, so they must not be reused here.
+    corrupted = corrupt_weights(ctx.overlay->kind, *defects);
+    ConvData wdata = data;
+    wdata.weights = &corrupted;
+    wdata.wg_bank_f2 = nullptr;
+    wdata.wg_bank_f4 = nullptr;
+    out = direct_forward_gemm(desc_, wdata);
+  } else {
+    // The policy engine defines the op space and the fault semantics, but
+    // its fault-free output is bit-identical to the direct GEMM's (the
+    // project's core invariant), so the base forward always takes the
+    // fastest path; session->apply re-derives any faulted outputs in the
+    // policy engine's own domain on top.
+    out = seed_equivalent_kernels() ? engine.forward(desc_, data)
+                                    : direct_forward_gemm(desc_, data);
+  }
+  if (ctx.overlay != nullptr && prot_index >= 0 &&
+      !ctx.overlay->accum_bits.empty()) {
+    apply_accum_overlay(*ctx.overlay, bit_width(dtype_), out);
+  }
   if (ctx.session != nullptr) {
     ctx.session->apply(prot_index, engine, desc_, data, out);
   }
   return out;
+}
+
+TensorI32 ConvLayer::corrupt_weights(
+    FaultModelKind kind, std::span<const WeightFault> faults) const {
+  TensorI32 corrupted = weights_q_;
+  const int width = bit_width(dtype_);
+  for (const WeightFault& f : faults) {
+    corrupted[f.index] = static_cast<std::int32_t>(
+        apply_fault_kind(kind, corrupted[f.index], f.bit, width));
+  }
+  return corrupted;
+}
+
+TensorI32 ConvLayer::forward_weight_faulted(
+    std::span<const NodeOutput* const> ins, const QuantParams& out_quant,
+    FaultModelKind kind, std::span<const WeightFault> faults) const {
+  WF_CHECK(ins.size() == 1);
+  std::vector<std::int64_t> bias_acc;
+  ConvData data = make_data(*ins[0], out_quant, bias_acc);
+  TensorI32 corrupted = corrupt_weights(kind, faults);
+  data.weights = &corrupted;
+  return direct_forward_gemm(desc_, data);
 }
 
 std::vector<TensorI32> ConvLayer::forward_batch(

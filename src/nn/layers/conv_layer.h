@@ -25,6 +25,7 @@ class ConvLayer final : public Layer {
   double calib_acc_absmax(
       std::span<const NodeOutput* const> ins) const override;
   OpSpace op_space(DType dtype, ConvPolicy policy) const override;
+  std::int64_t param_count() const override { return weights_q_.numel(); }
   TensorI32 forward(std::span<const NodeOutput* const> ins,
                     const QuantParams& out_quant, ExecContext& ctx,
                     int prot_index) const override;
@@ -42,6 +43,15 @@ class ConvLayer final : public Layer {
                            const QuantParams& out_quant, ConvPolicy policy,
                            std::span<const FaultSite> sites,
                            const TensorI32* golden) const override;
+
+  // Transient weight-memory replay: dense direct GEMM on a corrupted copy
+  // of the quantized weights. Policy-independent by the core invariant
+  // (fault-free outputs are bit-identical across engines for any weights);
+  // the cached Winograd banks transform the CLEAN weights and are bypassed.
+  TensorI32 forward_weight_faulted(
+      std::span<const NodeOutput* const> ins, const QuantParams& out_quant,
+      FaultModelKind kind,
+      std::span<const WeightFault> faults) const override;
 
   // Sparse incremental replay: `golden` is this layer's cached fault-free
   // output for the *golden* input, and `in_changed` lists the flat indices
@@ -63,6 +73,10 @@ class ConvLayer final : public Layer {
   // Assembles the engine-facing view for a given input activation.
   ConvData make_data(const NodeOutput& in, const QuantParams& out_quant,
                      std::vector<std::int64_t>& bias_acc) const;
+
+  // Copy of weights_q_ with `faults` applied under `kind`.
+  TensorI32 corrupt_weights(FaultModelKind kind,
+                            std::span<const WeightFault> faults) const;
 
   // Cached Winograd filter bank for plan m (2 or 4); computed on first use.
   const std::vector<std::int64_t>* wg_bank(int m) const;

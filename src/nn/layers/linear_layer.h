@@ -22,6 +22,7 @@ class LinearLayer final : public Layer {
   double calib_acc_absmax(
       std::span<const NodeOutput* const> ins) const override;
   OpSpace op_space(DType dtype, ConvPolicy policy) const override;
+  std::int64_t param_count() const override { return impl_->param_count(); }
   TensorI32 forward(std::span<const NodeOutput* const> ins,
                     const QuantParams& out_quant, ExecContext& ctx,
                     int prot_index) const override;
@@ -29,6 +30,12 @@ class LinearLayer final : public Layer {
                            const QuantParams& out_quant, ConvPolicy policy,
                            std::span<const FaultSite> sites,
                            const TensorI32* golden) const override;
+  TensorI32 forward_weight_faulted(
+      std::span<const NodeOutput* const> ins, const QuantParams& out_quant,
+      FaultModelKind kind,
+      std::span<const WeightFault> faults) const override {
+    return impl_->forward_weight_faulted(ins, out_quant, kind, faults);
+  }
 
   void hash_params(Fnv64& h) const override { impl_->hash_params(h); }
 

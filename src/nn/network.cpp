@@ -284,8 +284,8 @@ int Network::predict(const TensorF& image, ExecContext& ctx) const {
   return argmax_logit(forward(image, ctx));
 }
 
-GoldenCache Network::make_golden(const TensorF& image,
-                                 ConvPolicy policy) const {
+GoldenCache Network::make_golden(const TensorF& image, ConvPolicy policy,
+                                 const FaultOverlay* overlay) const {
   WF_CHECK(calibrated_);
   GoldenCache cache;
   cache.policy_ = policy;
@@ -294,6 +294,7 @@ GoldenCache Network::make_golden(const TensorF& image,
   cache.acts_[0].quant = input_quant_;
   ExecContext ctx;
   ctx.policy = policy;
+  ctx.overlay = overlay;
   for (std::size_t id = 1; id < nodes_.size(); ++id) {
     const Node& node = nodes_[id];
     std::vector<const NodeOutput*> ins;
@@ -369,7 +370,11 @@ TensorI32 Network::forward_replay(const GoldenCache& golden,
   if (plan.first_faulted < 0) return golden.logits_;
 
   const int width = bit_width(dtype_);
-  const bool op_level = session.config().mode == InjectionMode::kOpLevel;
+  const FaultModelSpec& model = session.config().model;
+  // Op-site replay machinery only serves op-datapath models; weight/accum
+  // targets route through the branches below regardless of `mode`.
+  const bool op_level = session.config().mode == InjectionMode::kOpLevel &&
+                        model.target == FaultTarget::kOp;
   std::vector<NodeOutput> replay(nodes_.size());
   // Flat indices where a dirty node's output differs from its golden
   // activation; drives the sparse conv recompute and prunes the dirty cone
@@ -402,7 +407,13 @@ TensorI32 Network::forward_replay(const GoldenCache& golden,
     // scanning the whole activation.
     std::vector<std::int64_t> candidates;
     bool have_candidates = false;
-    if (op_level && node.prot_index >= 0) {
+    if (faults != nullptr && !faults->weights.empty()) {
+      // Transient weight-memory faults: dense recompute on a corrupted
+      // weight copy (the whole output can shift, so the diff below scans
+      // the full tensor).
+      out = node.layer->forward_weight_faulted(ins, node.quant, model.kind,
+                                               faults->weights);
+    } else if (op_level && node.prot_index >= 0) {
       const std::span<const FaultSite> sites(faults->sites);
       if (const auto* conv =
               dynamic_cast<const ConvLayer*>(node.layer.get())) {
@@ -472,7 +483,15 @@ TensorI32 Network::forward_replay(const GoldenCache& golden,
               flip_bit(out[f.index], f.bit, width));
           if (have_candidates) candidates.push_back(f.index);
         }
-        if (have_candidates && !faults->neurons.empty()) {
+        // Transient accumulator upsets patch the stored outputs the same
+        // way, under the model's fault kind (stuck/flip/toggle).
+        for (const NeuronFault& f : faults->accums) {
+          out[f.index] = static_cast<std::int32_t>(
+              apply_fault_kind(model.kind, out[f.index], f.bit, width));
+          if (have_candidates) candidates.push_back(f.index);
+        }
+        if (have_candidates &&
+            !(faults->neurons.empty() && faults->accums.empty())) {
           std::sort(candidates.begin(), candidates.end());
           candidates.erase(std::unique(candidates.begin(), candidates.end()),
                            candidates.end());
@@ -529,6 +548,10 @@ Shape Network::protectable_shape(int prot_index) const {
 OpSpace Network::protectable_op_space(int prot_index,
                                       ConvPolicy policy) const {
   return protectable_layer(prot_index).op_space(dtype_, policy);
+}
+
+std::int64_t Network::protectable_param_count(int prot_index) const {
+  return protectable_layer(prot_index).param_count();
 }
 
 OpSpace Network::total_op_space(ConvPolicy policy) const {

@@ -73,8 +73,15 @@ class Network {
 
   // ---- Golden cache + incremental fault replay ----
   // Computes the fault-free activations of `image` under `policy`, shared
-  // read-only by all subsequent replay trials on this image.
-  GoldenCache make_golden(const TensorF& image, ConvPolicy policy) const;
+  // read-only by all subsequent replay trials on this image. A non-null
+  // `overlay` (fault/models/overlay.h) bakes a permanent-fault model's
+  // defective weight/accumulator cells into every protectable layer,
+  // producing a *faulted-weights golden variant* — "fault-free" then means
+  // "no transient faults on the defective silicon". Callers key variant
+  // goldens by overlay->digest (GoldenLru/store) so they never serve a
+  // clean-silicon replay.
+  GoldenCache make_golden(const TensorF& image, ConvPolicy policy,
+                          const FaultOverlay* overlay = nullptr) const;
   // Batched golden build: runs the graph once with every conv layer
   // computing all images as one wide GEMM (ConvLayer::forward_batch);
   // non-conv layers loop per image. result[b] is bit-identical to
@@ -112,6 +119,9 @@ class Network {
   int protectable_node(int prot_index) const;
   Shape protectable_shape(int prot_index) const;
   OpSpace protectable_op_space(int prot_index, ConvPolicy policy) const;
+  // Quantized weight cells of a protectable layer: the sample space of
+  // weight-memory fault models.
+  std::int64_t protectable_param_count(int prot_index) const;
   // Whole-network op space under a policy.
   OpSpace total_op_space(ConvPolicy policy) const;
   // All conv descriptors in execution order (performance model input).

@@ -1,6 +1,7 @@
 // Tests for the analysis drivers: BER sweeps, layer-wise vulnerability, and
 // operation-type sensitivity on a small conv network.
 #include <gtest/gtest.h>
+#include <cstdlib>
 
 #include "core/analysis/layer_vulnerability.h"
 #include "core/analysis/network_sweep.h"
@@ -9,6 +10,15 @@
 
 namespace winofault {
 namespace {
+
+// This suite asserts the numeric semantics of the built-in flip@op
+// injector (expected flip counts, degradation curves). Pin the built-in
+// model so the registry-model CI leg (WINOFAULT_FAULT_MODEL) can run the
+// full suite without changing what this file tests.
+const bool kBuiltinModelPinned = [] {
+  unsetenv("WINOFAULT_FAULT_MODEL");
+  return true;
+}();
 
 struct Fixture {
   Network net;

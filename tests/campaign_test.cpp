@@ -12,16 +12,27 @@
 
 #include <future>
 #include <thread>
+#include <cstdlib>
 
 #include "core/analysis/layer_vulnerability.h"
 #include "core/analysis/network_sweep.h"
 #include "core/campaign/campaign.h"
 #include "core/energy/voltage_explorer.h"
+#include "core/store/hash.h"
 #include "fault/fault_model.h"
 #include "nn/models/zoo.h"
 
 namespace winofault {
 namespace {
+
+// This suite asserts the numeric semantics of the built-in flip@op
+// injector (expected flip counts, degradation curves). Pin the built-in
+// model so the registry-model CI leg (WINOFAULT_FAULT_MODEL) can run the
+// full suite without changing what this file tests.
+const bool kBuiltinModelPinned = [] {
+  unsetenv("WINOFAULT_FAULT_MODEL");
+  return true;
+}();
 
 struct Fixture {
   Network net;
@@ -341,6 +352,37 @@ TEST(Campaign, TrialsPlumbThroughLayerwiseAndExplorerBuilders) {
   at_v.seed = 31;
   at_v.trials = 2;
   EXPECT_DOUBLE_EQ(curve[1].accuracy, evaluate(f.net, f.data, at_v).accuracy);
+}
+
+// The fault model is a campaign axis: the same (ber, policy, seed, trials)
+// grid point hashes differently under every distinct model, so journaled
+// results never cross-contaminate. The explicit "flip@op" spec hashes
+// identically to a pre-registry point — old journals keep replaying.
+TEST(Campaign, FaultModelJoinsCampaignPointHash) {
+  CampaignPoint point;
+  point.fault.ber = 1e-6;
+  point.seed = 7;
+  point.trials = 3;
+  const std::uint64_t base_hash = campaign_point_hash(point);
+
+  const char* specs[] = {"stuck0@weight", "stuck0@weight#perm",
+                         "stuck1@weight", "toggle@accum",
+                         "stuck0(0.01)@weight#perm"};
+  std::vector<std::uint64_t> hashes = {base_hash};
+  for (const char* spec : specs) {
+    CampaignPoint modeled = point;
+    modeled.fault.model = *FaultModelSpec::parse(spec);
+    hashes.push_back(campaign_point_hash(modeled));
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << "i=" << i << " j=" << j;
+    }
+  }
+
+  CampaignPoint explicit_default = point;
+  explicit_default.fault.model = *FaultModelSpec::parse("flip@op");
+  EXPECT_EQ(campaign_point_hash(explicit_default), base_hash);
 }
 
 }  // namespace

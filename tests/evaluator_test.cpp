@@ -2,12 +2,22 @@
 // recovery, degradation with BER, and the headline ordering — Winograd
 // accuracy >= direct accuracy under operation-level faults.
 #include <gtest/gtest.h>
+#include <cstdlib>
 
 #include "nn/evaluator.h"
 #include "nn/models/zoo.h"
 
 namespace winofault {
 namespace {
+
+// This suite asserts the numeric semantics of the built-in flip@op
+// injector (expected flip counts, degradation curves). Pin the built-in
+// model so the registry-model CI leg (WINOFAULT_FAULT_MODEL) can run the
+// full suite without changing what this file tests.
+const bool kBuiltinModelPinned = [] {
+  unsetenv("WINOFAULT_FAULT_MODEL");
+  return true;
+}();
 
 Network eval_net() {
   Network net("evalnet", DType::kInt16);

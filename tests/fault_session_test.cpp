@@ -3,6 +3,7 @@
 // neuron-level injection cannot distinguish conv algorithms while
 // operation-level injection can.
 #include <gtest/gtest.h>
+#include <cstdlib>
 
 #include "nn/dataset.h"
 #include "nn/evaluator.h"
@@ -10,6 +11,15 @@
 
 namespace winofault {
 namespace {
+
+// This suite asserts the numeric semantics of the built-in flip@op
+// injector (expected flip counts, degradation curves). Pin the built-in
+// model so the registry-model CI leg (WINOFAULT_FAULT_MODEL) can run the
+// full suite without changing what this file tests.
+const bool kBuiltinModelPinned = [] {
+  unsetenv("WINOFAULT_FAULT_MODEL");
+  return true;
+}();
 
 Network small_net(DType dtype = DType::kInt16) {
   Network net("small", dtype);

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <functional>
@@ -39,6 +40,19 @@
 #include "nn/dataset.h"
 
 namespace winofault {
+namespace {
+
+// Cancel/progress tests size their workload in flip@op replay trials
+// (e.g. trials=300 keeps a campaign running long enough to cancel).
+// Permanent registry models collapse replay to a golden lookup, so pin
+// the built-in model; the registry CI leg exercises the daemon through
+// fault_models_test's protocol round-trip instead.
+const bool kBuiltinModelPinned = [] {
+  unsetenv("WINOFAULT_FAULT_MODEL");
+  return true;
+}();
+
+}  // namespace
 namespace {
 
 namespace fs = std::filesystem;

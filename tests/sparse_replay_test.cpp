@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include <cstdlib>
 
 #include "nn/dataset.h"
 #include "nn/evaluator.h"
@@ -15,6 +16,15 @@
 
 namespace winofault {
 namespace {
+
+// This suite asserts the numeric semantics of the built-in flip@op
+// injector (expected flip counts, degradation curves). Pin the built-in
+// model so the registry-model CI leg (WINOFAULT_FAULT_MODEL) can run the
+// full suite without changing what this file tests.
+const bool kBuiltinModelPinned = [] {
+  unsetenv("WINOFAULT_FAULT_MODEL");
+  return true;
+}();
 
 using testing::expect_tensors_equal;
 

@@ -2,12 +2,22 @@
 // monotonicity in the accuracy goal, and the three-configuration ordering
 // of Fig 5 (ST >= W/O-AFT >= W/AFT overhead).
 #include <gtest/gtest.h>
+#include <cstdlib>
 
 #include "core/protect/tmr_planner.h"
 #include "nn/models/zoo.h"
 
 namespace winofault {
 namespace {
+
+// This suite asserts the numeric semantics of the built-in flip@op
+// injector (expected flip counts, degradation curves). Pin the built-in
+// model so the registry-model CI leg (WINOFAULT_FAULT_MODEL) can run the
+// full suite without changing what this file tests.
+const bool kBuiltinModelPinned = [] {
+  unsetenv("WINOFAULT_FAULT_MODEL");
+  return true;
+}();
 
 struct Fixture {
   Network net;
