@@ -24,6 +24,7 @@
 #include <functional>
 
 #include "bench_util.h"
+#include "common/telemetry/telemetry.h"
 #include "core/analysis/network_sweep.h"
 #include "core/campaign/campaign.h"
 
@@ -31,6 +32,18 @@ using namespace winofault;
 using namespace winofault::bench;
 
 namespace {
+
+// The campaign runner's phase histogram (microseconds, labeled by phase).
+// Reading sum() before/after a run and differencing gives that run's
+// attributable phase time — the runner maintains these at its TraceSpan
+// sites, the bench only observes.
+telemetry::Histogram& phase_hist(const char* phase) {
+  return telemetry::histogram(
+      "winofault_campaign_phase_us",
+      "microseconds per campaign phase unit (wave golden build, per-cell "
+      "replay or scratch inject)",
+      std::string("phase=\"") + phase + "\"");
+}
 
 constexpr ConvPolicy kPolicies[] = {ConvPolicy::kDirect,
                                     ConvPolicy::kWinograd2};
@@ -128,9 +141,21 @@ int main(int argc, char** argv) {
   double campaign_sum = 0, percall_sum = 0, scratch_sum = 0, seed_sum = 0;
   double sweep_campaign_sum = 0, sweep_percall_sum = 0;
   CampaignStats stats;
+  // Phase attribution for the deep campaign run: histogram-sum deltas
+  // around the run isolate its golden-build vs execution (replay + inject)
+  // split from anything the warmup already recorded.
+  const std::int64_t gb_us0 = phase_hist("golden_build").sum();
+  const std::int64_t replay_us0 = phase_hist("replay").sum();
+  const std::int64_t inject_us0 = phase_hist("inject").sum();
   const double campaign_s = timed(
       [&] { return run_unified(m.net, m.data, deep, &stats); },
       &campaign_sum);
+  const double golden_build_s =
+      static_cast<double>(phase_hist("golden_build").sum() - gb_us0) / 1e6;
+  const double exec_s =
+      static_cast<double>(phase_hist("replay").sum() - replay_us0 +
+                          phase_hist("inject").sum() - inject_us0) /
+      1e6;
   const double percall_s =
       timed([&] { return run_per_call(m.net, m.data, deep); }, &percall_sum);
   const double scratch_s = timed(
@@ -231,6 +256,10 @@ int main(int argc, char** argv) {
       "sweep (1 trial):   %.2fx vs per-call cache over %zu grid points\n",
       sweep_speedup, sweep.size());
   std::printf(
+      "phase split (deep campaign, cpu-seconds across workers): "
+      "golden_build %.3fs, exec %.3fs\n",
+      golden_build_s, exec_s);
+  std::printf(
       "golden builds: %lld (campaign) vs %lld (per-call), hits %lld, "
       "evictions %lld\n",
       static_cast<long long>(stats.golden_builds),
@@ -252,6 +281,10 @@ int main(int argc, char** argv) {
       .field("sweep_points", static_cast<std::int64_t>(deep.size()))
       .field("inferences", inferences, 0)
       .field("campaign_wall_s", campaign_s)
+      // Phase breakdown of the deep campaign run (cpu-seconds summed
+      // across workers — exec_s can exceed campaign_wall_s on multi-core).
+      .field("golden_build_s", golden_build_s)
+      .field("exec_s", exec_s)
       .field("cached_wall_s", percall_s)
       .field("scratch_wall_s", scratch_s)
       .field("seed_equiv_wall_s", seed_s)

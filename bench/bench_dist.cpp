@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
   ::setenv("WINOFAULT_BENCH_DIST_CHILD", "1", 1);
   ::setenv("WINOFAULT_DIST_SHARE_HOST", "1", 1);  // workers split this host
   double dist_s[3] = {0, 0, 0};
+  double merge_s = 0;  // merge-fold wall time summed over the sweep
   const int worker_counts[3] = {1, 2, 4};
   for (int wi = 0; wi < 3; ++wi) {
     const int workers = worker_counts[wi];
@@ -152,7 +153,9 @@ int main(int argc, char** argv) {
              exe, {"--store-dir", dir}, workers)) {
       if (!we.ok()) ++failed;
     }
+    const auto t_merge = std::chrono::steady_clock::now();
     const MergeStats merge = merge_campaign_segments(dir);
+    merge_s += seconds_since(t_merge);
     dist_s[wi] = seconds_since(t0);
     if (failed > 0) {
       std::fprintf(stderr, "bench_dist: %d/%d workers failed\n", failed,
@@ -181,6 +184,7 @@ int main(int argc, char** argv) {
   json.field("dist_1w_s", dist_s[0])
       .field("dist_2w_s", dist_s[1])
       .field("dist_4w_s", dist_s[2])
+      .field("merge_s", merge_s)
       .field("speedup_2w", dist_s[1] > 0 ? single_s / dist_s[1] : 0.0)
       .field("speedup_4w", dist_s[2] > 0 ? single_s / dist_s[2] : 0.0);
   json.write("BENCH_dist.json");

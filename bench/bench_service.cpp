@@ -24,6 +24,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "common/telemetry/telemetry.h"
 #include "core/campaign/campaign.h"
 #include "core/service/client.h"
 #include "core/service/server.h"
@@ -175,6 +176,18 @@ int main(int argc, char** argv) {
   }
   std::printf("all submissions bit-identical to the direct run\n");
 
+  // Queue latency across the four submissions: the server hosts in this
+  // process, so its telemetry histogram is directly readable. With
+  // concurrent_jobs=1 and serial submissions this is pure dispatch
+  // overhead — admission to queued->running handoff.
+  telemetry::Histogram& queue_hist = telemetry::histogram(
+      "winofault_service_queue_latency_us",
+      "microseconds jobs spend queued before running");
+  const double queue_latency_ms =
+      queue_hist.count() > 0 ? queue_hist.mean() / 1e3 : 0.0;
+  std::printf("mean queue latency: %.3f ms over %lld job(s)\n",
+              queue_latency_ms, static_cast<long long>(queue_hist.count()));
+
   const double warm_speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
   const double replay_speedup =
       stored_warm_s > 0 ? cold_s / stored_warm_s : 0.0;
@@ -200,6 +213,7 @@ int main(int argc, char** argv) {
       .field("stored_replay_s", stored_warm_s)
       .field("warm_speedup", warm_speedup)
       .field("stored_replay_speedup", replay_speedup)
+      .field("queue_latency_ms", queue_latency_ms, 3)
       .field("cold_golden_builds", cold_stats.golden_builds)
       .field("warm_golden_builds", warm_stats.golden_builds)
       .field("warm_golden_hits", warm_stats.golden_hits)

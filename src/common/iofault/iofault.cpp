@@ -14,6 +14,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 
 namespace winofault::iofault {
 namespace {
@@ -293,6 +294,18 @@ Decision FaultSchedule::decide(OpClass op, const std::string& path) {
         break;
     }
     if (!fire) continue;
+    {
+      // Injection accounting on the telemetry registry (one series per
+      // rule), exposed through the daemon `metrics` verb. The on-disk
+      // WINOFAULT_CHAOS_LOG line format below is byte-frozen — CI replay
+      // diffs depend on it — so the counters ride alongside, never in it.
+      char labels[32];
+      std::snprintf(labels, sizeof(labels), "rule=\"%d\"",
+                    static_cast<int>(i));
+      telemetry::counter("winofault_iofault_injections_total",
+                         "chaos faults injected, per schedule rule", labels)
+          .add(1);
+    }
     Injection injection;
     injection.rule = static_cast<int>(i);
     injection.match = rule.matches;

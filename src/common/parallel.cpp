@@ -6,10 +6,33 @@
 #include <mutex>
 #include <vector>
 
+#include "common/telemetry/telemetry.h"
+
 namespace winofault::detail {
 namespace {
 
 thread_local bool tl_in_parallel_region = false;
+
+// Pool-tier telemetry. References are resolved once; increments are one
+// relaxed RMW and cannot affect scheduling (observation only — body(i)
+// still runs exactly once per index regardless of who counts what).
+telemetry::Counter& pool_jobs_metric() {
+  static telemetry::Counter& c = telemetry::counter(
+      "winofault_pool_jobs_total", "parallel_for invocations run on the pool");
+  return c;
+}
+telemetry::Counter& pool_steals_metric() {
+  static telemetry::Counter& c = telemetry::counter(
+      "winofault_pool_steals_total",
+      "work ranges migrated from a victim slot to an idle participant");
+  return c;
+}
+telemetry::Histogram& pool_idle_metric() {
+  static telemetry::Histogram& h = telemetry::histogram(
+      "winofault_pool_idle_us",
+      "microseconds pool workers spent parked waiting for work");
+  return h;
+}
 
 // One parallel_for invocation. Unclaimed work lives in the per-slot ranges;
 // a chunk leaves its range (under the slot lock) exactly once, so body(i)
@@ -42,6 +65,8 @@ class ThreadPool {
   }
 
   void run(std::int64_t n, int parts, BodyFn body, void* ctx) {
+    pool_jobs_metric().add(1);
+    telemetry::TraceSpan span("pool_run", "pool");
     auto job = std::make_shared<Job>();
     job->n = n;
     job->parts = parts;
@@ -155,6 +180,7 @@ class ThreadPool {
         s1 = v.hi;
         v.hi = s0;  // owner keeps the front it is streaming through
       }
+      pool_steals_metric().add(1);
       *c0 = s0;
       *c1 = std::min(s1, s0 + job.grain);
       if (*c1 < s1 && has_slot) {
@@ -178,10 +204,12 @@ class ThreadPool {
     for (;;) {
       std::shared_ptr<Job> job;
       {
+        const std::int64_t parked_at = telemetry::now_us();
         std::unique_lock<std::mutex> lock(mutex_);
         work_available_.wait(lock, [this] {
           return stop_ || !jobs_.empty();
         });
+        pool_idle_metric().observe(telemetry::now_us() - parked_at);
         if (stop_) return;
         job = jobs_.front();
         if (job->unclaimed.load(std::memory_order_acquire) == 0) {

@@ -1,0 +1,414 @@
+#include "common/telemetry/telemetry.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/env.h"
+
+namespace winofault::telemetry {
+namespace {
+
+// All trace/metrics file IO in this translation unit uses plain stdio on
+// purpose: telemetry output must never route through the iofault shims —
+// an injected fault in the observer would perturb the chaos schedule's
+// match ordinals and break the very byte-identity it exists to watch.
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+struct Series {
+  MetricType type;
+  std::string name;
+  std::string labels;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct MetricName {
+  std::string name;
+  std::string help;
+  MetricType type;
+};
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// The registry. Leaked singleton: instrumented code caches references into
+// it, and static-destruction order must never invalidate them.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* registry = new Registry;
+    return *registry;
+  }
+
+  Series& get_or_create(MetricType type, const std::string& name,
+                        const std::string& help, const std::string& labels) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string key = name + "\x1f" + labels;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      Series& series = *series_[it->second];
+      if (series.type == type) return series;
+      return dummy(type);  // type clash: keep the hot path alive
+    }
+    bool known_name = false;
+    for (const MetricName& n : names_) {
+      if (n.name == name) {
+        known_name = true;
+        if (n.type != type) return dummy(type);
+        break;
+      }
+    }
+    if (!known_name) names_.push_back(MetricName{name, help, type});
+    auto series = std::make_unique<Series>();
+    series->type = type;
+    series->name = name;
+    series->labels = labels;
+    switch (type) {
+      case MetricType::kCounter:
+        series->counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        series->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        series->histogram = std::make_unique<Histogram>();
+        break;
+    }
+    index_.emplace(key, series_.size());
+    series_.push_back(std::move(series));
+    return *series_.back();
+  }
+
+  std::string render() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    char line[256];
+    for (const MetricName& n : names_) {
+      out += "# HELP " + n.name + " " + n.help + "\n";
+      out += "# TYPE " + n.name + " " + std::string(type_name(n.type)) + "\n";
+      for (const std::unique_ptr<Series>& s : series_) {
+        if (s->name != n.name) continue;
+        const std::string brace =
+            s->labels.empty() ? std::string() : "{" + s->labels + "}";
+        switch (s->type) {
+          case MetricType::kCounter:
+            std::snprintf(line, sizeof(line), " %lld\n",
+                          static_cast<long long>(s->counter->value()));
+            out += s->name + brace + line;
+            break;
+          case MetricType::kGauge:
+            std::snprintf(line, sizeof(line), " %lld\n",
+                          static_cast<long long>(s->gauge->value()));
+            out += s->name + brace + line;
+            break;
+          case MetricType::kHistogram: {
+            const Histogram& h = *s->histogram;
+            const std::string sep = s->labels.empty() ? "" : ",";
+            for (int b = 0; b < Histogram::kBuckets; ++b) {
+              std::string le;
+              if (b == Histogram::kBuckets - 1) {
+                le = "+Inf";
+              } else {
+                std::snprintf(line, sizeof(line), "%lld",
+                              static_cast<long long>(
+                                  Histogram::bucket_bound(b)));
+                le = line;
+              }
+              std::snprintf(line, sizeof(line), "\"} %lld\n",
+                            static_cast<long long>(h.cumulative(b)));
+              out += s->name + "_bucket{" + s->labels + sep + "le=\"" + le +
+                     line;
+            }
+            std::snprintf(line, sizeof(line), " %lld\n",
+                          static_cast<long long>(h.sum()));
+            out += s->name + "_sum" + brace + line;
+            std::snprintf(line, sizeof(line), " %lld\n",
+                          static_cast<long long>(h.count()));
+            out += s->name + "_count" + brace + line;
+            break;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  void reset_values() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<Series>& s : series_) {
+      switch (s->type) {
+        case MetricType::kCounter: s->counter->reset(); break;
+        case MetricType::kGauge: s->gauge->reset(); break;
+        case MetricType::kHistogram: s->histogram->reset(); break;
+      }
+    }
+  }
+
+ private:
+  Registry() = default;
+
+  // Shared per-type sinks for misregistered series (type clash under one
+  // name): increments land somewhere harmless instead of crashing.
+  Series& dummy(MetricType type) {
+    const int i = static_cast<int>(type);
+    if (dummies_[i] == nullptr) {
+      dummies_[i] = std::make_unique<Series>();
+      dummies_[i]->type = type;
+      dummies_[i]->name = "_winofault_type_clash";
+      switch (type) {
+        case MetricType::kCounter:
+          dummies_[i]->counter = std::make_unique<Counter>();
+          break;
+        case MetricType::kGauge:
+          dummies_[i]->gauge = std::make_unique<Gauge>();
+          break;
+        case MetricType::kHistogram:
+          dummies_[i]->histogram = std::make_unique<Histogram>();
+          break;
+      }
+    }
+    return *dummies_[i];
+  }
+
+  mutable std::mutex mu_;
+  std::vector<MetricName> names_;           // HELP/TYPE emission order
+  std::vector<std::unique_ptr<Series>> series_;  // registration order
+  std::unordered_map<std::string, std::size_t> index_;
+  std::unique_ptr<Series> dummies_[3];
+};
+
+// ---- Trace sink ----------------------------------------------------------
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  std::int64_t ts_us;
+  std::int64_t dur_us;
+};
+
+// One buffer per thread. The owning thread appends under the buffer's own
+// mutex (uncontended in steady state — flush is the only other party), so
+// events survive both thread exit and a mid-run flush without races.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards path and buffer registration
+  std::string path;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+std::atomic<bool> g_tracing{false};
+std::once_flag g_trace_env_once;
+std::once_flag g_atexit_once;
+
+TraceState& trace_state() {
+  static TraceState* state = new TraceState;  // leaked: see Registry
+  return *state;
+}
+
+std::chrono::steady_clock::time_point process_t0() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+void dump_metrics_at_exit() {
+  const std::string target = env_string("WINOFAULT_METRICS", "");
+  if (target.empty()) return;
+  const std::string text = prometheus_text();
+  if (target == "-" || target == "stderr") {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    return;
+  }
+  if (std::FILE* f = std::fopen(target.c_str(), "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+}
+
+void at_exit_hook() {
+  flush_trace();
+  dump_metrics_at_exit();
+}
+
+void register_exit_hook() {
+  std::call_once(g_atexit_once, [] { std::atexit(at_exit_hook); });
+}
+
+void init_tracing_from_env() {
+  std::call_once(g_trace_env_once, [] {
+    (void)process_t0();  // pin the timebase before the first span
+    const std::string path = env_string("WINOFAULT_TRACE", "");
+    const bool metrics_dump = !env_string("WINOFAULT_METRICS", "").empty();
+    if (!path.empty()) {
+      std::lock_guard<std::mutex> lock(trace_state().mu);
+      trace_state().path = path;
+      g_tracing.store(true, std::memory_order_release);
+    }
+    if (!path.empty() || metrics_dump) register_exit_hook();
+  });
+}
+
+// Lazy env init runs on first telemetry touch of any kind; a static
+// initializer covers processes that never construct a span before exit.
+struct EnvInit {
+  EnvInit() { init_tracing_from_env(); }
+} g_env_init;
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& state = trace_state();
+    std::lock_guard<std::mutex> lock(state.mu);
+    b->tid = state.next_tid++;
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void Histogram::observe(std::int64_t v) {
+  if (v < 0) v = 0;
+  int b = 0;
+  while (b < kBuckets - 1 && v > bucket_bound(b)) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::cumulative(int bucket) const {
+  std::int64_t total = 0;
+  for (int b = 0; b <= std::min(bucket, kBuckets - 1); ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter& counter(const std::string& name, const std::string& help,
+                 const std::string& labels) {
+  return *Registry::instance()
+              .get_or_create(MetricType::kCounter, name, help, labels)
+              .counter;
+}
+
+Gauge& gauge(const std::string& name, const std::string& help,
+             const std::string& labels) {
+  return *Registry::instance()
+              .get_or_create(MetricType::kGauge, name, help, labels)
+              .gauge;
+}
+
+Histogram& histogram(const std::string& name, const std::string& help,
+                     const std::string& labels) {
+  return *Registry::instance()
+              .get_or_create(MetricType::kHistogram, name, help, labels)
+              .histogram;
+}
+
+std::string prometheus_text() { return Registry::instance().render(); }
+
+void reset_for_test() { Registry::instance().reset_values(); }
+
+bool tracing_enabled() {
+  init_tracing_from_env();
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_trace_path(const std::string& path) {
+  init_tracing_from_env();
+  {
+    std::lock_guard<std::mutex> lock(trace_state().mu);
+    trace_state().path = path;
+  }
+  if (!path.empty()) register_exit_hook();
+  g_tracing.store(!path.empty(), std::memory_order_release);
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_t0())
+      .count();
+}
+
+void flush_trace() {
+  TraceState& state = trace_state();
+  std::string path;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    path = state.path;
+    buffers = state.buffers;
+  }
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  const long long pid = static_cast<long long>(::getpid());
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const TraceEvent& e : buffer->events) {
+      std::fprintf(f,
+                   "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                   "\"ts\":%lld,\"dur\":%lld,\"pid\":%lld,\"tid\":%u}",
+                   first ? "" : ",", e.name, e.cat,
+                   static_cast<long long>(e.ts_us),
+                   static_cast<long long>(e.dur_us), pid, buffer->tid);
+      first = false;
+    }
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat), start_us_(-1) {
+  if (tracing_enabled()) start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0) return;
+  // A span opened while tracing was on records even if the sink was
+  // cleared meanwhile — flush decides what reaches disk.
+  TraceEvent event{name_, cat_, start_us_, now_us() - start_us_};
+  if (event.dur_us < 0) event.dur_us = 0;
+  ThreadBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(event);
+}
+
+}  // namespace winofault::telemetry

@@ -16,6 +16,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/telemetry/telemetry.h"
 #include "core/dist/buckets.h"
 #include "core/dist/claim_board.h"
 #include "core/store/golden_store.h"
@@ -77,6 +78,59 @@ std::optional<EvalResult> destruction_short_circuit(
   return result;
 }
 
+// Campaign-tier telemetry. Observation-only: every series is an atomic
+// side-counter or a duration; none feeds back into scheduling or results.
+// The phase histogram carries the golden-build / replay / inject split the
+// benches surface as golden_build_s / exec_s.
+telemetry::Histogram& phase_metric(const char* phase) {
+  return telemetry::histogram(
+      "winofault_campaign_phase_us",
+      "microseconds per campaign phase unit (wave golden build, per-cell "
+      "replay or scratch inject)",
+      std::string("phase=\"") + phase + "\"");
+}
+telemetry::Histogram& phase_replay_metric() {
+  static telemetry::Histogram& h = phase_metric("replay");
+  return h;
+}
+telemetry::Histogram& phase_inject_metric() {
+  static telemetry::Histogram& h = phase_metric("inject");
+  return h;
+}
+telemetry::Counter& waves_metric() {
+  static telemetry::Counter& c = telemetry::counter(
+      "winofault_campaign_waves_total", "image waves scheduled");
+  return c;
+}
+telemetry::Counter& cells_metric() {
+  static telemetry::Counter& c = telemetry::counter(
+      "winofault_campaign_cells_total", "campaign cells executed");
+  return c;
+}
+telemetry::Counter& trials_metric() {
+  static telemetry::Counter& c = telemetry::counter(
+      "winofault_campaign_trials_total",
+      "fault-injection trials (inferences) simulated");
+  return c;
+}
+
+// Golden-tier series are split per golden variant: "clean" is the
+// clean-silicon key space, permanent-fault overlays appear under their
+// digest, so a scraper can see a defective-silicon campaign thrash its
+// variant goldens separately from the shared clean tier.
+std::string golden_variant_labels(std::uint64_t variant) {
+  if (variant == 0) return "variant=\"clean\"";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "variant=\"%016llx\"",
+                static_cast<unsigned long long>(variant));
+  return buf;
+}
+telemetry::Counter& golden_metric(const char* which, const char* help,
+                                  std::uint64_t variant) {
+  return telemetry::counter(std::string("winofault_golden_") + which, help,
+                            golden_variant_labels(variant));
+}
+
 // GoldenLru key layout: image index over 8 policy bits. Packing and
 // unpacking live side by side so they cannot diverge — a mismatched decode
 // would spill evicted goldens under the wrong shard name.
@@ -116,12 +170,17 @@ JournalCell execute_cell(const Network& network, const Dataset& dataset,
         i, point.policy,
         [&] { return network.make_golden(image, point.policy, overlay); },
         overlay != nullptr ? overlay->digest : 0);
+    telemetry::TraceSpan span("cell_replay", "campaign");
+    const std::int64_t t0 = telemetry::now_us();
     for (int t = 0; t < point.trials; ++t) {
       FaultSession session(point.fault, fault_stream_seed(point.seed, i, t));
       cell.correct += network.predict_replay(*golden, session) == label;
       cell.flips += session.total_flips() + overlay_flips;
     }
+    phase_replay_metric().observe(telemetry::now_us() - t0);
   } else {
+    telemetry::TraceSpan span("cell_inject", "campaign");
+    const std::int64_t t0 = telemetry::now_us();
     for (int t = 0; t < point.trials; ++t) {
       FaultSession session(point.fault, fault_stream_seed(point.seed, i, t));
       ExecContext ctx;
@@ -131,7 +190,10 @@ JournalCell execute_cell(const Network& network, const Dataset& dataset,
       cell.correct += network.predict(image, ctx) == label;
       cell.flips += session.total_flips() + overlay_flips;
     }
+    phase_inject_metric().observe(telemetry::now_us() - t0);
   }
+  cells_metric().add(1);
+  trials_metric().add(point.trials);
   return cell;
 }
 
@@ -288,7 +350,9 @@ GoldenLru::Ptr GoldenLru::get_or_build(
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       future = it->second.future;
       hits_.fetch_add(1, std::memory_order_relaxed);
+      golden_metric("hits_total", "GoldenLru cache hits", variant).add(1);
     } else {
+      golden_metric("misses_total", "GoldenLru cache misses", variant).add(1);
       builder = true;
       owner = ++next_owner_;
       future = promise.get_future().share();
@@ -314,6 +378,9 @@ GoldenLru::Ptr GoldenLru::get_or_build(
         map_.erase(vit);
         lru_.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        golden_metric("evictions_total", "GoldenLru capacity evictions",
+                      victim.variant)
+            .add(1);
       }
     }
   }
@@ -336,6 +403,9 @@ GoldenLru::Ptr GoldenLru::get_or_build(
     }
     if (ptr == nullptr) {
       builds_.fetch_add(1, std::memory_order_relaxed);
+      golden_metric("builds_total", "golden activation builds", variant)
+          .add(1);
+      telemetry::TraceSpan span("golden_build", "campaign");
       ptr = std::make_shared<const GoldenCache>(build());
     }
   } catch (...) {
@@ -419,6 +489,9 @@ void GoldenLru::prime(std::span<const std::int64_t> images, ConvPolicy policy,
         map_.erase(vit);
         lru_.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        golden_metric("evictions_total", "GoldenLru capacity evictions",
+                      victim.variant)
+            .add(1);
       }
     }
   }
@@ -463,6 +536,9 @@ void GoldenLru::prime(std::span<const std::int64_t> images, ConvPolicy policy,
     if (!miss_images.empty()) {
       builds_.fetch_add(static_cast<std::int64_t>(miss_images.size()),
                         std::memory_order_relaxed);
+      golden_metric("builds_total", "golden activation builds", 0)
+          .add(static_cast<std::int64_t>(miss_images.size()));
+      telemetry::TraceSpan span("golden_build_batch", "campaign");
       std::vector<GoldenCache> built = build_batch(miss_images);
       WF_CHECK(built.size() == miss_images.size());
       for (std::size_t j = 0; j < miss_idx.size(); ++j) {
@@ -735,12 +811,17 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   // by prime; execute_cell's get_or_build then hits ready futures. A wave
   // truncated by the cell budget primes only the cells it actually kept.
   std::size_t wave_begin = 0;
+  telemetry::TraceSpan run_span("campaign_run", "campaign");
   for (const std::size_t bound : wave_bounds) {
     const std::size_t wave_end = std::min(bound, units.size());
     if (wave_begin >= wave_end) continue;
+    waves_metric().add(1);
+    telemetry::TraceSpan wave_span("campaign_wave", "campaign");
     const bool cancel_now = spec.cancel != nullptr &&
                             spec.cancel->load(std::memory_order_relaxed);
     if (!cancel_now) {
+      telemetry::TraceSpan prime_span("wave_golden_prime", "campaign");
+      const std::int64_t prime_t0 = telemetry::now_us();
       // Distinct wave images per policy; 3 mirrors `seen[3]` above (the
       // ConvPolicy value count).
       std::array<std::vector<std::int64_t>, 3> wave_images;
@@ -767,7 +848,9 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
           return network_.make_golden_batch(batch, policy);
         });
       }
+      phase_metric("golden_build").observe(telemetry::now_us() - prime_t0);
     }
+    telemetry::TraceSpan exec_span("wave_exec", "campaign");
     parallel_for(static_cast<std::int64_t>(wave_end - wave_begin), threads,
                  [&, wave_begin](std::int64_t w) {
       const std::size_t u = wave_begin + static_cast<std::size_t>(w);
@@ -842,6 +925,19 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
 //      bit-identical to a single-process run (tests/dist_test.cpp).
 CampaignResult CampaignRunner::run_distributed(
     const CampaignSpec& spec) const {
+  telemetry::TraceSpan run_span("campaign_run_distributed", "dist");
+  static telemetry::Counter& claims_metric = telemetry::counter(
+      "winofault_dist_buckets_claimed_total",
+      "cost buckets this process claimed from the board");
+  static telemetry::Counter& steals_metric = telemetry::counter(
+      "winofault_dist_buckets_stolen_total",
+      "stale claims of dead workers taken over");
+  static telemetry::Counter& recovered_metric = telemetry::counter(
+      "winofault_dist_cells_recovered_total",
+      "cells folded in from rival worker segments at assembly");
+  static telemetry::Counter& healed_metric = telemetry::counter(
+      "winofault_dist_cells_healed_total",
+      "cells missing from every segment and re-executed locally");
   const DistOptions& dist = spec.store.dist;
   WF_CHECK(dist.shard_index >= 0 && dist.shard_index < dist.shard_count);
   const std::uint64_t env = env_hash();
@@ -1090,6 +1186,7 @@ CampaignResult CampaignRunner::run_distributed(
         execute_bucket(b);
         board.mark_done(b);
         ++result.stats.dist_buckets_claimed;
+        claims_metric.add(1);
         ++done;
         progressed = true;
       }
@@ -1104,6 +1201,8 @@ CampaignResult CampaignRunner::run_distributed(
           board.mark_done(b);
           ++result.stats.dist_buckets_claimed;
           ++result.stats.dist_buckets_stolen;
+          claims_metric.add(1);
+          steals_metric.add(1);
           progressed = true;
         }
       }
@@ -1132,6 +1231,7 @@ CampaignResult CampaignRunner::run_distributed(
           execute_bucket(b);
           board.mark_done(b);  // best-effort
           ++result.stats.dist_buckets_claimed;
+          claims_metric.add(1);
         }
         break;
       }
@@ -1194,6 +1294,7 @@ CampaignResult CampaignRunner::run_distributed(
   }
   result.stats.dist_cells_recovered =
       static_cast<std::int64_t>(unresolved.size() - missing.size());
+  recovered_metric.add(result.stats.dist_cells_recovered);
   if (!missing.empty()) {
     // Self-heal: a done marker without durable cells (e.g. a segment hit
     // disk-full after its bucket was marked) — execute the gap locally.
@@ -1209,6 +1310,7 @@ CampaignResult CampaignRunner::run_distributed(
       correct[unit.a].fetch_add(cell.correct, std::memory_order_relaxed);
       flips[unit.a].fetch_add(cell.flips, std::memory_order_relaxed);
       ++result.stats.dist_cells_healed;
+      healed_metric.add(1);
     }
   }
   result.stats.dist_cells_executed = executed.load();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 #include "core/store/journal.h"
 
 namespace winofault {
@@ -13,6 +14,13 @@ namespace winofault {
 namespace fs = std::filesystem;
 
 MergeStats merge_campaign_segments(const std::string& dir) {
+  telemetry::TraceSpan span("merge_segments", "dist");
+  static telemetry::Counter& folds_metric = telemetry::counter(
+      "winofault_dist_merge_folds_total",
+      "worker segments folded into a canonical journal");
+  static telemetry::Counter& merged_cells_metric = telemetry::counter(
+      "winofault_dist_merge_cells_total",
+      "cells appended to canonical journals by merges");
   MergeStats stats;
   const std::vector<ResultJournal::SegmentRef> segments =
       ResultJournal::list_segments(dir);
@@ -81,6 +89,7 @@ MergeStats merge_campaign_segments(const std::string& dir) {
           break;
         }
         ++stats.cells_merged;
+        merged_cells_metric.add(1);
       }
       if (unwritable) continue;
       // Durability barrier before retirement: the segment is the only
@@ -95,6 +104,7 @@ MergeStats merge_campaign_segments(const std::string& dir) {
         continue;
       }
       ++stats.segments_merged;
+      folds_metric.add(1);
       std::error_code ec;
       fs::remove(seg->path, ec);
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry/telemetry.h"
+
 namespace winofault {
 
 const char* job_state_name(JobState state) {
@@ -52,6 +54,7 @@ EnqueueResult Scheduler::enqueue(std::shared_ptr<ServiceJob> job) {
           rotation_.end()) {
     rotation_.push_back(job->client);
   }
+  job->enqueued_us = telemetry::now_us();
   queue.push_back(std::move(job));
   ++queued_;
   cv_.notify_one();

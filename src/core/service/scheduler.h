@@ -48,6 +48,11 @@ struct ServiceJob {
   // Read by the campaign's workers (CampaignSpec::cancel).
   std::atomic<bool> cancel{false};
 
+  // Telemetry timestamp (telemetry::now_us at admission): the executor's
+  // queued->running transition observes the difference as the job's
+  // queue latency. Observation-only — never serialized, never hashed.
+  std::int64_t enqueued_us = 0;
+
   mutable std::mutex mu;
   mutable std::condition_variable cv;
   JobState state = JobState::kQueued;

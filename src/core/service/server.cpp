@@ -13,10 +13,20 @@
 #include "common/hash.h"
 #include "common/iofault/iofault.h"
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 #include "core/store/handle_cache.h"
 
 namespace winofault {
 namespace {
+
+// Service-tier job counters: incremented alongside the ServerStats fields
+// (same sites, same values) so the `metrics` verb exposes what stats()
+// already tracks without widening any lock.
+telemetry::Counter& jobs_metric(const char* which, const char* help) {
+  return telemetry::counter(std::string("winofault_service_jobs_") + which +
+                                "_total",
+                            help);
+}
 
 // Writes one protocol line; false when the peer is gone (streamers stop,
 // the job itself keeps running). MSG_NOSIGNAL: a dead client must not
@@ -259,6 +269,9 @@ void ServiceServer::housekeeping_loop() {
     const std::size_t evicted =
         sessions_.evict_idle(options_.session_idle_ttl_ms);
     if (evicted > 0) {
+      telemetry::gauge("winofault_service_sessions_ttl_evicted",
+                       "warm sessions evicted by the idle TTL since start")
+          .add(static_cast<std::int64_t>(evicted));
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.sessions_ttl_evicted += static_cast<std::int64_t>(evicted);
     }
@@ -274,12 +287,25 @@ void ServiceServer::executor_loop() {
       ++job->version;
       job->cv.notify_all();
     }
+    // Queue latency = admission to queued->running, per job. The gauge
+    // keeps the most recent job's latency for at-a-glance scrapes; the
+    // histogram carries the distribution.
+    if (job->enqueued_us > 0) {
+      const std::int64_t waited = telemetry::now_us() - job->enqueued_us;
+      telemetry::histogram("winofault_service_queue_latency_us",
+                           "microseconds jobs spend queued before running")
+          .observe(waited);
+      telemetry::gauge("winofault_service_last_queue_latency_us",
+                       "queue latency of the most recently started job")
+          .set(waited);
+    }
     std::string error;
     std::shared_ptr<ServiceSession> session =
         sessions_.get_or_build(job->env, &error);
     if (session == nullptr) {
       job->finish(JobState::kFailed, CampaignResult(), error);
       retire_job(job->id);
+      jobs_metric("failed", "jobs that terminated with an error").add(1);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_failed;
       continue;
@@ -290,6 +316,7 @@ void ServiceServer::executor_loop() {
       job->finish(JobState::kFailed, CampaignResult(),
                   "environment hash mismatch (client/daemon build skew)");
       retire_job(job->id);
+      jobs_metric("failed", "jobs that terminated with an error").add(1);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_failed;
       continue;
@@ -299,10 +326,17 @@ void ServiceServer::executor_loop() {
       const bool cancelled = job->cancel.load();
       job->finish(cancelled ? JobState::kCancelled : JobState::kDone,
                   std::move(result), cancelled ? "cancelled" : "");
+      if (cancelled) {
+        jobs_metric("cancelled", "jobs cancelled before or during execution")
+            .add(1);
+      } else {
+        jobs_metric("done", "jobs that ran to completion").add(1);
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++(cancelled ? stats_.jobs_cancelled : stats_.jobs_done);
     } catch (const std::exception& e) {
       job->finish(JobState::kFailed, CampaignResult(), e.what());
+      jobs_metric("failed", "jobs that terminated with an error").add(1);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_failed;
     }
@@ -358,6 +392,8 @@ void ServiceServer::handle_connection(Conn* conn) {
       alive = send_line(fd, handle_cancel(*request), sock_tag_);
     } else if (op == "ping") {
       alive = send_line(fd, handle_ping(), sock_tag_);
+    } else if (op == "metrics") {
+      alive = send_line(fd, handle_metrics(), sock_tag_);
     } else if (op == "drain") {
       handle_drain(fd);
     } else {
@@ -418,6 +454,8 @@ void ServiceServer::handle_submit(int fd, const Json& request) {
   for (const std::shared_ptr<ServiceJob>& existing : candidates) {
     const JobState state = existing->snapshot();
     if (state != JobState::kQueued && state != JobState::kRunning) continue;
+    jobs_metric("deduped", "resubmissions answered with an in-flight job")
+        .add(1);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_deduped;
@@ -444,6 +482,8 @@ void ServiceServer::handle_submit(int fd, const Json& request) {
       jobs_.erase(job->id);
     }
     if (admitted == EnqueueResult::kOverloaded) {
+      jobs_metric("rejected", "submissions refused by admission control")
+          .add(1);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.jobs_rejected;
@@ -459,6 +499,7 @@ void ServiceServer::handle_submit(int fd, const Json& request) {
     }
     return;
   }
+  jobs_metric("submitted", "jobs admitted to the scheduler").add(1);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.jobs_submitted;
@@ -591,6 +632,8 @@ Json ServiceServer::handle_cancel(const Json& request) {
   }
   if (cancelled_queued) {
     retire_job(job->id);
+    jobs_metric("cancelled", "jobs cancelled before or during execution")
+        .add(1);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.jobs_cancelled;
   }
@@ -618,6 +661,32 @@ Json ServiceServer::handle_ping() {
   response.set("jobs_rejected", Json::integer(snapshot.jobs_rejected));
   response.set("sessions_ttl_evicted",
                Json::integer(snapshot.sessions_ttl_evicted));
+  return response;
+}
+
+Json ServiceServer::handle_metrics() {
+  // Scrape-time gauges: sampled here rather than maintained incrementally,
+  // so the reply always reflects the daemon's state at the moment of the
+  // request. Everything else in the exposition (counters, histograms) is
+  // maintained at the instrumented sites across all five tiers.
+  telemetry::gauge("winofault_service_jobs_queued",
+                   "jobs waiting in the scheduler")
+      .set(static_cast<std::int64_t>(scheduler_.queued()));
+  telemetry::gauge("winofault_service_sessions_active",
+                   "warm model sessions resident in the daemon")
+      .set(static_cast<std::int64_t>(sessions_.size()));
+  telemetry::gauge("winofault_service_draining",
+                   "1 while the daemon is draining, else 0")
+      .set(draining_.load() ? 1 : 0);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    telemetry::gauge("winofault_service_jobs_tracked",
+                     "jobs retained for status/results queries")
+        .set(static_cast<std::int64_t>(jobs_.size()));
+  }
+  Json response = make_ok_response();
+  response.set("format", Json::str("prometheus-text-0.0.4"));
+  response.set("metrics", Json::str(telemetry::prometheus_text()));
   return response;
 }
 

@@ -130,6 +130,7 @@ class ServiceServer {
   Json handle_status(const Json& request);
   Json handle_cancel(const Json& request);
   Json handle_ping();
+  Json handle_metrics();
   void handle_drain(int fd);
   void stream_job(int fd, const std::shared_ptr<ServiceJob>& job);
 

@@ -12,9 +12,20 @@
 #include "common/hash.h"
 #include "common/iofault/iofault.h"
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 
 namespace winofault {
 namespace {
+
+// Store-tier telemetry labels, split per golden variant like the
+// campaign-tier golden series (0 = clean silicon).
+std::string shard_variant_labels(std::uint64_t variant) {
+  if (variant == 0) return "variant=\"clean\"";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "variant=\"%016llx\"",
+                static_cast<unsigned long long>(variant));
+  return buf;
+}
 
 constexpr std::uint32_t kCodecVersion = 1;
 constexpr std::uint64_t kShardMagic = 0x5747534600000001ULL;  // "WGSF" v1
@@ -314,6 +325,13 @@ void GoldenStore::save_impl(std::int64_t image, ConvPolicy policy,
         if (!ec) {
           index_.push_back(ShardRef{path, total});
           spills_.fetch_add(1, std::memory_order_relaxed);
+          telemetry::counter("winofault_store_shard_spills_total",
+                             "golden shards spilled to disk",
+                             shard_variant_labels(variant))
+              .add(1);
+          telemetry::counter("winofault_store_shard_write_bytes_total",
+                             "bytes written as golden shards")
+              .add(static_cast<std::int64_t>(total));
           in_flight_.erase(path);
           published = true;
         }
@@ -391,6 +409,9 @@ std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
     WF_WARN << "golden store: quarantining corrupt shard " << path;
     rejects_.fetch_add(1, std::memory_order_relaxed);
     quarantines_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("winofault_store_shard_quarantines_total",
+                       "corrupt shards quarantined at restore")
+        .add(1);
     std::lock_guard<std::mutex> lock(mu_);
     std::error_code ec;
     iofault::checked_rename(path, path + ".quarantine", ec);
@@ -405,6 +426,13 @@ std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
     return std::nullopt;
   }
   restores_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter("winofault_store_shard_restores_total",
+                     "golden shards restored from disk",
+                     shard_variant_labels(variant))
+      .add(1);
+  telemetry::counter("winofault_store_shard_read_bytes_total",
+                     "bytes read back from golden shards")
+      .add(static_cast<std::int64_t>(sizeof(ShardHeader) + payload.size()));
   return golden;
 }
 

@@ -7,9 +7,25 @@
 #include "common/hash.h"
 #include "common/iofault/iofault.h"
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 
 namespace winofault {
 namespace {
+
+// Store-tier telemetry: journal append volume (records and bytes). Cached
+// references — appends sit on the campaign hot path.
+telemetry::Counter& journal_appends_metric() {
+  static telemetry::Counter& c = telemetry::counter(
+      "winofault_store_journal_appends_total",
+      "result cells appended to journals and segments");
+  return c;
+}
+telemetry::Counter& journal_bytes_metric() {
+  static telemetry::Counter& c = telemetry::counter(
+      "winofault_store_journal_write_bytes_total",
+      "bytes of journal/segment records appended");
+  return c;
+}
 
 constexpr std::uint64_t kJournalMagic = 0x574a4c4600000001ULL;  // "WJLF" v1
 
@@ -278,6 +294,8 @@ void ResultJournal::append(const JournalCell& cell) {
   // A kill after this point loses nothing.
   cells_[journal_cell_key(cell.point_hash, cell.image)] = cell;
   ++appended_;
+  journal_appends_metric().add(1);
+  journal_bytes_metric().add(sizeof(RawRecord));
 }
 
 bool ResultJournal::sync() {

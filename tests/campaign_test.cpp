@@ -7,17 +7,24 @@
 //   (c) results are independent of the thread count;
 //   (d) the destruction short-circuit triggers strictly above
 //       max_expected_flips and simulates at or below it;
-//   (e) `trials` plumbs through the sweep/layerwise/explorer spec builders.
+//   (e) `trials` plumbs through the sweep/layerwise/explorer spec builders;
+//   (f) telemetry is observation-only: tracing on, off, or toggled
+//       mid-grid never changes a single result bit.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <thread>
 #include <cstdlib>
 
+#include "common/telemetry/telemetry.h"
 #include "core/analysis/layer_vulnerability.h"
 #include "core/analysis/network_sweep.h"
 #include "core/campaign/campaign.h"
 #include "core/energy/voltage_explorer.h"
+#include "core/service/protocol.h"
 #include "core/store/hash.h"
 #include "fault/fault_model.h"
 #include "nn/models/zoo.h"
@@ -383,6 +390,65 @@ TEST(Campaign, FaultModelJoinsCampaignPointHash) {
   CampaignPoint explicit_default = point;
   explicit_default.fault.model = *FaultModelSpec::parse("flip@op");
   EXPECT_EQ(campaign_point_hash(explicit_default), base_hash);
+}
+
+// ---- (f) telemetry is observation-only ----
+
+// The determinism contract of common/telemetry: the same grid run with
+// tracing off, tracing on, and tracing toggled between runs produces
+// bit-identical results, and the trace file is well-formed JSON.
+TEST(Campaign, TelemetryTracingPreservesBitIdentity) {
+  const Fixture f = make_fixture(8);
+  CampaignSpec spec;
+  spec.points = mixed_grid();
+
+  telemetry::set_trace_path("");  // ensure a clean off baseline
+  const CampaignResult untraced = run_campaign(f.net, f.data, spec);
+
+  const std::string trace_path =
+      ::testing::TempDir() + "winofault_campaign_trace.json";
+  std::filesystem::remove(trace_path);
+  telemetry::set_trace_path(trace_path);
+  const CampaignResult traced = run_campaign(f.net, f.data, spec);
+  telemetry::flush_trace();
+  telemetry::set_trace_path("");
+  const CampaignResult toggled = run_campaign(f.net, f.data, spec);
+
+  ASSERT_EQ(untraced.points.size(), traced.points.size());
+  ASSERT_EQ(untraced.points.size(), toggled.points.size());
+  for (std::size_t p = 0; p < untraced.points.size(); ++p) {
+    EXPECT_DOUBLE_EQ(untraced.points[p].accuracy, traced.points[p].accuracy);
+    EXPECT_DOUBLE_EQ(untraced.points[p].avg_flips,
+                     traced.points[p].avg_flips);
+    EXPECT_DOUBLE_EQ(untraced.points[p].accuracy,
+                     toggled.points[p].accuracy);
+    EXPECT_DOUBLE_EQ(untraced.points[p].avg_flips,
+                     toggled.points[p].avg_flips);
+  }
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<Json> doc = Json::parse(buffer.str());
+  ASSERT_TRUE(doc.has_value());
+  const Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // The campaign run emits wave + cell spans; at least one of each tier.
+  bool saw_wave = false, saw_cell = false;
+  for (const Json& event : events->elements()) {
+    const Json* name = event.find("name");
+    if (name == nullptr) continue;
+    if (name->as_string() == "campaign_wave") saw_wave = true;
+    if (name->as_string() == "cell_replay" ||
+        name->as_string() == "cell_inject") {
+      saw_cell = true;
+    }
+  }
+  EXPECT_TRUE(saw_wave);
+  EXPECT_TRUE(saw_cell);
+  std::filesystem::remove(trace_path);
 }
 
 }  // namespace

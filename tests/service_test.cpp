@@ -30,6 +30,7 @@
 
 #include "common/iofault/iofault.h"
 #include "common/rng.h"
+#include "common/telemetry/telemetry.h"
 #include "core/campaign/campaign.h"
 #include "core/service/client.h"
 #include "core/service/protocol.h"
@@ -798,6 +799,75 @@ TEST(Service, RetryAfterMidStreamDropDedupsOntoTheRunningJob) {
   EXPECT_GE(outcome.attempts, 2);
   EXPECT_EQ(ts.server->stats().jobs_deduped, 1);
   EXPECT_EQ(ts.server->stats().jobs_submitted, 1);
+}
+
+// ---- (g) telemetry: metrics verb + observation-only contract ----
+
+// The daemon's `metrics` verb serves the cross-tier registry in Prometheus
+// text exposition, and running it with tracing enabled changes no result
+// bit. After a stored submission the exposition must span the pool,
+// campaign, golden, store, and service tiers with well over 20 distinct
+// series (the acceptance bar).
+TEST(Service, MetricsVerbServesCrossTierPrometheusText) {
+  const Fixture f = make_fixture();
+  CampaignSpec spec;
+  spec.points = small_grid();
+  spec.threads = 2;  // engage the pool tier even on a 1-core runner
+  const CampaignResult direct = run_campaign(f.net, f.data, spec);
+
+  const std::string dir = fresh_dir("metrics_verb");
+  const std::string trace_path = dir + "/trace.json";
+  telemetry::set_trace_path(trace_path);
+  TestServer ts(dir);
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+
+  CampaignSpec stored = spec;
+  stored.store.dir = dir + "/store";
+  const auto outcome =
+      client.submit_and_wait("test", test_env(), stored);
+  telemetry::set_trace_path("");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  expect_same_results(direct, outcome.result);
+
+  Json request = Json::object();
+  request.set("op", Json::str("metrics"));
+  ServiceClient scrape;
+  ASSERT_TRUE(scrape.connect(ts.socket_path, &error)) << error;
+  const std::optional<Json> response = scrape.request(request, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  const Json* ok = response->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->as_bool(false));
+  const Json* metrics = response->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const std::string& text = metrics->as_string();
+
+  // One representative series per tier.
+  EXPECT_NE(text.find("winofault_pool_jobs_total"), std::string::npos);
+  EXPECT_NE(text.find("winofault_campaign_waves_total"), std::string::npos);
+  EXPECT_NE(text.find("winofault_golden_builds_total"), std::string::npos);
+  EXPECT_NE(text.find("winofault_store_journal_appends_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("winofault_service_jobs_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("winofault_service_queue_latency_us"),
+            std::string::npos);
+  EXPECT_NE(text.find("winofault_service_jobs_queued"), std::string::npos);
+  EXPECT_NE(text.find("winofault_service_sessions_active"),
+            std::string::npos);
+
+  // Distinct series = non-comment exposition lines.
+  std::size_t series_lines = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start && text[start] != '#') ++series_lines;
+    start = end + 1;
+  }
+  EXPECT_GE(series_lines, 20u);
 }
 
 }  // namespace

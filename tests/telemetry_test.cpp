@@ -1,0 +1,202 @@
+// Telemetry registry + trace-span guarantees (common/telemetry):
+//   (a) counter/gauge/histogram aggregation is exact under the
+//       work-stealing pool — relaxed atomics lose nothing;
+//   (b) get-or-create returns stable references: the same (name, labels)
+//       pair is the same series, different labels are different series,
+//       and reset_for_test() zeroes values without invalidating anything;
+//   (c) prometheus_text() renders well-formed exposition: HELP/TYPE per
+//       name, histogram _bucket/_sum/_count with monotone cumulative
+//       counts;
+//   (d) trace files are valid JSON (parsed with the service protocol's
+//       parser) whose events carry name/ph/ts/dur, and tracing toggled
+//       on/off never touches metric values.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/parallel.h"
+#include "common/telemetry/telemetry.h"
+#include "core/service/protocol.h"
+
+namespace winofault {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { telemetry::reset_for_test(); }
+  void TearDown() override {
+    telemetry::set_trace_path("");  // stop tracing between tests
+    telemetry::reset_for_test();
+  }
+};
+
+TEST_F(TelemetryTest, CounterExactUnderPool) {
+  telemetry::Counter& c =
+      telemetry::counter("test_pool_adds_total", "test counter");
+  constexpr std::int64_t kN = 100000;
+  parallel_for(kN, 4, [&](std::int64_t) { c.add(1); });
+  EXPECT_EQ(c.value(), kN);
+}
+
+TEST_F(TelemetryTest, HistogramExactUnderPool) {
+  telemetry::Histogram& h =
+      telemetry::histogram("test_pool_obs_us", "test histogram");
+  constexpr std::int64_t kN = 50000;
+  // Observation i contributes i: count and sum must both be exact.
+  parallel_for(kN, 4, [&](std::int64_t i) { h.observe(i); });
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_EQ(h.sum(), kN * (kN - 1) / 2);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(kN - 1) / 2.0);
+  // Cumulative bucket counts are monotone and end at count().
+  std::int64_t prev = 0;
+  for (int b = 0; b < telemetry::Histogram::kBuckets; ++b) {
+    const std::int64_t cum = h.cumulative(b);
+    EXPECT_GE(cum, prev);
+    prev = cum;
+  }
+  EXPECT_EQ(prev, kN);
+}
+
+TEST_F(TelemetryTest, GaugeSetAndAdd) {
+  telemetry::Gauge& g = telemetry::gauge("test_gauge", "test gauge");
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 40);
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST_F(TelemetryTest, SameSeriesSameReferenceDistinctLabelsDistinct) {
+  telemetry::Counter& a =
+      telemetry::counter("test_labeled_total", "help", "k=\"a\"");
+  telemetry::Counter& a2 =
+      telemetry::counter("test_labeled_total", "help", "k=\"a\"");
+  telemetry::Counter& b =
+      telemetry::counter("test_labeled_total", "help", "k=\"b\"");
+  EXPECT_EQ(&a, &a2);
+  EXPECT_NE(&a, &b);
+  a.add(3);
+  b.add(5);
+  EXPECT_EQ(a2.value(), 3);
+  EXPECT_EQ(b.value(), 5);
+}
+
+TEST_F(TelemetryTest, ResetZeroesValuesKeepsReferences) {
+  telemetry::Counter& c = telemetry::counter("test_reset_total", "help");
+  telemetry::Gauge& g = telemetry::gauge("test_reset_gauge", "help");
+  telemetry::Histogram& h = telemetry::histogram("test_reset_us", "help");
+  c.add(9);
+  g.set(9);
+  h.observe(9);
+  telemetry::reset_for_test();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  // The references survive the reset: the next event lands in the same
+  // series (this is what makes function-local static caching safe in
+  // long-lived test processes).
+  c.add(2);
+  EXPECT_EQ(c.value(), 2);
+  EXPECT_EQ(telemetry::counter("test_reset_total", "help").value(), 2);
+}
+
+TEST_F(TelemetryTest, PrometheusTextWellFormed) {
+  telemetry::counter("test_expo_total", "a test counter", "k=\"a\"").add(2);
+  telemetry::counter("test_expo_total", "a test counter", "k=\"b\"").add(3);
+  telemetry::gauge("test_expo_gauge", "a test gauge").set(-4);
+  telemetry::Histogram& h =
+      telemetry::histogram("test_expo_us", "a test histogram");
+  h.observe(1);
+  h.observe(100);
+  const std::string text = telemetry::prometheus_text();
+
+  EXPECT_NE(text.find("# HELP test_expo_total a test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_total{k=\"a\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_total{k=\"b\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_gauge -4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_us_sum 101"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  // One HELP line per metric name, not per series.
+  std::size_t helps = 0;
+  for (std::size_t at = text.find("# HELP test_expo_total");
+       at != std::string::npos;
+       at = text.find("# HELP test_expo_total", at + 1)) {
+    ++helps;
+  }
+  EXPECT_EQ(helps, 1u);
+}
+
+TEST_F(TelemetryTest, TraceFileIsValidJsonWithCompleteEvents) {
+  const std::string path =
+      ::testing::TempDir() + "winofault_telemetry_trace.json";
+  fs::remove(path);
+  telemetry::set_trace_path(path);
+  EXPECT_TRUE(telemetry::tracing_enabled());
+  {
+    telemetry::TraceSpan outer("outer_span", "test");
+    telemetry::TraceSpan inner("inner_span", "test");
+  }
+  parallel_for(8, 2, [&](std::int64_t) {
+    telemetry::TraceSpan span("pooled_span", "test");
+  });
+  telemetry::flush_trace();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<Json> doc = Json::parse(buffer.str());
+  ASSERT_TRUE(doc.has_value());
+  const Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  const std::vector<Json>& items = events->elements();
+  ASSERT_GE(items.size(), 10u);  // 2 scoped + 8 pooled
+  std::size_t outer_seen = 0, pooled_seen = 0;
+  for (const Json& event : items) {
+    const Json* name = event.find("name");
+    const Json* ph = event.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->as_string(), "X");
+    EXPECT_NE(event.find("ts"), nullptr);
+    EXPECT_NE(event.find("dur"), nullptr);
+    EXPECT_NE(event.find("tid"), nullptr);
+    if (name->as_string() == "outer_span") ++outer_seen;
+    if (name->as_string() == "pooled_span") ++pooled_seen;
+  }
+  EXPECT_EQ(outer_seen, 1u);
+  EXPECT_EQ(pooled_seen, 8u);
+  telemetry::set_trace_path("");
+  fs::remove(path);
+}
+
+TEST_F(TelemetryTest, TracingToggleNeverTouchesMetrics) {
+  telemetry::Counter& c = telemetry::counter("test_toggle_total", "help");
+  c.add(1);
+  const std::string path =
+      ::testing::TempDir() + "winofault_telemetry_toggle.json";
+  telemetry::set_trace_path(path);
+  { telemetry::TraceSpan span("toggle_span", "test"); }
+  telemetry::set_trace_path("");
+  { telemetry::TraceSpan span("untraced_span", "test"); }
+  EXPECT_FALSE(telemetry::tracing_enabled());
+  EXPECT_EQ(c.value(), 1);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace winofault

@@ -6,9 +6,13 @@
 //   winofault-cli --socket PATH status JOB
 //   winofault-cli --socket PATH cancel JOB
 //   winofault-cli --socket PATH drain
+//   winofault-cli --socket PATH stats [--raw]
 //
-// Every response is echoed as its raw JSON line; the exit code is 0 when
-// the daemon answered ok:true, 1 otherwise.
+// `stats` fetches the daemon's `metrics` verb (the cross-tier telemetry
+// registry) and renders it as a table; --raw prints the Prometheus
+// text exposition verbatim, suitable for piping into a scrape file.
+// Every other response is echoed as its raw JSON line; the exit code is 0
+// when the daemon answered ok:true, 1 otherwise.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,9 +23,48 @@
 namespace {
 
 void usage(const char* prog, std::FILE* to) {
-  std::fprintf(to,
-               "usage: %s --socket PATH <ping|drain|status JOB|cancel JOB>\n",
-               prog);
+  std::fprintf(
+      to,
+      "usage: %s --socket PATH "
+      "<ping|drain|stats [--raw]|status JOB|cancel JOB>\n",
+      prog);
+}
+
+// Renders a Prometheus text exposition as a plain table: one section per
+// metric (name + help from the # HELP line), one row per series. Histogram
+// _bucket series are elided — the _sum/_count pair carries the summary —
+// so the table stays scannable; --raw has the full distribution.
+void print_metrics_table(const std::string& text) {
+  std::string help;
+  std::size_t start = 0;
+  bool first = true;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t name_end = line.find(' ', 7);
+      const std::string name =
+          name_end == std::string::npos ? line.substr(7)
+                                        : line.substr(7, name_end - 7);
+      help = name_end == std::string::npos ? std::string()
+                                           : line.substr(name_end + 1);
+      std::printf("%s%s%s%s\n", first ? "" : "\n", name.c_str(),
+                  help.empty() ? "" : " — ", help.c_str());
+      first = false;
+      continue;
+    }
+    if (line[0] == '#') continue;  // TYPE
+    // Series line: `name{labels} value` or `name value`.
+    const std::size_t value_at = line.rfind(' ');
+    if (value_at == std::string::npos) continue;
+    const std::string series = line.substr(0, value_at);
+    if (series.find("_bucket{") != std::string::npos) continue;
+    std::printf("  %-58s %s\n", series.c_str(),
+                line.c_str() + value_at + 1);
+  }
 }
 
 }  // namespace
@@ -33,6 +76,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string verb;
   std::string job;
+  bool raw = false;
   const char* prog = argc > 0 ? argv[0] : "winofault-cli";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
@@ -40,7 +84,9 @@ int main(int argc, char** argv) {
       usage(prog, stdout);
       return 0;
     }
-    if (std::strcmp(argv[i], "--socket") == 0) {
+    if (std::strcmp(argv[i], "--raw") == 0) {
+      raw = true;
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: --socket requires a value\n", prog);
         return 2;
@@ -67,9 +113,13 @@ int main(int argc, char** argv) {
                  prog, verb.c_str());
     return 2;
   }
-  if (verb != "ping" && verb != "drain" && !needs_job) {
+  if (verb != "ping" && verb != "drain" && verb != "stats" && !needs_job) {
     std::fprintf(stderr, "%s: unknown verb '%s'\n", prog, verb.c_str());
     usage(prog, stderr);
+    return 2;
+  }
+  if (raw && verb != "stats") {
+    std::fprintf(stderr, "%s: --raw only applies to 'stats'\n", prog);
     return 2;
   }
 
@@ -80,7 +130,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   Json request = Json::object();
-  request.set("op", Json::str(verb));
+  request.set("op", Json::str(verb == "stats" ? "metrics" : verb.c_str()));
   if (!job.empty()) request.set("job", Json::str(job));
   if (verb == "status") request.set("wait", Json::boolean(false));
   const std::optional<Json> response = client.request(request, &error);
@@ -88,7 +138,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
     return 1;
   }
-  std::printf("%s\n", response->dump().c_str());
   const Json* ok = response->find("ok");
-  return ok != nullptr && ok->as_bool(false) ? 0 : 1;
+  const bool answered_ok = ok != nullptr && ok->as_bool(false);
+  if (verb == "stats" && answered_ok) {
+    const Json* metrics = response->find("metrics");
+    const std::string text =
+        metrics != nullptr ? metrics->as_string() : std::string();
+    if (raw) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      print_metrics_table(text);
+    }
+    return 0;
+  }
+  std::printf("%s\n", response->dump().c_str());
+  return answered_ok ? 0 : 1;
 }
