@@ -185,8 +185,11 @@ int main(int argc, char** argv) {
       "microseconds jobs spend queued before running");
   const double queue_latency_ms =
       queue_hist.count() > 0 ? queue_hist.mean() / 1e3 : 0.0;
-  std::printf("mean queue latency: %.3f ms over %lld job(s)\n",
-              queue_latency_ms, static_cast<long long>(queue_hist.count()));
+  const double queue_latency_p95_ms =
+      queue_hist.count() > 0 ? queue_hist.quantile(0.95) / 1e3 : 0.0;
+  std::printf("mean queue latency: %.3f ms (p95 %.3f ms) over %lld job(s)\n",
+              queue_latency_ms, queue_latency_p95_ms,
+              static_cast<long long>(queue_hist.count()));
 
   const double warm_speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
   const double replay_speedup =
@@ -214,6 +217,7 @@ int main(int argc, char** argv) {
       .field("warm_speedup", warm_speedup)
       .field("stored_replay_speedup", replay_speedup)
       .field("queue_latency_ms", queue_latency_ms, 3)
+      .field("queue_latency_p95_ms", queue_latency_p95_ms, 3)
       .field("cold_golden_builds", cold_stats.golden_builds)
       .field("warm_golden_builds", warm_stats.golden_builds)
       .field("warm_golden_hits", warm_stats.golden_hits)

@@ -14,6 +14,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/telemetry/events.h"
 #include "common/telemetry/telemetry.h"
 
 namespace winofault::iofault {
@@ -327,6 +328,17 @@ Decision FaultSchedule::decide(OpClass op, const std::string& path) {
                      injection.path.c_str());
         std::fclose(f);
       }
+    }
+    if (telemetry::events_enabled()) {
+      // Flight-recorder mirror of the injection; the byte-frozen
+      // WINOFAULT_CHAOS_LOG format above stays the replay-diff source of
+      // truth, this just places the fault on the event timeline.
+      telemetry::emit_event("chaos_injected",
+                            {{"fault", fault_name(rule.fault)},
+                             {"op", op_class_name(op)},
+                             {"path", path}},
+                            {{"rule", static_cast<std::int64_t>(i)},
+                             {"match", rule.matches}});
     }
     WF_WARN << "iofault: injecting " << fault_name(rule.fault) << " into "
             << op_class_name(op) << " " << path << " (rule " << i

@@ -1,0 +1,49 @@
+// Structured event log — the "why" channel of the flight recorder. While
+// metrics (telemetry.h) answer "how much" and trace spans answer "how
+// long", the event log records discrete lifecycle facts: which job was
+// submitted/finished, which warm session was evicted and why, which golden
+// shard was quarantined, which chaos rule fired, which dist bucket was
+// stolen or healed. One NDJSON line per event, appended to the file named
+// by WINOFAULT_EVENTS=path (or set_events_path).
+//
+// OBSERVATION-ONLY, like everything in common/telemetry: event IO uses
+// plain stdio and never routes through the iofault shims — an injected
+// fault in the recorder would perturb the chaos schedule's match ordinals
+// and break the byte-identity it exists to document. Nothing reads events
+// back into any computation; outputs are byte-identical with the recorder
+// on, off, or toggled mid-run (asserted by tests and the CI fig1 smoke).
+//
+// Line shape (stable keys, schema documented in this directory's README):
+//   {"ts_ms":<wall epoch millis>,"pid":<pid>,"event":"<type>",...fields}
+// String fields are JSON-escaped; integer fields are raw. Events from
+// multiple threads serialize under one mutex, so lines never interleave.
+//
+// Call sites guard with events_enabled() — one relaxed load when the
+// recorder is off — before building field values.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+namespace winofault::telemetry {
+
+// True when an event sink is configured (WINOFAULT_EVENTS=path, or
+// set_events_path). One relaxed load — the off-path budget.
+bool events_enabled();
+
+// Installs (or clears, with "") the event sink. Overrides WINOFAULT_EVENTS.
+// Test seam and daemon hook; the file is opened lazily on the first emit
+// and appended to (an existing log grows — restarts keep history).
+void set_events_path(const std::string& path);
+
+// Appends one event line. `type` names the lifecycle transition (e.g.
+// "job_done", "session_evicted"); `fields` and `nums` become string and
+// integer JSON members in call order. No-op without a sink.
+void emit_event(
+    const char* type,
+    std::initializer_list<std::pair<const char*, std::string>> fields = {},
+    std::initializer_list<std::pair<const char*, std::int64_t>> nums = {});
+
+}  // namespace winofault::telemetry

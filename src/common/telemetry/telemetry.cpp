@@ -141,10 +141,51 @@ class Registry {
             std::snprintf(line, sizeof(line), " %lld\n",
                           static_cast<long long>(h.count()));
             out += s->name + "_count" + brace + line;
+            // Estimated quantiles as untyped convenience series — what the
+            // `top` dashboard and latency gates read without reconstructing
+            // buckets client-side.
+            static constexpr struct { const char* suffix; double q; }
+                kQuantiles[] = {{"_p50", 0.50}, {"_p95", 0.95},
+                                {"_p99", 0.99}};
+            for (const auto& [suffix, q] : kQuantiles) {
+              std::snprintf(line, sizeof(line), " %.6g\n", h.quantile(q));
+              out += s->name + suffix + brace + line;
+            }
             break;
           }
         }
       }
+    }
+    return out;
+  }
+
+  std::vector<SeriesSample> snapshot_values() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SeriesSample> out;
+    out.reserve(series_.size());
+    for (const std::unique_ptr<Series>& s : series_) {
+      SeriesSample sample;
+      sample.name = s->name;
+      sample.labels = s->labels;
+      switch (s->type) {
+        case MetricType::kCounter:
+          sample.type = 'c';
+          sample.value = s->counter->value();
+          break;
+        case MetricType::kGauge:
+          sample.type = 'g';
+          sample.value = s->gauge->value();
+          break;
+        case MetricType::kHistogram:
+          sample.type = 'h';
+          sample.value = s->histogram->count();
+          sample.sum = s->histogram->sum();
+          sample.p50 = s->histogram->quantile(0.50);
+          sample.p95 = s->histogram->quantile(0.95);
+          sample.p99 = s->histogram->quantile(0.99);
+          break;
+      }
+      out.push_back(std::move(sample));
     }
     return out;
   }
@@ -205,17 +246,28 @@ struct TraceEvent {
 // One buffer per thread. The owning thread appends under the buffer's own
 // mutex (uncontended in steady state — flush is the only other party), so
 // events survive both thread exit and a mid-run flush without races.
+// `flushed` counts events already written to the current sink file;
+// incremental flushes only emit events past it.
 struct ThreadBuffer {
   std::mutex mu;
   std::uint32_t tid = 0;
   std::vector<TraceEvent> events;
+  std::size_t flushed = 0;
 };
 
 struct TraceState {
-  std::mutex mu;  // guards path and buffer registration
+  std::mutex mu;  // guards path, buffer registration, and the sink below
   std::string path;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   std::uint32_t next_tid = 1;
+  // Incremental sink: the open file, the path it serves, the byte offset
+  // of the closing "\n]}\n" (each flush seeks back here, appends only new
+  // events, and re-finalizes — the file is valid JSON after every flush),
+  // and whether any event has been written (comma placement).
+  std::FILE* sink = nullptr;
+  std::string sink_path;
+  std::int64_t sink_tail = 0;
+  bool sink_has_events = false;
 };
 
 std::atomic<bool> g_tracing{false};
@@ -318,6 +370,31 @@ std::int64_t Histogram::cumulative(int bucket) const {
   return total;
 }
 
+double Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  std::int64_t before = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const std::int64_t through = before + in_bucket;
+    if (static_cast<double>(through) >= target) {
+      const double lo =
+          b == 0 ? 0.0 : static_cast<double>(bucket_bound(b - 1));
+      if (b == kBuckets - 1) return lo;  // +Inf bucket: lower bound
+      const double hi = static_cast<double>(bucket_bound(b));
+      const double frac = (target - static_cast<double>(before)) /
+                          static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    before = through;
+  }
+  return static_cast<double>(bucket_bound(kBuckets - 2));
+}
+
 Counter& counter(const std::string& name, const std::string& help,
                  const std::string& labels) {
   return *Registry::instance()
@@ -340,6 +417,10 @@ Histogram& histogram(const std::string& name, const std::string& help,
 }
 
 std::string prometheus_text() { return Registry::instance().render(); }
+
+std::vector<SeriesSample> snapshot() {
+  return Registry::instance().snapshot_values();
+}
 
 void reset_for_test() { Registry::instance().reset_values(); }
 
@@ -366,33 +447,61 @@ std::int64_t now_us() {
 
 void flush_trace() {
   TraceState& state = trace_state();
-  std::string path;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  {
-    std::lock_guard<std::mutex> lock(state.mu);
-    path = state.path;
-    buffers = state.buffers;
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.path.empty()) {
+    // Sink cleared: the file was finalized by the last flush — just close.
+    if (state.sink != nullptr) {
+      std::fclose(state.sink);
+      state.sink = nullptr;
+      state.sink_path.clear();
+    }
+    return;
   }
-  if (path.empty()) return;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return;
+  if (state.sink != nullptr && state.sink_path != state.path) {
+    std::fclose(state.sink);  // already valid JSON from its last flush
+    state.sink = nullptr;
+  }
+  if (state.sink == nullptr) {
+    std::FILE* f = std::fopen(state.path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+    state.sink = f;
+    state.sink_path = state.path;
+    state.sink_tail = std::ftell(f);
+    state.sink_has_events = false;
+    // A fresh sink starts from the beginning of every buffer, so a path
+    // change carries the full history into the new file.
+    for (const std::shared_ptr<ThreadBuffer>& buffer : state.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->flushed = 0;
+    }
+  }
+  // Seek back over the previous finalization and append only the events
+  // each buffer gained since its last flush.
+  std::FILE* f = state.sink;
+  if (std::fseek(f, static_cast<long>(state.sink_tail), SEEK_SET) != 0) {
+    return;
+  }
   const long long pid = static_cast<long long>(::getpid());
-  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
-  bool first = true;
-  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
-    for (const TraceEvent& e : buffer->events) {
+  for (const std::shared_ptr<ThreadBuffer>& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (std::size_t i = buffer->flushed; i < buffer->events.size(); ++i) {
+      const TraceEvent& e = buffer->events[i];
       std::fprintf(f,
                    "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
                    "\"ts\":%lld,\"dur\":%lld,\"pid\":%lld,\"tid\":%u}",
-                   first ? "" : ",", e.name, e.cat,
+                   state.sink_has_events ? "," : "", e.name, e.cat,
                    static_cast<long long>(e.ts_us),
                    static_cast<long long>(e.dur_us), pid, buffer->tid);
-      first = false;
+      state.sink_has_events = true;
     }
+    buffer->flushed = buffer->events.size();
   }
+  state.sink_tail = std::ftell(f);
+  // Finalize: the closing bytes are constant, so the next flush's appends
+  // always reach past them — no truncation needed.
   std::fputs("\n]}\n", f);
-  std::fclose(f);
+  std::fflush(f);
 }
 
 TraceSpan::TraceSpan(const char* name, const char* cat)

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace winofault::telemetry {
 
@@ -83,6 +84,13 @@ class Histogram {
   static std::int64_t bucket_bound(int bucket) {
     return std::int64_t{1} << bucket;
   }
+  // Estimated q-quantile (0 < q <= 1) by linear interpolation inside the
+  // log2 bucket holding the target rank; 0 when empty. Observations
+  // landing in the +Inf bucket report that bucket's lower bound (the
+  // Prometheus histogram_quantile convention). Coarse — bucket bounds
+  // double — but monotone in q and exact at bucket edges, which is all the
+  // p50/p95/p99 dashboard lines need.
+  double quantile(double q) const;
   void reset();  // test seam
 
  private:
@@ -107,8 +115,28 @@ Histogram& histogram(const std::string& name, const std::string& help,
 
 // Renders every registered series in Prometheus text-exposition format:
 // one # HELP / # TYPE pair per metric name (registration order, stable),
-// then each series. Histograms render _bucket{le=...}/_sum/_count.
+// then each series. Histograms render _bucket{le=...}/_sum/_count plus
+// estimated _p50/_p95/_p99 quantile lines (untyped convenience series for
+// dashboards; see Histogram::quantile for the estimation contract).
 std::string prometheus_text();
+
+// One registered series captured at a point in time — the unit of the
+// daemon's history ring. Histograms are summarized (count, sum, and the
+// three dashboard quantiles) rather than carried bucket-by-bucket so a
+// deep ring of full-registry samples stays small.
+struct SeriesSample {
+  std::string name;    // Prometheus metric name
+  std::string labels;  // label body without braces; empty when unlabeled
+  char type = 'c';     // 'c' counter, 'g' gauge, 'h' histogram
+  std::int64_t value = 0;  // counter/gauge value; histogram count
+  std::int64_t sum = 0;    // histogram sum; 0 otherwise
+  double p50 = 0, p95 = 0, p99 = 0;  // histogram quantiles; 0 otherwise
+};
+
+// Captures every registered series (registration order, stable across
+// calls). The values of different series are read without a global
+// barrier — relaxed per-series reads, same contract as a metrics scrape.
+std::vector<SeriesSample> snapshot();
 
 // Test seam: zeroes every registered value (objects stay alive, so cached
 // references in instrumented code remain valid).
@@ -124,10 +152,13 @@ bool tracing_enabled();
 // events already buffered are kept. Test seam and daemon hook.
 void set_trace_path(const std::string& path);
 
-// Writes every buffered event to the trace path as one valid Chrome
-// trace-event JSON document ({"traceEvents":[...]}), replacing the file.
-// Safe to call at any time (mid-run flushes include spans closed so far);
-// also runs automatically at process exit. No-op without a sink.
+// Appends events buffered since the previous flush to the trace path and
+// re-finalizes it, so the file is one valid Chrome trace-event JSON
+// document ({"traceEvents":[...]}) after every call — O(new events) per
+// flush, not O(all events) (long-resident daemons flush periodically).
+// Changing the sink path starts a fresh file carrying everything buffered
+// so far. Safe to call at any time; also runs automatically at process
+// exit. No-op without a sink.
 void flush_trace();
 
 // RAII scoped span: records a complete ("ph":"X") event over its lifetime.

@@ -16,6 +16,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/telemetry/events.h"
 #include "common/telemetry/telemetry.h"
 #include "core/dist/buckets.h"
 #include "core/dist/claim_board.h"
@@ -150,11 +151,15 @@ constexpr ConvPolicy golden_key_policy(std::uint64_t key) {
 // the unit both execution paths schedule and journal. A non-null `overlay`
 // (permanent-fault model, pure function of the point) keys the golden into
 // its faulted-weights variant and counts its defective cells as the
-// trial's flips; transient models leave it null.
+// trial's flips; transient models leave it null. A non-null `cost`
+// receives the cell's measured cost record (trial-loop wall-micros +
+// exact sum of squared per-trial flips) for the journal's cost ledger;
+// the measurement is observation-only — the tallies never depend on it.
 JournalCell execute_cell(const Network& network, const Dataset& dataset,
                          const CampaignPoint& point,
                          std::uint64_t point_hash, std::int64_t i,
-                         GoldenLru& lru, const FaultOverlay* overlay) {
+                         GoldenLru& lru, const FaultOverlay* overlay,
+                         JournalCost* cost = nullptr) {
   const TensorF& image = dataset.images[static_cast<std::size_t>(i)];
   const int label = dataset.labels[static_cast<std::size_t>(i)];
   // Every (point, image, trial) derives its own fault stream, so the
@@ -165,6 +170,8 @@ JournalCell execute_cell(const Network& network, const Dataset& dataset,
   cell.image = i;
   const std::int64_t overlay_flips =
       overlay != nullptr ? overlay->site_count : 0;
+  std::int64_t flips_sq = 0;
+  std::int64_t elapsed_us = 0;
   if (point.reuse_golden) {
     const GoldenLru::Ptr golden = lru.get_or_build(
         i, point.policy,
@@ -175,9 +182,12 @@ JournalCell execute_cell(const Network& network, const Dataset& dataset,
     for (int t = 0; t < point.trials; ++t) {
       FaultSession session(point.fault, fault_stream_seed(point.seed, i, t));
       cell.correct += network.predict_replay(*golden, session) == label;
-      cell.flips += session.total_flips() + overlay_flips;
+      const std::int64_t trial_flips = session.total_flips() + overlay_flips;
+      cell.flips += trial_flips;
+      flips_sq += trial_flips * trial_flips;
     }
-    phase_replay_metric().observe(telemetry::now_us() - t0);
+    elapsed_us = telemetry::now_us() - t0;
+    phase_replay_metric().observe(elapsed_us);
   } else {
     telemetry::TraceSpan span("cell_inject", "campaign");
     const std::int64_t t0 = telemetry::now_us();
@@ -188,9 +198,18 @@ JournalCell execute_cell(const Network& network, const Dataset& dataset,
       ctx.session = &session;
       ctx.overlay = overlay;
       cell.correct += network.predict(image, ctx) == label;
-      cell.flips += session.total_flips() + overlay_flips;
+      const std::int64_t trial_flips = session.total_flips() + overlay_flips;
+      cell.flips += trial_flips;
+      flips_sq += trial_flips * trial_flips;
     }
-    phase_inject_metric().observe(telemetry::now_us() - t0);
+    elapsed_us = telemetry::now_us() - t0;
+    phase_inject_metric().observe(elapsed_us);
+  }
+  if (cost != nullptr) {
+    cost->point_hash = point_hash;
+    cost->image = i;
+    cost->wall_us = elapsed_us;
+    cost->flips_sq = flips_sq;
   }
   cells_metric().add(1);
   trials_metric().add(point.trials);
@@ -862,11 +881,14 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
       const std::int64_t i = units[u].image;
       const std::size_t a = units[u].a;
       const std::size_t p = active[a];
+      JournalCost cost;
       const JournalCell cell =
           execute_cell(network_, dataset_, spec.points[p],
                        point_hashes.empty() ? 0 : point_hashes[p], i, lru,
-                       overlays[p].get());
-      if (journal != nullptr) journal->append(cell);
+                       overlays[p].get(), &cost);
+      if (journal != nullptr) {
+        journal->append(cell, spec.store.cost_ledger ? &cost : nullptr);
+      }
       correct[a].fetch_add(cell.correct, std::memory_order_relaxed);
       flips[a].fetch_add(cell.flips, std::memory_order_relaxed);
       inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
@@ -1062,6 +1084,44 @@ CampaignResult CampaignRunner::run_distributed(
   for (std::size_t a = 0; a < active.size(); ++a) {
     point_weight[a] = cell_cost_weight(network_, spec.points[active[a]]);
   }
+  // Prefer MEASURED costs from the canonical journal's cost ledger (cells
+  // of the same point finished in earlier runs/resumes): a point with
+  // measured cells weighs its mean replay wall-micros; unmeasured points
+  // scale their estimate by the measured/estimated ratio over the measured
+  // ones so the two weight spaces stay commensurable. Deterministic across
+  // workers — the canonical journal is read-only and shared, and the fold
+  // below iterates in `active` order — so every worker still derives the
+  // identical bucket partition. Weights steer scheduling only; results are
+  // pure functions of the cell key either way.
+  {
+    const auto measured = canonical->point_costs();
+    std::vector<double> mean_us(active.size(), 0.0);
+    double measured_sum = 0.0, estimate_sum = 0.0;
+    std::size_t measured_points = 0;
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const auto it = measured.find(point_hashes[active[a]]);
+      if (it == measured.end() || it->second.cells <= 0) continue;
+      mean_us[a] = std::max(static_cast<double>(it->second.wall_us) /
+                                static_cast<double>(it->second.cells),
+                            1.0);
+      measured_sum += mean_us[a];
+      estimate_sum += point_weight[a];
+      ++measured_points;
+    }
+    if (measured_points > 0 && measured_sum > 0.0 && estimate_sum > 0.0) {
+      const double ratio = measured_sum / estimate_sum;
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        point_weight[a] =
+            mean_us[a] > 0.0 ? mean_us[a] : point_weight[a] * ratio;
+      }
+      static telemetry::Counter& measured_metric = telemetry::counter(
+          "winofault_dist_measured_weight_points_total",
+          "dist points bucket-weighted by measured ledger costs");
+      measured_metric.add(static_cast<std::int64_t>(measured_points));
+      WF_INFO << "campaign: dist bucket weights use measured costs for "
+              << measured_points << "/" << active.size() << " point(s)";
+    }
+  }
   std::vector<double> weights(pending.size());
   for (std::size_t u = 0; u < pending.size(); ++u) {
     weights[u] = point_weight[pending[u].a];
@@ -1112,10 +1172,12 @@ CampaignResult CampaignRunner::run_distributed(
   };
   const auto execute_unit = [&](const Unit& unit) {
     const std::size_t p = active[unit.a];
+    JournalCost cost;
     const JournalCell cell =
         execute_cell(network_, dataset_, spec.points[p], point_hashes[p],
-                     unit.image, lru, overlays[p].get());
-    segment->append(cell);  // no-op if the segment is unwritable
+                     unit.image, lru, overlays[p].get(), &cost);
+    // no-op if the segment is unwritable
+    segment->append(cell, spec.store.cost_ledger ? &cost : nullptr);
     inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
     const std::int64_t n =
         executed.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -1197,6 +1259,10 @@ CampaignResult CampaignRunner::run_distributed(
       // ones (dead workers), otherwise wait for the live ones.
       for (const int b : order) {
         if (!board.is_done(b) && board.try_steal(b)) {
+          if (telemetry::events_enabled()) {
+            telemetry::emit_event("dist_steal", {{"worker", tag}},
+                                  {{"bucket", b}});
+          }
           execute_bucket(b);
           board.mark_done(b);
           ++result.stats.dist_buckets_claimed;
@@ -1300,12 +1366,18 @@ CampaignResult CampaignRunner::run_distributed(
     // disk-full after its bucket was marked) — execute the gap locally.
     WF_WARN << "campaign: " << missing.size()
             << " cell(s) missing from every segment; re-executing locally";
+    if (telemetry::events_enabled()) {
+      telemetry::emit_event(
+          "dist_heal", {{"worker", tag}},
+          {{"cells", static_cast<std::int64_t>(missing.size())}});
+    }
     for (const Unit& unit : missing) {
       const std::size_t p = active[unit.a];
+      JournalCost cost;
       const JournalCell cell =
           execute_cell(network_, dataset_, spec.points[p], point_hashes[p],
-                       unit.image, lru, overlays[p].get());
-      segment->append(cell);
+                       unit.image, lru, overlays[p].get(), &cost);
+      segment->append(cell, spec.store.cost_ledger ? &cost : nullptr);
       inferences.fetch_add(spec.points[p].trials, std::memory_order_relaxed);
       correct[unit.a].fetch_add(cell.correct, std::memory_order_relaxed);
       flips[unit.a].fetch_add(cell.flips, std::memory_order_relaxed);

@@ -1,0 +1,50 @@
+#include "core/service/history.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace winofault {
+
+HistoryRing::HistoryRing(std::size_t depth, std::int64_t interval_s)
+    : depth_(std::max<std::size_t>(depth, 1)),
+      interval_s_(std::max<std::int64_t>(interval_s, 1)) {}
+
+void HistoryRing::record(HistorySample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < depth_) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[static_cast<std::size_t>(total_) % depth_] = std::move(sample);
+  }
+  ++total_;
+}
+
+std::vector<HistorySample> HistoryRing::window(std::size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t have = ring_.size();
+  const std::size_t n =
+      last_n == 0 ? have : std::min(last_n, have);
+  std::vector<HistorySample> out;
+  out.reserve(n);
+  // Oldest retained sample sits at total_ % depth_ once wrapped, at 0
+  // before; either way the k-th newest is (total_ - 1 - k) % depth_.
+  for (std::size_t k = n; k-- > 0;) {
+    const std::size_t slot =
+        static_cast<std::size_t>(total_ - 1 - static_cast<std::int64_t>(k)) %
+        depth_;
+    out.push_back(ring_[slot]);
+  }
+  return out;
+}
+
+std::size_t HistoryRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::int64_t HistoryRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace winofault

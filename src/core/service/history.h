@@ -1,0 +1,62 @@
+// Bounded in-memory ring of telemetry-registry snapshots — the daemon's
+// short-term memory. A weeks-resident winofaultd scrape shows *now*; the
+// ring keeps the last `depth` full-registry samples taken every
+// `interval_s` seconds, so the `history` protocol verb (and the
+// `winofault-cli top` dashboard on top of it) can show the trajectory: a
+// throughput collapse an hour ago is visible without external scrape
+// infrastructure.
+//
+// The ring is pure state + arithmetic (no thread, no clock): the daemon's
+// sampler thread calls record() on its own cadence, and tests drive
+// wraparound/interval semantics directly with synthetic samples.
+// Thread-safe; observation-only like everything it stores.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/telemetry/telemetry.h"
+
+namespace winofault {
+
+// One capture: where (on the process timeline and the wall clock) and
+// what (every registered series at that instant).
+struct HistorySample {
+  std::int64_t t_us = 0;      // telemetry::now_us() at capture
+  std::int64_t wall_ms = 0;   // wall-clock epoch millis at capture
+  std::vector<telemetry::SeriesSample> series;
+};
+
+class HistoryRing {
+ public:
+  // `depth` = samples retained (older ones are overwritten in place);
+  // `interval_s` = the cadence the owner promises to record at, carried
+  // here so readers can convert sample distance to time without trusting
+  // per-sample clocks. Both are clamped to >= 1.
+  explicit HistoryRing(std::size_t depth, std::int64_t interval_s);
+
+  void record(HistorySample sample);
+
+  // The newest min(last_n, size()) samples, oldest first (0 = all
+  // retained). Copies out under the lock — callers serialize to JSON
+  // outside it.
+  std::vector<HistorySample> window(std::size_t last_n = 0) const;
+
+  std::size_t size() const;          // samples currently retained
+  std::size_t depth() const { return depth_; }
+  std::int64_t interval_s() const { return interval_s_; }
+  // Monotone count of record() calls — total_recorded() - size() samples
+  // have been overwritten by wraparound.
+  std::int64_t total_recorded() const;
+
+ private:
+  const std::size_t depth_;
+  const std::int64_t interval_s_;
+  mutable std::mutex mu_;
+  std::vector<HistorySample> ring_;  // ring_[total_ % depth_] is next slot
+  std::int64_t total_ = 0;
+};
+
+}  // namespace winofault

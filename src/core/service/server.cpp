@@ -13,6 +13,7 @@
 #include "common/hash.h"
 #include "common/iofault/iofault.h"
 #include "common/logging.h"
+#include "common/telemetry/events.h"
 #include "common/telemetry/telemetry.h"
 #include "core/store/handle_cache.h"
 
@@ -57,7 +58,8 @@ ServiceServer::ServiceServer(ServerOptions options)
       sessions_(options_.env_builder != nullptr
                     ? options_.env_builder
                     : default_model_env_builder(),
-                options_.max_sessions, options_.golden_capacity) {
+                options_.max_sessions, options_.golden_capacity),
+      history_(options_.history_depth, options_.history_interval_s) {
   if (options_.concurrent_jobs < 1) options_.concurrent_jobs = 1;
 }
 
@@ -117,6 +119,9 @@ bool ServiceServer::start(std::string* error) {
   if (options_.session_idle_ttl_ms > 0) {
     housekeeping_thread_ = std::thread([this] { housekeeping_loop(); });
   }
+  if (options_.history_depth > 0) {
+    sampler_thread_ = std::thread([this] { sampler_loop(); });
+  }
   executors_.reserve(static_cast<std::size_t>(options_.concurrent_jobs));
   for (int i = 0; i < options_.concurrent_jobs; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
@@ -145,6 +150,7 @@ void ServiceServer::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   if (monitor_thread_.joinable()) monitor_thread_.join();
   if (housekeeping_thread_.joinable()) housekeeping_thread_.join();
+  if (sampler_thread_.joinable()) sampler_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -278,6 +284,29 @@ void ServiceServer::housekeeping_loop() {
   }
 }
 
+void ServiceServer::sampler_loop() {
+  // Flight recorder: one full-registry snapshot per interval into the
+  // bounded history ring. The first sample lands immediately so a freshly
+  // started daemon answers `history` before the first interval elapses.
+  for (;;) {
+    refresh_scrape_gauges();
+    HistorySample sample;
+    sample.t_us = telemetry::now_us();
+    sample.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    sample.series = telemetry::snapshot();
+    history_.record(std::move(sample));
+    {
+      std::unique_lock<std::mutex> lock(lifecycle_mu_);
+      lifecycle_cv_.wait_for(
+          lock, std::chrono::seconds(history_.interval_s()),
+          [this] { return draining_.load(); });
+    }
+    if (draining_.load()) return;
+  }
+}
+
 void ServiceServer::executor_loop() {
   while (std::shared_ptr<ServiceJob> job = scheduler_.next()) {
     {
@@ -286,6 +315,10 @@ void ServiceServer::executor_loop() {
       job->state = JobState::kRunning;
       ++job->version;
       job->cv.notify_all();
+    }
+    if (telemetry::events_enabled()) {
+      telemetry::emit_event("job_running",
+                            {{"job", job->id}, {"client", job->client}});
     }
     // Queue latency = admission to queued->running, per job. The gauge
     // keeps the most recent job's latency for at-a-glance scrapes; the
@@ -306,6 +339,10 @@ void ServiceServer::executor_loop() {
       job->finish(JobState::kFailed, CampaignResult(), error);
       retire_job(job->id);
       jobs_metric("failed", "jobs that terminated with an error").add(1);
+      if (telemetry::events_enabled()) {
+        telemetry::emit_event("job_failed",
+                              {{"job", job->id}, {"error", error}});
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_failed;
       continue;
@@ -317,6 +354,11 @@ void ServiceServer::executor_loop() {
                   "environment hash mismatch (client/daemon build skew)");
       retire_job(job->id);
       jobs_metric("failed", "jobs that terminated with an error").add(1);
+      if (telemetry::events_enabled()) {
+        telemetry::emit_event(
+            "job_failed",
+            {{"job", job->id}, {"error", "environment hash mismatch"}});
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_failed;
       continue;
@@ -332,11 +374,19 @@ void ServiceServer::executor_loop() {
       } else {
         jobs_metric("done", "jobs that ran to completion").add(1);
       }
+      if (telemetry::events_enabled()) {
+        telemetry::emit_event(cancelled ? "job_cancelled" : "job_done",
+                              {{"job", job->id}});
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++(cancelled ? stats_.jobs_cancelled : stats_.jobs_done);
     } catch (const std::exception& e) {
       job->finish(JobState::kFailed, CampaignResult(), e.what());
       jobs_metric("failed", "jobs that terminated with an error").add(1);
+      if (telemetry::events_enabled()) {
+        telemetry::emit_event("job_failed",
+                              {{"job", job->id}, {"error", e.what()}});
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_failed;
     }
@@ -394,6 +444,8 @@ void ServiceServer::handle_connection(Conn* conn) {
       alive = send_line(fd, handle_ping(), sock_tag_);
     } else if (op == "metrics") {
       alive = send_line(fd, handle_metrics(), sock_tag_);
+    } else if (op == "history") {
+      alive = send_line(fd, handle_history(*request), sock_tag_);
     } else if (op == "drain") {
       handle_drain(fd);
     } else {
@@ -456,6 +508,10 @@ void ServiceServer::handle_submit(int fd, const Json& request) {
     if (state != JobState::kQueued && state != JobState::kRunning) continue;
     jobs_metric("deduped", "resubmissions answered with an in-flight job")
         .add(1);
+    if (telemetry::events_enabled()) {
+      telemetry::emit_event(
+          "job_deduped", {{"job", existing->id}, {"client", job->client}});
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs_deduped;
@@ -484,6 +540,10 @@ void ServiceServer::handle_submit(int fd, const Json& request) {
     if (admitted == EnqueueResult::kOverloaded) {
       jobs_metric("rejected", "submissions refused by admission control")
           .add(1);
+      if (telemetry::events_enabled()) {
+        telemetry::emit_event("job_rejected", {{"client", job->client},
+                                               {"reason", "overloaded"}});
+      }
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.jobs_rejected;
@@ -500,6 +560,10 @@ void ServiceServer::handle_submit(int fd, const Json& request) {
     return;
   }
   jobs_metric("submitted", "jobs admitted to the scheduler").add(1);
+  if (telemetry::events_enabled()) {
+    telemetry::emit_event("job_submitted",
+                          {{"job", job->id}, {"client", job->client}});
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.jobs_submitted;
@@ -634,6 +698,9 @@ Json ServiceServer::handle_cancel(const Json& request) {
     retire_job(job->id);
     jobs_metric("cancelled", "jobs cancelled before or during execution")
         .add(1);
+    if (telemetry::events_enabled()) {
+      telemetry::emit_event("job_cancelled", {{"job", job->id}});
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.jobs_cancelled;
   }
@@ -664,11 +731,12 @@ Json ServiceServer::handle_ping() {
   return response;
 }
 
-Json ServiceServer::handle_metrics() {
-  // Scrape-time gauges: sampled here rather than maintained incrementally,
-  // so the reply always reflects the daemon's state at the moment of the
-  // request. Everything else in the exposition (counters, histograms) is
-  // maintained at the instrumented sites across all five tiers.
+void ServiceServer::refresh_scrape_gauges() {
+  // Point-in-time gauges: sampled on demand rather than maintained
+  // incrementally, so a scrape (or history sample) always reflects the
+  // daemon's state at the moment of the request. Everything else in the
+  // exposition (counters, histograms) is maintained at the instrumented
+  // sites across all five tiers.
   telemetry::gauge("winofault_service_jobs_queued",
                    "jobs waiting in the scheduler")
       .set(static_cast<std::int64_t>(scheduler_.queued()));
@@ -684,9 +752,62 @@ Json ServiceServer::handle_metrics() {
                      "jobs retained for status/results queries")
         .set(static_cast<std::int64_t>(jobs_.size()));
   }
+}
+
+Json ServiceServer::handle_metrics() {
+  refresh_scrape_gauges();
   Json response = make_ok_response();
   response.set("format", Json::str("prometheus-text-0.0.4"));
   response.set("metrics", Json::str(telemetry::prometheus_text()));
+  return response;
+}
+
+Json ServiceServer::handle_history(const Json& request) {
+  // Windowed time series out of the flight recorder's ring. Optional
+  // request fields: "last" (newest N samples; 0/absent = all retained),
+  // "prefix" (only series whose metric name starts with it — `top` asks
+  // for "winofault_" subsets to keep frames small).
+  const Json* last_field = request.find("last");
+  const std::size_t last_n =
+      last_field != nullptr && last_field->as_int(0) > 0
+          ? static_cast<std::size_t>(last_field->as_int(0))
+          : 0;
+  const Json* prefix_field = request.find("prefix");
+  const std::string prefix =
+      prefix_field != nullptr ? prefix_field->as_string() : std::string();
+
+  const std::vector<HistorySample> samples = history_.window(last_n);
+  Json response = make_ok_response();
+  response.set("interval_s", Json::integer(history_.interval_s()));
+  response.set("depth",
+               Json::integer(static_cast<std::int64_t>(history_.depth())));
+  response.set("recorded", Json::integer(history_.total_recorded()));
+  Json out = Json::array();
+  for (const HistorySample& sample : samples) {
+    Json one = Json::object();
+    one.set("t_us", Json::integer(sample.t_us));
+    one.set("wall_ms", Json::integer(sample.wall_ms));
+    Json series = Json::object();
+    for (const telemetry::SeriesSample& s : sample.series) {
+      if (!prefix.empty() && s.name.rfind(prefix, 0) != 0) continue;
+      const std::string key =
+          s.labels.empty() ? s.name : s.name + "{" + s.labels + "}";
+      if (s.type == 'h') {
+        Json hist = Json::object();
+        hist.set("count", Json::integer(s.value));
+        hist.set("sum", Json::integer(s.sum));
+        hist.set("p50", Json::number(s.p50));
+        hist.set("p95", Json::number(s.p95));
+        hist.set("p99", Json::number(s.p99));
+        series.set(key, std::move(hist));
+      } else {
+        series.set(key, Json::integer(s.value));
+      }
+    }
+    one.set("series", std::move(series));
+    out.push(std::move(one));
+  }
+  response.set("samples", std::move(out));
   return response;
 }
 

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/service/history.h"
 #include "core/service/protocol.h"
 #include "core/service/scheduler.h"
 #include "core/service/session.h"
@@ -65,6 +66,15 @@ struct ServerOptions {
   // Housekeeping cadence (TTL sweeps). Only meaningful with a TTL.
   std::int64_t housekeeping_interval_ms = 500;
 
+  // Flight-recorder history ring (history.h): the sampler thread snapshots
+  // the full telemetry registry every `history_interval_s` seconds and
+  // keeps the newest `history_depth` samples for the `history` protocol
+  // verb (and `winofault-cli top` on top of it). Defaults cover the last
+  // ten minutes; depth 0 disables the sampler (the verb then serves an
+  // empty window).
+  std::size_t history_depth = 120;
+  std::int64_t history_interval_s = 5;
+
   // Environment resolver; defaults to the zoo builder. Test seam.
   ModelEnvBuilder env_builder;
 };
@@ -102,6 +112,7 @@ class ServiceServer {
 
   ServerStats stats() const;
   std::size_t sessions() const { return sessions_.size(); }
+  const HistoryRing& history() const { return history_; }
 
   // True once a drain (client- or operator-initiated) has completed; the
   // daemon main loop polls this to exit on client-requested drains.
@@ -123,7 +134,12 @@ class ServiceServer {
   void executor_loop();
   void monitor_loop();
   void housekeeping_loop();
+  void sampler_loop();
   void handle_connection(Conn* conn);
+
+  // Point-in-time gauges (queue depth, resident sessions, ...) sampled on
+  // demand — shared by the `metrics` scrape and the history sampler.
+  void refresh_scrape_gauges();
 
   void handle_submit(int fd, const Json& request);
   void handle_results(int fd, const Json& request);
@@ -131,6 +147,7 @@ class ServiceServer {
   Json handle_cancel(const Json& request);
   Json handle_ping();
   Json handle_metrics();
+  Json handle_history(const Json& request);
   void handle_drain(int fd);
   void stream_job(int fd, const std::shared_ptr<ServiceJob>& job);
 
@@ -145,6 +162,7 @@ class ServiceServer {
   std::string sock_tag_;  // iofault target tag: "daemon:<socket_path>"
   Scheduler scheduler_;
   SessionCache sessions_;
+  HistoryRing history_;
 
   std::atomic<std::uint64_t> next_job_id_{0};
   mutable std::mutex jobs_mu_;
@@ -163,6 +181,7 @@ class ServiceServer {
   std::thread accept_thread_;
   std::thread monitor_thread_;
   std::thread housekeeping_thread_;
+  std::thread sampler_thread_;
   std::vector<std::thread> executors_;
   std::mutex conn_mu_;
   std::vector<std::unique_ptr<Conn>> connections_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/telemetry/events.h"
 #include "core/store/golden_store.h"
 #include "nn/models/zoo.h"
 
@@ -127,6 +128,10 @@ std::shared_ptr<ServiceSession> SessionCache::get_or_build(
     if (victim == sessions_.end()) break;  // everything busy: over-admit
     WF_INFO << "service: evicting warm session " << victim->first;
     victim->second.session->flush_goldens();
+    if (telemetry::events_enabled()) {
+      telemetry::emit_event("session_evicted",
+                            {{"env", victim->first}, {"reason", "lru"}});
+    }
     sessions_.erase(victim);
   }
   // Built under the lock: a concurrent submission for the same env must
@@ -165,6 +170,10 @@ std::size_t SessionCache::evict_idle(std::int64_t ttl_ms) {
     }
     WF_INFO << "service: idle TTL evicting warm session " << it->first;
     it->second.session->flush_goldens();
+    if (telemetry::events_enabled()) {
+      telemetry::emit_event("session_evicted",
+                            {{"env", it->first}, {"reason", "idle"}});
+    }
     it = sessions_.erase(it);
     ++evicted;
   }

@@ -12,6 +12,7 @@
 #include "common/hash.h"
 #include "common/iofault/iofault.h"
 #include "common/logging.h"
+#include "common/telemetry/events.h"
 #include "common/telemetry/telemetry.h"
 
 namespace winofault {
@@ -412,6 +413,9 @@ std::optional<GoldenCache> GoldenStore::load(std::int64_t image,
     telemetry::counter("winofault_store_shard_quarantines_total",
                        "corrupt shards quarantined at restore")
         .add(1);
+    if (telemetry::events_enabled()) {
+      telemetry::emit_event("shard_quarantined", {{"path", path}});
+    }
     std::lock_guard<std::mutex> lock(mu_);
     std::error_code ec;
     iofault::checked_rename(path, path + ".quarantine", ec);

@@ -29,7 +29,15 @@ telemetry::Counter& journal_bytes_metric() {
 
 constexpr std::uint64_t kJournalMagic = 0x574a4c4600000001ULL;  // "WJLF" v1
 
-// On-disk record: five native-endian u64 words, no padding.
+// CRC domain separator for cost-ledger records: a cost record reuses the
+// 40-byte cell framing but its CRC is computed against env_hash XOR this
+// constant, so a reader can classify any intact record by which CRC
+// matches — no header bump, and journals that never wrote costs parse
+// exactly as before.
+constexpr std::uint64_t kCostCrcDomain = 0x57464354434f5354ULL;  // "WFCTCOST"
+
+// On-disk record: five native-endian u64 words, no padding. A cost record
+// maps (point_hash, image, wall_us, flips_sq) onto the same words.
 struct RawRecord {
   std::uint64_t point_hash;
   std::uint64_t image;
@@ -53,6 +61,14 @@ std::uint64_t record_crc(const RawRecord& r, std::uint64_t env_hash) {
       .u64(r.correct)
       .u64(r.flips)
       .digest();
+}
+
+RawRecord cost_record(const JournalCost& cost, std::uint64_t env_hash) {
+  RawRecord r{cost.point_hash, static_cast<std::uint64_t>(cost.image),
+              static_cast<std::uint64_t>(cost.wall_us),
+              static_cast<std::uint64_t>(cost.flips_sq), 0};
+  r.crc = record_crc(r, env_hash ^ kCostCrcDomain);
+  return r;
 }
 
 std::string env_file_stem(std::uint64_t env_hash) {
@@ -133,7 +149,8 @@ bool ResultJournal::read_cells_from(const std::string& path,
                                     std::int64_t offset,
                                     std::vector<JournalCell>* out,
                                     std::int64_t* next_offset, bool* torn,
-                                    bool* unreadable) {
+                                    bool* unreadable,
+                                    std::vector<JournalCost>* costs) {
   if (torn != nullptr) *torn = false;
   if (unreadable != nullptr) *unreadable = false;
   if (next_offset != nullptr) *next_offset = offset;
@@ -162,14 +179,27 @@ bool ResultJournal::read_cells_from(const std::string& path,
   // chaosed read degrades exactly like a torn tail: intact prefix served,
   // the rest re-executed.
   while (iofault::checked_fread(&r, sizeof(r), f, path) == sizeof(r)) {
-    if (r.crc != record_crc(r, env_hash)) break;  // torn/corrupt tail
+    if (r.crc == record_crc(r, env_hash)) {
+      JournalCell cell;
+      cell.point_hash = r.point_hash;
+      cell.image = static_cast<std::int64_t>(r.image);
+      cell.correct = static_cast<std::int64_t>(r.correct);
+      cell.flips = static_cast<std::int64_t>(r.flips);
+      out->push_back(cell);
+    } else if (r.crc == record_crc(r, env_hash ^ kCostCrcDomain)) {
+      // Cost-ledger record: same framing, separate CRC domain.
+      if (costs != nullptr) {
+        JournalCost cost;
+        cost.point_hash = r.point_hash;
+        cost.image = static_cast<std::int64_t>(r.image);
+        cost.wall_us = static_cast<std::int64_t>(r.correct);
+        cost.flips_sq = static_cast<std::int64_t>(r.flips);
+        costs->push_back(cost);
+      }
+    } else {
+      break;  // torn/corrupt tail
+    }
     ++records_read;
-    JournalCell cell;
-    cell.point_hash = r.point_hash;
-    cell.image = static_cast<std::int64_t>(r.image);
-    cell.correct = static_cast<std::int64_t>(r.correct);
-    cell.flips = static_cast<std::int64_t>(r.flips);
-    out->push_back(cell);
   }
   const std::int64_t read_end =
       offset + records_read * static_cast<std::int64_t>(sizeof(RawRecord));
@@ -201,10 +231,16 @@ ResultJournal::~ResultJournal() {
 void ResultJournal::recover_and_open(Mode mode) {
   // Pass 1: read every intact record of an existing file.
   std::vector<JournalCell> recovered;
+  std::vector<JournalCost> recovered_costs;
   bool torn = false;
-  const bool header_ok = read_cells(path_, env_hash_, &recovered, &torn);
+  const bool header_ok = read_cells_from(path_, env_hash_, 0, &recovered,
+                                         nullptr, &torn, nullptr,
+                                         &recovered_costs);
   for (const JournalCell& cell : recovered) {
     cells_[journal_cell_key(cell.point_hash, cell.image)] = cell;
+  }
+  for (const JournalCost& cost : recovered_costs) {
+    costs_[journal_cell_key(cost.point_hash, cost.image)] = cost;
   }
   recovered_ = static_cast<std::int64_t>(cells_.size());
 
@@ -241,6 +277,14 @@ void ResultJournal::recover_and_open(Mode mode) {
                   static_cast<std::uint64_t>(cell.flips), 0};
       r.crc = record_crc(r, env_hash_);
       wrote = iofault::checked_fwrite(&r, sizeof(r), out, tmp) == sizeof(r);
+      // The cell's cost record (when the ledger carried one) rides along,
+      // so a recovery rewrite never sheds measured costs.
+      const auto cost_it = costs_.find(key);
+      if (wrote && cost_it != costs_.end()) {
+        const RawRecord cr = cost_record(cost_it->second, env_hash_);
+        wrote =
+            iofault::checked_fwrite(&cr, sizeof(cr), out, tmp) == sizeof(cr);
+      }
     }
     const bool flushed = wrote && iofault::checked_fsync(out, tmp);
     std::fclose(out);
@@ -272,7 +316,7 @@ bool ResultJournal::lookup(std::uint64_t point_hash, std::int64_t image,
   return true;
 }
 
-void ResultJournal::append(const JournalCell& cell) {
+void ResultJournal::append(const JournalCell& cell, const JournalCost* cost) {
   RawRecord r{cell.point_hash, static_cast<std::uint64_t>(cell.image),
               static_cast<std::uint64_t>(cell.correct),
               static_cast<std::uint64_t>(cell.flips), 0};
@@ -283,8 +327,21 @@ void ResultJournal::append(const JournalCell& cell) {
   // will truncate — along with everything appended after it. Stop claiming
   // durability at the first failure instead of silently losing every
   // later checkpoint.
-  if (iofault::checked_fwrite(&r, sizeof(r), file_, path_) != sizeof(r) ||
-      std::fflush(file_) != 0) {
+  bool wrote =
+      iofault::checked_fwrite(&r, sizeof(r), file_, path_) == sizeof(r);
+  std::int64_t bytes = wrote ? static_cast<std::int64_t>(sizeof(RawRecord)) : 0;
+  if (wrote && cost != nullptr) {
+    const RawRecord cr = cost_record(*cost, env_hash_);
+    // A torn cost record truncates only itself at recovery (the cell's
+    // CRC already committed), so a failure here downgrades to "cost not
+    // measured" rather than invalidating the cell.
+    if (iofault::checked_fwrite(&cr, sizeof(cr), file_, path_) == sizeof(cr)) {
+      bytes += static_cast<std::int64_t>(sizeof(RawRecord));
+    } else {
+      wrote = false;
+    }
+  }
+  if (!wrote || std::fflush(file_) != 0) {
     WF_WARN << "journal: write to " << path_
             << " failed; further cells will not persist";
     std::fclose(file_);
@@ -292,10 +349,41 @@ void ResultJournal::append(const JournalCell& cell) {
     return;
   }
   // A kill after this point loses nothing.
-  cells_[journal_cell_key(cell.point_hash, cell.image)] = cell;
+  const std::uint64_t key = journal_cell_key(cell.point_hash, cell.image);
+  cells_[key] = cell;
+  if (cost != nullptr) costs_[key] = *cost;
   ++appended_;
   journal_appends_metric().add(1);
-  journal_bytes_metric().add(sizeof(RawRecord));
+  journal_bytes_metric().add(bytes);
+}
+
+bool ResultJournal::lookup_cost(std::uint64_t point_hash, std::int64_t image,
+                                JournalCost* cost) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = costs_.find(journal_cell_key(point_hash, image));
+  if (it == costs_.end() || it->second.point_hash != point_hash ||
+      it->second.image != image) {
+    return false;
+  }
+  if (cost != nullptr) *cost = it->second;
+  return true;
+}
+
+std::unordered_map<std::uint64_t, ResultJournal::PointCost>
+ResultJournal::point_costs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_map<std::uint64_t, PointCost> out;
+  for (const auto& [key, cost] : costs_) {
+    PointCost& agg = out[cost.point_hash];
+    agg.wall_us += cost.wall_us;
+    agg.cells += 1;
+  }
+  return out;
+}
+
+std::int64_t ResultJournal::cost_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(costs_.size());
 }
 
 bool ResultJournal::sync() {

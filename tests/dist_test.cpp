@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -26,6 +27,7 @@
 #include "core/dist/buckets.h"
 #include "core/dist/claim_board.h"
 #include "core/dist/merge.h"
+#include "core/store/hash.h"
 #include "core/store/journal.h"
 #include "nn/dataset.h"
 
@@ -477,6 +479,141 @@ TEST(Dist, BoardKeyTracksPendingSetAndEnvironment) {
   EXPECT_NE(key, dist_board_key(10, cells, 4)) << "environment";
   EXPECT_NE(key, dist_board_key(9, {1, 2}, 4)) << "pending set";
   EXPECT_NE(key, dist_board_key(9, cells, 5)) << "bucket granularity";
+}
+
+// ---- (e) measured-cost ledger through dist ----
+
+// Deterministic cell identity: everything but wall_us (which is measured,
+// not derived). Sorting by key makes journals comparable across layouts.
+std::vector<JournalCell> sorted_cells(const std::string& path,
+                                      std::uint64_t env) {
+  std::vector<JournalCell> cells;
+  EXPECT_TRUE(ResultJournal::read_cells_from(path, env, 0, &cells));
+  std::sort(cells.begin(), cells.end(),
+            [](const JournalCell& a, const JournalCell& b) {
+              return journal_cell_key(a.point_hash, a.image) <
+                     journal_cell_key(b.point_hash, b.image);
+            });
+  return cells;
+}
+
+TEST(Dist, MergedLedgerJournalMatchesSingleProcessAndWeighsMeasured) {
+  const Fixture f = make_fixture();
+  CampaignSpec plain;
+  plain.points = small_grid();
+  plain.threads = 1;
+  const CampaignResult reference = run_campaign(f.net, f.data, plain);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.images.size() * plain.points.size());
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+
+  // Single-process store run: the canonical journal the dist-merged one
+  // must match cell-for-cell.
+  CampaignSpec single = plain;
+  single.store.dir = fresh_dir("ledger_single");
+  run_campaign(f.net, f.data, single);
+
+  // Two sequential workers (as in the first test) + merge.
+  const std::string dir = fresh_dir("ledger_dist");
+  const CampaignResult r0 =
+      run_campaign(f.net, f.data, worker_spec(dir, 0, 2, "wA", 0));
+  expect_same_results(reference, r0);
+  const CampaignResult r1 =
+      run_campaign(f.net, f.data, worker_spec(dir, 1, 2, "wB", 60000));
+  expect_same_results(reference, r1);
+  const MergeStats merge = merge_campaign_segments(dir);
+  EXPECT_EQ(merge.cells_merged, cells);
+
+  // The merged canonical journal is bit-identical to the single-process
+  // one in every deterministic field, and carries a cost record per cell.
+  const std::vector<JournalCell> merged =
+      sorted_cells(ResultJournal::journal_path(dir, env), env);
+  const std::vector<JournalCell> direct = sorted_cells(
+      ResultJournal::journal_path(single.store.dir, env), env);
+  ASSERT_EQ(merged.size(), direct.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].point_hash, direct[i].point_hash) << "cell " << i;
+    EXPECT_EQ(merged[i].image, direct[i].image) << "cell " << i;
+    EXPECT_EQ(merged[i].correct, direct[i].correct) << "cell " << i;
+    EXPECT_EQ(merged[i].flips, direct[i].flips) << "cell " << i;
+  }
+  {
+    ResultJournal canonical(dir, env, ResultJournal::Mode::kReadOnly);
+    EXPECT_EQ(canonical.cost_records(), cells);
+  }
+
+  // Grow the grid: the next dist run plans buckets from MEASURED costs
+  // (the canonical ledger covers the original points; the new point falls
+  // back to its scaled estimate) and still executes only the new cells.
+  CampaignSpec grown_plain = plain;
+  CampaignPoint extra = plain.points.back();
+  extra.seed = 31;
+  grown_plain.points.push_back(extra);
+  const CampaignResult grown_reference =
+      run_campaign(f.net, f.data, grown_plain);
+
+  CampaignSpec grown_worker = worker_spec(dir, 0, 2, "wC", 0);
+  grown_worker.points = grown_plain.points;
+  const std::int64_t new_cells =
+      static_cast<std::int64_t>(f.data.images.size());
+  const CampaignResult g0 = run_campaign(f.net, f.data, grown_worker);
+  expect_same_results(grown_reference, g0);
+  EXPECT_EQ(g0.stats.dist_cells_executed, new_cells);
+
+  // A second worker over the same grown grid derives the identical
+  // measured-weight bucket plan (same canonical ledger, same fold order):
+  // everything is already claimed/done, so it executes nothing.
+  CampaignSpec grown_late = worker_spec(dir, 1, 2, "wD", 60000);
+  grown_late.points = grown_plain.points;
+  const CampaignResult g1 = run_campaign(f.net, f.data, grown_late);
+  expect_same_results(grown_reference, g1);
+  EXPECT_EQ(g1.stats.dist_cells_executed, 0);
+
+  // Merging the grown segments keeps ledger coverage consistent: every
+  // cell present, costs for all of them (old from the first merge, new
+  // from wC's segment).
+  const MergeStats grown_merge = merge_campaign_segments(dir);
+  EXPECT_EQ(grown_merge.cells_merged, new_cells);
+  ResultJournal canonical(dir, env, ResultJournal::Mode::kReadOnly);
+  EXPECT_EQ(canonical.recovered_cells(), cells + new_cells);
+  EXPECT_EQ(canonical.cost_records(), cells + new_cells);
+}
+
+TEST(Dist, CostlessSegmentsMergeCleanlyIntoLedgeredCanonical) {
+  const Fixture f = make_fixture();
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const std::string dir = fresh_dir("ledger_mixed");
+
+  // Phase 1: worker A (ledger on), sole live worker of a 2-shard layout,
+  // executes the whole grid; its segment merges into a ledgered canonical.
+  CampaignSpec with_ledger = worker_spec(dir, 0, 2, "wA", 0);
+  const CampaignResult r0 = run_campaign(f.net, f.data, with_ledger);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.images.size() *
+                                with_ledger.points.size());
+  EXPECT_EQ(r0.stats.dist_cells_executed, cells);
+  EXPECT_EQ(merge_campaign_segments(dir).cells_merged, cells);
+
+  // Phase 2: worker B (ledger off) grows the grid by one point — its
+  // segment carries the new cells with no cost records.
+  CampaignSpec no_ledger = worker_spec(dir, 0, 2, "wB", 0);
+  CampaignPoint extra = no_ledger.points.back();
+  extra.seed = 57;
+  no_ledger.points.push_back(extra);
+  no_ledger.store.cost_ledger = false;
+  const CampaignResult r1 = run_campaign(f.net, f.data, no_ledger);
+  const std::int64_t extra_cells =
+      static_cast<std::int64_t>(f.data.images.size());
+  EXPECT_EQ(r1.stats.dist_cells_executed, extra_cells);
+
+  // Mixed merge: ledgered cells keep their costs, costless cells stay
+  // costless — no cell is lost or duplicated either way.
+  const MergeStats merge = merge_campaign_segments(dir);
+  EXPECT_EQ(merge.cells_merged, extra_cells);
+  EXPECT_EQ(merge.segments_rejected, 0);
+  ResultJournal canonical(dir, env, ResultJournal::Mode::kReadOnly);
+  EXPECT_EQ(canonical.recovered_cells(), cells + extra_cells);
+  EXPECT_EQ(canonical.cost_records(), cells);
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+// Flight-recorder history ring guarantees (core/service/history):
+//   (a) the ring retains exactly the newest `depth` samples — wraparound
+//       overwrites the oldest in place, never reorders survivors;
+//   (b) window(last_n) returns the newest min(n, size) samples oldest
+//       first, across the wrap boundary;
+//   (c) depth/interval are clamped to sane minimums, and total_recorded()
+//       counts every record() including the overwritten ones.
+// The ring is pure state + arithmetic — tests drive it with synthetic
+// samples, no sampler thread or clock involved.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/service/history.h"
+
+namespace winofault {
+namespace {
+
+HistorySample sample_at(std::int64_t t) {
+  HistorySample s;
+  s.t_us = t;
+  s.wall_ms = t / 1000;
+  telemetry::SeriesSample series;
+  series.name = "test_series";
+  series.type = 'g';
+  series.value = t;
+  s.series.push_back(series);
+  return s;
+}
+
+std::vector<std::int64_t> times(const std::vector<HistorySample>& samples) {
+  std::vector<std::int64_t> out;
+  for (const HistorySample& s : samples) out.push_back(s.t_us);
+  return out;
+}
+
+TEST(HistoryRing, FillsToDepthThenWrapsOverOldest) {
+  HistoryRing ring(4, 5);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.window().empty());
+
+  for (std::int64_t t = 1; t <= 3; ++t) ring.record(sample_at(t));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(times(ring.window()), (std::vector<std::int64_t>{1, 2, 3}));
+
+  // Crossing depth: the oldest samples fall away one at a time and the
+  // survivors stay in record order.
+  for (std::int64_t t = 4; t <= 10; ++t) ring.record(sample_at(t));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 10);
+  EXPECT_EQ(times(ring.window()), (std::vector<std::int64_t>{7, 8, 9, 10}));
+}
+
+TEST(HistoryRing, WindowLastNIsNewestSuffixOldestFirst) {
+  HistoryRing ring(5, 5);
+  for (std::int64_t t = 1; t <= 8; ++t) ring.record(sample_at(t));
+  // Retained: 4..8. last_n selects the newest suffix of that.
+  EXPECT_EQ(times(ring.window(2)), (std::vector<std::int64_t>{7, 8}));
+  EXPECT_EQ(times(ring.window(5)),
+            (std::vector<std::int64_t>{4, 5, 6, 7, 8}));
+  // Asking for more than retained returns everything retained.
+  EXPECT_EQ(times(ring.window(100)),
+            (std::vector<std::int64_t>{4, 5, 6, 7, 8}));
+  // 0 = all retained.
+  EXPECT_EQ(times(ring.window(0)),
+            (std::vector<std::int64_t>{4, 5, 6, 7, 8}));
+}
+
+TEST(HistoryRing, SamplesCarrySeriesPayloadThroughTheWrap) {
+  HistoryRing ring(2, 5);
+  for (std::int64_t t = 1; t <= 3; ++t) ring.record(sample_at(t));
+  const std::vector<HistorySample> window = ring.window();
+  ASSERT_EQ(window.size(), 2u);
+  ASSERT_EQ(window[0].series.size(), 1u);
+  EXPECT_EQ(window[0].series[0].name, "test_series");
+  EXPECT_EQ(window[0].series[0].value, 2);
+  EXPECT_EQ(window[1].series[0].value, 3);
+}
+
+TEST(HistoryRing, DepthAndIntervalClampToOne) {
+  HistoryRing ring(0, 0);
+  EXPECT_EQ(ring.depth(), 1u);
+  EXPECT_EQ(ring.interval_s(), 1);
+  ring.record(sample_at(1));
+  ring.record(sample_at(2));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.total_recorded(), 2);
+  EXPECT_EQ(times(ring.window()), (std::vector<std::int64_t>{2}));
+}
+
+}  // namespace
+}  // namespace winofault

@@ -870,5 +870,60 @@ TEST(Service, MetricsVerbServesCrossTierPrometheusText) {
   EXPECT_GE(series_lines, 20u);
 }
 
+TEST(Service, HistoryVerbServesSampledTimeSeries) {
+  const std::string dir = fresh_dir("history_verb");
+  TestServer ts(dir, 1, [](ServerOptions& options) {
+    options.history_depth = 8;
+    options.history_interval_s = 1;
+  });
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(ts.socket_path, &error)) << error;
+
+  // One real submission so the sampled series carry daemon activity.
+  CampaignSpec spec;
+  spec.points = small_grid();
+  spec.threads = 1;
+  const auto outcome = client.submit_and_wait("test", test_env(), spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+
+  // The sampler records its first snapshot at startup, so at least one
+  // sample exists no matter how fast the test ran.
+  Json request = Json::object();
+  request.set("op", Json::str("history"));
+  request.set("last", Json::integer(4));
+  request.set("prefix", Json::str("winofault_service_"));
+  ServiceClient scrape;
+  ASSERT_TRUE(scrape.connect(ts.socket_path, &error)) << error;
+  const std::optional<Json> response = scrape.request(request, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  const Json* ok = response->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->as_bool(false));
+  EXPECT_EQ(response->find("interval_s")->as_int(), 1);
+  EXPECT_EQ(response->find("depth")->as_int(), 8);
+  EXPECT_GE(response->find("recorded")->as_int(), 1);
+
+  const Json* samples = response->find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_TRUE(samples->is_array());
+  ASSERT_GE(samples->elements().size(), 1u);
+  ASSERT_LE(samples->elements().size(), 4u);
+  for (const Json& sample : samples->elements()) {
+    EXPECT_GE(sample.find("t_us")->as_int(), 0);
+    EXPECT_GT(sample.find("wall_ms")->as_int(), 0);
+    const Json* series = sample.find("series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_TRUE(series->is_object());
+    // The prefix filter held: every key is a service-tier series.
+    for (const auto& [key, value] : series->members()) {
+      EXPECT_EQ(key.rfind("winofault_service_", 0), 0u) << key;
+    }
+    // Scrape gauges refresh before each sample, so the queue-depth gauge
+    // exists from the very first snapshot.
+    EXPECT_NE(series->find("winofault_service_jobs_queued"), nullptr);
+  }
+}
+
 }  // namespace
 }  // namespace winofault

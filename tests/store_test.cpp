@@ -786,5 +786,131 @@ TEST(Store, GoldenDiskBudgetEvictsOldestShards) {
   EXPECT_LE(store.bytes_on_disk(), 2 * one_shard);
 }
 
+// ---- (e) cost ledger ----
+
+// Record framing shared with journal.cpp (header 16 bytes, record 40).
+constexpr std::uintmax_t kHeaderBytes = 16;
+constexpr std::uintmax_t kRecordBytes = 40;
+
+TEST(Store, CostLedgerRidesWithCellsAndRecovers) {
+  const Fixture f = make_fixture(6);
+  CampaignSpec stored;
+  stored.points = small_grid();
+  stored.store.dir = fresh_dir("cost_ledger");
+  const CampaignResult first = run_campaign(f.net, f.data, stored);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.size() * stored.points.size());
+  EXPECT_EQ(first.stats.journal_cells_written, cells);
+
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const std::string path =
+      ResultJournal::journal_path(stored.store.dir, env);
+  // Every cell record is followed by its cost record.
+  EXPECT_EQ(fs::file_size(path), kHeaderBytes + 2 * kRecordBytes *
+                                     static_cast<std::uintmax_t>(cells));
+
+  ResultJournal journal(stored.store.dir, env,
+                        ResultJournal::Mode::kReadOnly);
+  EXPECT_EQ(journal.recovered_cells(), cells);
+  EXPECT_EQ(journal.cost_records(), cells);
+
+  // Each recovered cost is addressable by its cell's identity and carries
+  // sane measurements; the per-point aggregate covers every cell.
+  std::vector<JournalCell> raw_cells;
+  std::vector<JournalCost> raw_costs;
+  ASSERT_TRUE(ResultJournal::read_cells_from(path, env, 0, &raw_cells,
+                                             nullptr, nullptr, nullptr,
+                                             &raw_costs));
+  ASSERT_EQ(raw_cells.size(), static_cast<std::size_t>(cells));
+  ASSERT_EQ(raw_costs.size(), static_cast<std::size_t>(cells));
+  for (std::size_t i = 0; i < raw_cells.size(); ++i) {
+    JournalCost cost;
+    ASSERT_TRUE(journal.lookup_cost(raw_cells[i].point_hash,
+                                    raw_cells[i].image, &cost));
+    EXPECT_GE(cost.wall_us, 0);
+    EXPECT_GE(cost.flips_sq, 0);
+  }
+  std::int64_t aggregated = 0;
+  for (const auto& [point, cost] : journal.point_costs()) {
+    EXPECT_GT(cost.cells, 0);
+    aggregated += cost.cells;
+  }
+  EXPECT_EQ(aggregated, cells);
+
+  // Replay regenerates from the ledgered journal without executing and
+  // without rewriting it.
+  const CampaignResult replay = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(replay.stats.journal_cells_loaded, cells);
+  EXPECT_EQ(replay.stats.inferences, 0);
+  expect_same_results(first, replay);
+}
+
+TEST(Store, PreLedgerJournalReplaysBitIdentically) {
+  const Fixture f = make_fixture(6);
+  CampaignSpec clean;
+  clean.points = small_grid();
+  const CampaignResult reference = run_campaign(f.net, f.data, clean);
+
+  // cost_ledger=false writes the byte-wise pre-ledger format: header +
+  // one 40-byte record per cell, nothing else.
+  CampaignSpec legacy = clean;
+  legacy.store.dir = fresh_dir("pre_ledger");
+  legacy.store.cost_ledger = false;
+  const CampaignResult written = run_campaign(f.net, f.data, legacy);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.size() * legacy.points.size());
+  EXPECT_EQ(written.stats.journal_cells_written, cells);
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const std::string path =
+      ResultJournal::journal_path(legacy.store.dir, env);
+  EXPECT_EQ(fs::file_size(path), kHeaderBytes + kRecordBytes *
+                                     static_cast<std::uintmax_t>(cells));
+
+  // A ledger-aware reader replays the pre-ledger journal bit-identically
+  // — every cell loads, nothing executes, no costs materialize, and the
+  // file itself is untouched.
+  CampaignSpec replay = legacy;
+  replay.store.cost_ledger = true;
+  const CampaignResult regen = run_campaign(f.net, f.data, replay);
+  EXPECT_EQ(regen.stats.journal_cells_loaded, cells);
+  EXPECT_EQ(regen.stats.inferences, 0);
+  expect_same_results(reference, regen);
+  EXPECT_EQ(fs::file_size(path), kHeaderBytes + kRecordBytes *
+                                     static_cast<std::uintmax_t>(cells));
+  ResultJournal journal(legacy.store.dir, env,
+                        ResultJournal::Mode::kReadOnly);
+  EXPECT_EQ(journal.recovered_cells(), cells);
+  EXPECT_EQ(journal.cost_records(), 0);
+}
+
+TEST(Store, TornCostRecordLosesTheCostNeverTheCell) {
+  const Fixture f = make_fixture(6);
+  CampaignSpec stored;
+  stored.points = small_grid();
+  stored.store.dir = fresh_dir("torn_cost");
+  const CampaignResult first = run_campaign(f.net, f.data, stored);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(f.data.size() * stored.points.size());
+
+  // Chop the trailing cost record in half: the kill arrived mid-append,
+  // after the cell's own record was durable.
+  const std::uint64_t env = campaign_env_hash(f.net, f.data);
+  const std::string path =
+      ResultJournal::journal_path(stored.store.dir, env);
+  fs::resize_file(path, fs::file_size(path) - kRecordBytes / 2);
+
+  ResultJournal journal(stored.store.dir, env,
+                        ResultJournal::Mode::kReadOnly);
+  EXPECT_EQ(journal.recovered_cells(), cells);
+  EXPECT_EQ(journal.cost_records(), cells - 1);
+
+  // Resume replays every cell — the lost cost degrades to "unmeasured",
+  // never to re-execution.
+  const CampaignResult resumed = run_campaign(f.net, f.data, stored);
+  EXPECT_EQ(resumed.stats.journal_cells_loaded, cells);
+  EXPECT_EQ(resumed.stats.inferences, 0);
+  expect_same_results(first, resumed);
+}
+
 }  // namespace
 }  // namespace winofault

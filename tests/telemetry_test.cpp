@@ -184,6 +184,110 @@ TEST_F(TelemetryTest, TraceFileIsValidJsonWithCompleteEvents) {
   fs::remove(path);
 }
 
+TEST_F(TelemetryTest, HistogramQuantilesInterpolateWithinBuckets) {
+  telemetry::Histogram& h =
+      telemetry::histogram("test_quantile_us", "a test histogram");
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  // 100 identical observations of 10 land in the (8, 16] bucket: every
+  // quantile must interpolate inside that bucket, never outside it.
+  for (int i = 0; i < 100; ++i) h.observe(10);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_GT(h.quantile(q), 8.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 16.0) << "q=" << q;
+  }
+  // A spread distribution keeps quantiles monotone in q.
+  telemetry::Histogram& spread =
+      telemetry::histogram("test_quantile_spread_us", "a test histogram");
+  for (int i = 1; i <= 1000; ++i) spread.observe(i);
+  const double p50 = spread.quantile(0.50);
+  const double p95 = spread.quantile(0.95);
+  const double p99 = spread.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p50 of 1..1000 is ~500; the log2 bucket holding it is (256, 512].
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GT(p99, 512.0);
+}
+
+TEST_F(TelemetryTest, PrometheusTextCarriesQuantileLines) {
+  telemetry::Histogram& h =
+      telemetry::histogram("test_expo_q_us", "a test histogram");
+  for (int i = 0; i < 10; ++i) h.observe(100);
+  const std::string text = telemetry::prometheus_text();
+  EXPECT_NE(text.find("test_expo_q_us_p50 "), std::string::npos);
+  EXPECT_NE(text.find("test_expo_q_us_p95 "), std::string::npos);
+  EXPECT_NE(text.find("test_expo_q_us_p99 "), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SnapshotCapturesEverySeriesWithSummaries) {
+  telemetry::counter("test_snap_total", "help").add(7);
+  telemetry::gauge("test_snap_gauge", "help").set(-3);
+  telemetry::Histogram& h = telemetry::histogram("test_snap_us", "help");
+  h.observe(4);
+  h.observe(6);
+  const std::vector<telemetry::SeriesSample> series = telemetry::snapshot();
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const telemetry::SeriesSample& s : series) {
+    if (s.name == "test_snap_total") {
+      saw_counter = true;
+      EXPECT_EQ(s.type, 'c');
+      EXPECT_EQ(s.value, 7);
+    } else if (s.name == "test_snap_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(s.type, 'g');
+      EXPECT_EQ(s.value, -3);
+    } else if (s.name == "test_snap_us") {
+      saw_hist = true;
+      EXPECT_EQ(s.type, 'h');
+      EXPECT_EQ(s.value, 2);  // histogram count rides in `value`
+      EXPECT_EQ(s.sum, 10);
+      EXPECT_LE(s.p50, s.p95);
+      EXPECT_LE(s.p95, s.p99);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST_F(TelemetryTest, IncrementalFlushAppendsAndStaysValidJson) {
+  const std::string path =
+      ::testing::TempDir() + "winofault_telemetry_incremental.json";
+  fs::remove(path);
+  telemetry::set_trace_path(path);
+  const auto parse_events = [&]() -> std::size_t {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::optional<Json> doc = Json::parse(buffer.str());
+    EXPECT_TRUE(doc.has_value());
+    if (!doc.has_value()) return 0;
+    const Json* events = doc->find("traceEvents");
+    EXPECT_NE(events, nullptr);
+    return events != nullptr ? events->elements().size() : 0;
+  };
+  // Each flush appends only the new events and re-closes the document:
+  // the file is valid JSON after every flush and never shrinks a
+  // previously flushed event away. (A fresh sink path replays the full
+  // per-thread history, so earlier tests' spans may be present — the
+  // checks are relative to the first flush.)
+  { telemetry::TraceSpan span("first_span", "test"); }
+  telemetry::flush_trace();
+  const std::size_t base = parse_events();
+  EXPECT_GE(base, 1u);
+  { telemetry::TraceSpan span("second_span", "test"); }
+  { telemetry::TraceSpan span("third_span", "test"); }
+  telemetry::flush_trace();
+  EXPECT_EQ(parse_events(), base + 2);
+  // A flush with nothing new keeps the document intact.
+  telemetry::flush_trace();
+  EXPECT_EQ(parse_events(), base + 2);
+  telemetry::set_trace_path("");
+  fs::remove(path);
+}
+
 TEST_F(TelemetryTest, TracingToggleNeverTouchesMetrics) {
   telemetry::Counter& c = telemetry::counter("test_toggle_total", "help");
   c.add(1);

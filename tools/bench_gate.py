@@ -13,8 +13,11 @@ Usage:
   bench_gate.py --baseline DIR --current DIR SPEC [SPEC ...]
 
 Each SPEC is  file.json:metric[,metric...]  — metrics are higher-is-better
-rates/speedups. A missing baseline file skips that spec (first run on a
-fresh cache); a missing metric in either file is an error, so a renamed
+rates/speedups by default; prefix a metric with '~' (e.g. ~queue_latency_p95_ms)
+to gate it as lower-is-better, failing when it GROWS past the threshold.
+A missing baseline file skips that spec (first run on a fresh cache), and a
+metric absent from the baseline skips that metric only (first run after it
+was added); a missing metric in the current file is an error, so a renamed
 field cannot silently un-gate itself.
 """
 
@@ -53,7 +56,9 @@ def gate_file(base_path, curr_path, metrics):
           f"(noise_cv={noise_cv:.4f}, floor={FAIL_FLOOR*100:.0f}%)")
 
     failures = []
-    for metric in metrics:
+    for spec_metric in metrics:
+        lower_is_better = spec_metric.startswith("~")
+        metric = spec_metric.lstrip("~")
         if metric not in base:
             print(f"[gate] {name}: baseline lacks '{metric}'; treating as "
                   "first run for this metric")
@@ -67,16 +72,19 @@ def gate_file(base_path, curr_path, metrics):
         if prev <= 0:
             continue
         delta = (now - prev) / prev
+        # Normalise so negative regress always means "got worse".
+        regress = delta if lower_is_better else -delta
+        verb = "grew" if lower_is_better else "dropped"
         line = f"[gate] {name}: {metric}: {prev:.2f} -> {now:.2f} ({delta:+.1%})"
-        if delta < -fail_at:
-            failures.append(f"{name}:{metric} dropped {-delta:.1%}")
+        if regress > fail_at:
+            failures.append(f"{name}:{metric} {verb} {regress:.1%}")
             print(line + "  FAIL")
-            print(f"::error title=bench_gate::{name}: {metric} dropped "
-                  f"{-delta:.1%} (> {fail_at:.1%} gate)")
-        elif delta < -WARN_AT:
+            print(f"::error title=bench_gate::{name}: {metric} {verb} "
+                  f"{regress:.1%} (> {fail_at:.1%} gate)")
+        elif regress > WARN_AT:
             print(line + "  warn")
-            print(f"::warning title=bench_gate::{name}: {metric} dropped "
-                  f"{-delta:.1%}")
+            print(f"::warning title=bench_gate::{name}: {metric} {verb} "
+                  f"{regress:.1%}")
         else:
             print(line)
     return failures

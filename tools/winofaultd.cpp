@@ -8,6 +8,7 @@
 //
 //   winofaultd --socket /tmp/winofault.sock [--jobs N] [--sessions N]
 //              [--golden-capacity N] [--session-ttl MS] [--queue-bound N]
+//              [--history-depth N] [--history-interval S]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,7 @@ void usage(const char* prog, std::FILE* to) {
       to,
       "usage: %s --socket PATH [--jobs N] [--sessions N] "
       "[--golden-capacity N] [--session-ttl MS] [--queue-bound N]\n"
+      "       [--history-depth N] [--history-interval S]\n"
       "  --socket PATH        Unix-domain socket to serve (required)\n"
       "  --jobs N             campaigns executed concurrently (default 2)\n"
       "  --sessions N         warm (model, dataset) environments kept\n"
@@ -39,6 +41,9 @@ void usage(const char* prog, std::FILE* to) {
       "                       their goldens first (default: no TTL)\n"
       "  --queue-bound N      per-client queued-job bound; the excess is\n"
       "                       refused as 'overloaded' (default 32, 0 = off)\n"
+      "  --history-depth N    telemetry snapshots kept for the `history`\n"
+      "                       verb (default 120, 0 = sampler off)\n"
+      "  --history-interval S seconds between history snapshots (default 5)\n"
       "SIGTERM/SIGINT or a client 'drain' request stops gracefully:\n"
       "running jobs finish and warm goldens spill to their stores.\n",
       prog);
@@ -88,6 +93,10 @@ int main(int argc, char** argv) {
       options.session_idle_ttl_ms = static_cast<std::int64_t>(int_value(i));
     } else if (std::strcmp(argv[i], "--queue-bound") == 0) {
       options.max_queued_per_client = static_cast<std::size_t>(int_value(i));
+    } else if (std::strcmp(argv[i], "--history-depth") == 0) {
+      options.history_depth = static_cast<std::size_t>(int_value(i));
+    } else if (std::strcmp(argv[i], "--history-interval") == 0) {
+      options.history_interval_s = static_cast<std::int64_t>(int_value(i));
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, argv[i]);
       usage(prog, stderr);
